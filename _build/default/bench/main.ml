@@ -1,0 +1,437 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, side by side with the paper's reported values, plus
+   bechamel micro-benchmarks of the decision-diagram primitives.
+
+   Usage:
+     dune exec bench/main.exe                    # default: all sections
+     dune exec bench/main.exe -- table4 --full   # one section, every row
+     dune exec bench/main.exe -- --quick         # small rows only
+
+   Row classes: light rows run everywhere; medium rows are skipped by
+   --quick; heavy rows (the multi-minute ones of the paper's Table 4) are
+   skipped by --quick but included by default for table4 and by --full
+   everywhere. Table 2 and 3 sweep many orderings per row, so their
+   default skips heavy rows (--full forces them). *)
+
+module C = Socy_logic.Circuit
+module P = Socy_core.Pipeline
+module S = Socy_benchmarks.Suite
+module Scheme = Socy_order.Scheme
+module H = Socy_order.Heuristics
+module Mdd = Socy_mdd.Mdd
+module Model = Socy_defects.Model
+module Text_table = Socy_util.Text_table
+
+let pf = Printf.printf
+
+type weight_class = Light | Medium | Heavy
+
+let class_of_row label =
+  match label with
+  | "MS2, l'=1" | "MS4, l'=1" | "ESEN4x1, l'=1" | "ESEN4x2, l'=1"
+  | "MS2, l'=2" | "ESEN4x1, l'=2" ->
+      Light
+  | "MS6, l'=1" | "ESEN4x4, l'=1" | "ESEN4x2, l'=2" -> Medium
+  | _ -> Heavy
+
+type mode = Quick | Default | Full
+
+let rows_for mode ~sweep =
+  List.filter
+    (fun row ->
+      match (mode, class_of_row (S.row_label row), sweep) with
+      | Quick, Light, _ -> true
+      | Quick, (Medium | Heavy), _ -> false
+      | Default, Heavy, true -> false
+      | Default, (Light | Medium | Heavy), _ -> true
+      | Full, _, _ -> true)
+    (S.table_rows ())
+
+let wall () = Unix.gettimeofday ()
+
+let fmt_int_opt = function
+  | Some n -> Text_table.group_thousands n
+  | None -> "-"
+
+let config_for ?(node_limit = 40_000_000) ?cpu_limit
+    ?(mv = P.default_config.P.mv_order) ?(bits = P.default_config.P.bit_order) () =
+  {
+    P.default_config with
+    P.node_limit;
+    mv_order = mv;
+    bit_order = bits;
+    cpu_limit;
+  }
+
+(* Per-cell CPU budget for the ordering sweeps: pathological orderings
+   (the paper's "-" entries) are cut off instead of churning for minutes. *)
+let sweep_cpu_limit = function Quick -> 20.0 | Default -> 45.0 | Full -> 300.0
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: benchmark sizes                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table1 _mode =
+  pf "== Table 1: benchmark components and gate-level description sizes ==\n";
+  pf "   (gate counts are formulation-dependent; paper values for reference)\n\n";
+  let t =
+    Text_table.create
+      ~aligns:[ Left; Right; Right; Right; Right ]
+      [ "benchmark"; "C"; "C paper"; "gates"; "gates paper" ]
+  in
+  List.iter2
+    (fun (instance : S.instance) (label, c_paper, gates_paper) ->
+      assert (instance.S.label = label);
+      Text_table.add_row t
+        [
+          instance.S.label;
+          string_of_int instance.S.circuit.C.num_inputs;
+          string_of_int c_paper;
+          string_of_int (C.gate_count instance.S.circuit);
+          string_of_int gates_paper;
+        ])
+    (S.table1_instances ()) Paper_data.table1;
+  print_string (Text_table.render t);
+  pf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: ROMDD size per multiple-valued ordering                    *)
+(* ------------------------------------------------------------------ *)
+
+let romdd_size_under row ~mv ~node_limit ~cpu_limit =
+  let lethal = S.lethal row in
+  let config = config_for ~node_limit ~cpu_limit ~mv () in
+  match P.Artifacts.build ~config row.S.instance.S.circuit lethal with
+  | Error _ -> None
+  | Ok a -> Some (Mdd.size a.P.Artifacts.mdd a.P.Artifacts.mdd_root)
+
+let table2 mode =
+  pf "== Table 2: ROMDD size vs multiple-valued variable ordering ==\n";
+  pf "   (cells: measured / paper; '-' = node budget exhausted)\n\n";
+  let headers =
+    "benchmark" :: List.map Scheme.mv_order_name Scheme.table2_mv_orders
+  in
+  let t =
+    Text_table.create
+      ~aligns:(Left :: List.map (fun _ -> Text_table.Right) Scheme.table2_mv_orders)
+      headers
+  in
+  let node_limit = if mode = Full then 40_000_000 else 15_000_000 in
+  List.iter
+    (fun row ->
+      let label = S.row_label row in
+      let paper = List.assoc_opt label Paper_data.table2 in
+      let cells =
+        List.map
+          (fun mv ->
+            let ours =
+              romdd_size_under row ~mv ~node_limit ~cpu_limit:(sweep_cpu_limit mode)
+            in
+            let paper_cell =
+              match (paper, mv) with
+              | Some p, Scheme.Wv -> p.Paper_data.wv
+              | Some p, Scheme.Wvr -> p.Paper_data.wvr
+              | Some p, Scheme.Vw -> p.Paper_data.vw
+              | Some p, Scheme.Vrw -> p.Paper_data.vrw
+              | Some p, Scheme.Heur H.Topology -> p.Paper_data.t
+              | Some p, Scheme.Heur H.Weight -> p.Paper_data.w
+              | Some p, Scheme.Heur H.H4 -> p.Paper_data.h
+              | None, _ -> None
+            in
+            Printf.sprintf "%s / %s" (fmt_int_opt ours) (fmt_int_opt paper_cell))
+          Scheme.table2_mv_orders
+      in
+      Text_table.add_row t (label :: cells);
+      pf "  ... %s done\n%!" label)
+    (rows_for mode ~sweep:true);
+  print_string (Text_table.render t);
+  pf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: coded-ROBDD size per bit-group ordering (mv ordering w)    *)
+(* ------------------------------------------------------------------ *)
+
+let table3 mode =
+  pf "== Table 3: coded-ROBDD size vs bit-group ordering (mv ordering: w) ==\n";
+  pf "   (cells: measured / paper)\n\n";
+  let t =
+    Text_table.create ~aligns:[ Left; Right; Right; Right ]
+      [ "benchmark"; "ml"; "lm"; "w" ]
+  in
+  let node_limit = if mode = Full then 40_000_000 else 15_000_000 in
+  List.iter
+    (fun row ->
+      let label = S.row_label row in
+      let paper = List.assoc_opt label Paper_data.table3 in
+      let cell bits paper_v =
+        let config =
+          config_for ~node_limit ~cpu_limit:(sweep_cpu_limit mode)
+            ~mv:(Scheme.Heur H.Weight) ~bits ()
+        in
+        let ours =
+          match P.run_lethal ~config row.S.instance.S.circuit (S.lethal row) with
+          | Ok r -> Some r.P.robdd_size
+          | Error _ -> None
+        in
+        Printf.sprintf "%s / %s" (fmt_int_opt ours) (fmt_int_opt paper_v)
+      in
+      Text_table.add_row t
+        [
+          label;
+          cell Scheme.Ml (Option.map (fun p -> p.Paper_data.ml) paper);
+          cell Scheme.Lm (Option.map (fun p -> p.Paper_data.lm) paper);
+          cell (Scheme.Heur_bits H.Weight)
+            (Option.map (fun p -> p.Paper_data.w_bits) paper);
+        ];
+      pf "  ... %s done\n%!" label)
+    (rows_for mode ~sweep:true);
+  print_string (Text_table.render t);
+  pf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: full method performance (mv w, bits ml)                    *)
+(* ------------------------------------------------------------------ *)
+
+let table4 mode =
+  pf "== Table 4: method performance, orderings w + ml ==\n";
+  pf "   (cells: measured / paper; CPU seconds are host-dependent --\n";
+  pf "    the paper used a 2003 Sun-Blade-1000)\n\n";
+  let t =
+    Text_table.create
+      ~aligns:[ Left; Right; Right; Right; Right; Right; Right ]
+      [ "benchmark"; "M"; "CPU (s)"; "ROBDD peak"; "ROBDD"; "ROMDD"; "yield" ]
+  in
+  List.iter
+    (fun row ->
+      let label = S.row_label row in
+      let paper = List.assoc_opt label Paper_data.table4 in
+      let p_cpu = Option.map (fun p -> p.Paper_data.cpu_s) paper in
+      let p_peak = Option.map (fun p -> p.Paper_data.peak) paper in
+      let p_robdd = Option.map (fun p -> p.Paper_data.robdd) paper in
+      let p_romdd = Option.map (fun p -> p.Paper_data.romdd) paper in
+      let p_yield = Option.map (fun p -> p.Paper_data.yield) paper in
+      let fmt_f fmt = function Some f -> Printf.sprintf fmt f | None -> "-" in
+      (match P.run ~config:(config_for ()) row.S.instance.S.circuit (S.model row) with
+      | Ok r ->
+          Text_table.add_row t
+            [
+              label;
+              string_of_int r.P.m;
+              Printf.sprintf "%.2f / %s" r.P.cpu_seconds (fmt_f "%.2f" p_cpu);
+              Printf.sprintf "%s / %s"
+                (Text_table.group_thousands r.P.robdd_peak)
+                (fmt_int_opt p_peak);
+              Printf.sprintf "%s / %s"
+                (Text_table.group_thousands r.P.robdd_size)
+                (fmt_int_opt p_robdd);
+              Printf.sprintf "%s / %s"
+                (Text_table.group_thousands r.P.romdd_size)
+                (fmt_int_opt p_romdd);
+              Printf.sprintf "%.3f / %s" r.P.yield_lower (fmt_f "%.3f" p_yield);
+            ]
+      | Error f ->
+          Text_table.add_row t
+            [
+              label; "-"; "-";
+              Text_table.group_thousands f.P.peak_at_failure;
+              "-"; "-"; "-";
+            ]);
+      pf "  ... %s done\n%!" label)
+    (rows_for mode ~sweep:false);
+  print_string (Text_table.render t);
+  pf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2: the worked example                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 _mode =
+  pf "== Fig. 2: worked ROMDD example (F = x1*x2 + x3, M = 2, order v1 v2 w) ==\n\n";
+  let ft = Socy_logic.Parse.fault_tree ~name:"fig2" "x0 & x1 | x2" in
+  let lethal =
+    {
+      Model.count = Socy_defects.Distribution.of_array [| 0.4; 0.3; 0.2; 0.1 |];
+      component = Array.make 3 (1.0 /. 3.0);
+      p_lethal = 0.1;
+    }
+  in
+  let config = { (config_for ~mv:Scheme.Vw ()) with P.epsilon = 0.11 } in
+  match P.Artifacts.build ~config ft lethal with
+  | Error _ -> pf "unexpected failure\n"
+  | Ok a ->
+      let mdd = a.P.Artifacts.mdd and root = a.P.Artifacts.mdd_root in
+      pf "M = %d, ROMDD size = %d (6 nonterminals + 2 terminals, as drawn)\n"
+        a.P.Artifacts.m (Mdd.size mdd root);
+      pf "\nGraphviz of the ROMDD:\n%s\n" (Mdd.to_dot mdd root);
+      let r = P.Artifacts.report a ~cpu_seconds:0.0 in
+      pf "P(G = 1) = %.9f, Y_M = %.9f (hand value 0.4 + 0.3*2/3 + 0.2*2/9 = %.9f)\n"
+        r.P.p_unusable r.P.yield_lower
+        (0.4 +. (0.3 *. 2.0 /. 3.0) +. (0.2 *. 2.0 /. 9.0));
+      let direct = Socy_core.Direct.build_into a in
+      pf "direct MDD-APPLY construction gives the same canonical node: %b\n\n"
+        (direct = root)
+
+(* ------------------------------------------------------------------ *)
+(* Monte Carlo comparison (the paper's "simulation" alternative)       *)
+(* ------------------------------------------------------------------ *)
+
+let montecarlo mode =
+  pf "== Monte Carlo baseline vs the combinatorial method ==\n\n";
+  let t =
+    Text_table.create
+      ~aligns:[ Left; Right; Right; Right; Right ]
+      [ "benchmark"; "method [Y_M, Y_M+eps]"; "MC estimate"; "MC 95% CI"; "trials" ]
+  in
+  let rows = rows_for (if mode = Full then Default else Quick) ~sweep:true in
+  List.iter
+    (fun row ->
+      match P.run ~config:(config_for ()) row.S.instance.S.circuit (S.model row) with
+      | Error _ -> ()
+      | Ok r ->
+          let mc =
+            Socy_core.Montecarlo.run ~seed:2003L ~trials:200_000
+              row.S.instance.S.circuit (S.lethal row)
+          in
+          Text_table.add_row t
+            [
+              S.row_label row;
+              Printf.sprintf "[%.4f, %.4f]" r.P.yield_lower r.P.yield_upper;
+              Printf.sprintf "%.4f" mc.Socy_core.Montecarlo.estimate;
+              Printf.sprintf "[%.4f, %.4f]" mc.Socy_core.Montecarlo.ci_low
+                mc.Socy_core.Montecarlo.ci_high;
+              string_of_int mc.Socy_core.Montecarlo.trials;
+            ])
+    rows;
+  print_string (Text_table.render t);
+  pf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: coded-ROBDD route vs direct multiple-valued APPLY         *)
+(* ------------------------------------------------------------------ *)
+
+let ablation _mode =
+  pf "== Ablation: coded-ROBDD route vs direct ROMDD APPLY construction ==\n";
+  pf "   (the design decision of Section 2: both give identical ROMDDs)\n\n";
+  let t =
+    Text_table.create
+      ~aligns:[ Left; Right; Right; Right ]
+      [ "benchmark"; "coded-ROBDD route (s)"; "direct APPLY (s)"; "same result" ]
+  in
+  List.iter
+    (fun row ->
+      let circuit = row.S.instance.S.circuit in
+      let lethal = S.lethal row in
+      let t0 = wall () in
+      match P.Artifacts.build ~config:(config_for ()) circuit lethal with
+      | Error _ -> ()
+      | Ok a ->
+          let t_bdd = wall () -. t0 in
+          let t1 = wall () in
+          let direct = Socy_core.Direct.build_into a in
+          let t_direct = wall () -. t1 in
+          Text_table.add_row t
+            [
+              S.row_label row;
+              Printf.sprintf "%.2f" t_bdd;
+              Printf.sprintf "%.2f" t_direct;
+              string_of_bool (direct = a.P.Artifacts.mdd_root);
+            ])
+    (rows_for Quick ~sweep:true);
+  print_string (Text_table.render t);
+  pf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro _mode =
+  pf "== Micro-benchmarks (bechamel, monotonic clock) ==\n\n";
+  let ms2 = S.ms 2 in
+  let row = List.hd (S.table_rows ()) in
+  let lethal = S.lethal row in
+  let ms2_circuit = ms2.S.circuit in
+  let open Bechamel in
+  let artifacts =
+    match P.Artifacts.build ~config:(config_for ()) ms2_circuit lethal with
+    | Ok a -> a
+    | Error _ -> assert false
+  in
+  let tests =
+    [
+      Test.make ~name:"robdd-compile-ms2-fault-tree"
+        (Staged.stage (fun () ->
+             let m =
+               Socy_bdd.Manager.create ~num_vars:ms2_circuit.C.num_inputs ()
+             in
+             ignore (Socy_bdd.Compile.of_circuit m ms2_circuit ~var_of_input:Fun.id)));
+      Test.make ~name:"romdd-probability-traversal-ms2"
+        (Staged.stage (fun () ->
+             ignore
+               (Mdd.probability artifacts.P.Artifacts.mdd
+                  artifacts.P.Artifacts.mdd_root
+                  ~p:(P.Artifacts.probability_of_level artifacts))));
+      Test.make ~name:"monte-carlo-10k-trials-ms2"
+        (Staged.stage (fun () ->
+             ignore (Socy_core.Montecarlo.run ~trials:10_000 ms2_circuit lethal)));
+      Test.make ~name:"pipeline-ms2-end-to-end"
+        (Staged.stage (fun () ->
+             match P.run_lethal ~config:(config_for ()) ms2_circuit lethal with
+             | Ok r -> ignore r.P.yield_lower
+             | Error _ -> ()));
+    ]
+  in
+  List.iter
+    (fun test ->
+      let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) () in
+      let results = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> pf "%-40s %14.0f ns/run\n" name est
+          | Some _ | None -> pf "%-40s (no estimate)\n" name)
+        analyzed)
+    tests;
+  pf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("table4", table4);
+    ("fig2", fig2);
+    ("mc", montecarlo);
+    ("ablation", ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let mode =
+    if List.mem "--quick" args then Quick
+    else if List.mem "--full" args then Full
+    else Default
+  in
+  let wanted =
+    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
+  in
+  let wanted = if wanted = [] then List.map fst sections else wanted in
+  let t0 = wall () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f mode
+      | None ->
+          pf "unknown section %S; available: %s\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 1)
+    wanted;
+  pf "total wall time: %.1f s\n" (wall () -. t0)

@@ -1,0 +1,362 @@
+(* socyield — command-line driver for the combinatorial yield-evaluation
+   method.
+
+   Subcommands:
+     eval    evaluate the yield of a fault tree or built-in benchmark
+     mc      Monte Carlo baseline estimate
+     orders  compare variable orderings on one instance
+     list    list the built-in benchmark instances
+     dot     export the fault tree or the ROMDD as Graphviz *)
+
+module C = Socy_logic.Circuit
+module P = Socy_core.Pipeline
+module S = Socy_benchmarks.Suite
+module Scheme = Socy_order.Scheme
+module H = Socy_order.Heuristics
+module D = Socy_defects.Distribution
+module Model = Socy_defects.Model
+module Mdd = Socy_mdd.Mdd
+module Text_table = Socy_util.Text_table
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fault_tree_arg =
+  let doc =
+    "Fault-tree expression over component-failed variables x0, x1, …, e.g. \
+     'x0 & x1 | atleast(2; x2, x3, x4)'. The output is 1 iff the system is \
+     NOT functioning."
+  in
+  Arg.(value & opt (some string) None & info [ "f"; "fault-tree" ] ~docv:"EXPR" ~doc)
+
+let benchmark_arg =
+  let doc = "Built-in benchmark instance (MSn or ESENnxm), e.g. MS4, ESEN8x2." in
+  Arg.(value & opt (some string) None & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+let lambda_arg =
+  let doc = "Expected number of manufacturing defects (negative binomial)." in
+  Arg.(value & opt float 10.0 & info [ "lambda" ] ~docv:"FLOAT" ~doc)
+
+let alpha_arg =
+  let doc = "Negative binomial clustering parameter (clustering grows as it shrinks)." in
+  Arg.(value & opt float S.alpha & info [ "alpha" ] ~docv:"FLOAT" ~doc)
+
+let p_lethal_arg =
+  let doc =
+    "P_L = sum of the P_i: probability that a given defect is lethal. Used \
+     with --fault-tree, where P_i is uniform over components; benchmarks \
+     carry their own per-component ratios."
+  in
+  Arg.(value & opt float 0.1 & info [ "p-lethal" ] ~docv:"FLOAT" ~doc)
+
+let epsilon_arg =
+  let doc = "Absolute yield error requirement (drives the truncation M)." in
+  Arg.(value & opt float S.epsilon & info [ "e"; "epsilon" ] ~docv:"FLOAT" ~doc)
+
+let node_limit_arg =
+  let doc = "Live ROBDD node budget before the run is declared failed." in
+  Arg.(value & opt int 40_000_000 & info [ "node-limit" ] ~docv:"N" ~doc)
+
+let mv_order_conv =
+  let parse = function
+    | "wv" -> Ok Scheme.Wv
+    | "wvr" -> Ok Scheme.Wvr
+    | "vw" -> Ok Scheme.Vw
+    | "vrw" -> Ok Scheme.Vrw
+    | "t" -> Ok (Scheme.Heur H.Topology)
+    | "w" -> Ok (Scheme.Heur H.Weight)
+    | "h" -> Ok (Scheme.Heur H.H4)
+    | s -> Error (`Msg (Printf.sprintf "unknown mv ordering %S" s))
+  in
+  Arg.conv (parse, fun fmt mv -> Format.pp_print_string fmt (Scheme.mv_order_name mv))
+
+let bit_order_conv =
+  let parse = function
+    | "ml" -> Ok Scheme.Ml
+    | "lm" -> Ok Scheme.Lm
+    | "t" -> Ok (Scheme.Heur_bits H.Topology)
+    | "w" -> Ok (Scheme.Heur_bits H.Weight)
+    | "h" -> Ok (Scheme.Heur_bits H.H4)
+    | s -> Error (`Msg (Printf.sprintf "unknown bit ordering %S" s))
+  in
+  Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt (Scheme.bit_order_name b))
+
+let mv_order_arg =
+  let doc = "Multiple-valued variable ordering: wv, wvr, vw, vrw, t, w, h." in
+  Arg.(value & opt mv_order_conv (Scheme.Heur H.Weight) & info [ "mv-order" ] ~docv:"ORD" ~doc)
+
+let bit_order_arg =
+  let doc = "Bit ordering inside each group: ml, lm, t, w, h." in
+  Arg.(value & opt bit_order_conv Scheme.Ml & info [ "bit-order" ] ~docv:"ORD" ~doc)
+
+(* Resolve the (fault tree, model) pair from the arguments. *)
+let resolve ~fault_tree ~benchmark ~lambda ~alpha ~p_lethal =
+  match (fault_tree, benchmark) with
+  | Some _, Some _ -> Error "--fault-tree and --benchmark are mutually exclusive"
+  | None, None -> Error "one of --fault-tree or --benchmark is required"
+  | Some expr, None -> (
+      match Socy_logic.Parse.fault_tree ~name:"cli" expr with
+      | exception Socy_logic.Parse.Syntax_error msg ->
+          Error (Printf.sprintf "parse error: %s" msg)
+      | circuit ->
+          let c = circuit.C.num_inputs in
+          if c = 0 then Error "fault tree references no component"
+          else
+            let affect = Array.make c (p_lethal /. float_of_int c) in
+            Ok (circuit, Model.create (D.negative_binomial ~mean:lambda ~alpha) affect))
+  | None, Some name -> (
+      match S.by_name name with
+      | exception Not_found -> Error (Printf.sprintf "unknown benchmark %S" name)
+      | instance ->
+          Ok
+            ( instance.S.circuit,
+              Model.create (D.negative_binomial ~mean:lambda ~alpha) instance.S.affect ))
+
+(* ------------------------------------------------------------------ *)
+(* eval                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let eval_cmd =
+  let run fault_tree benchmark lambda alpha p_lethal epsilon node_limit mv bits =
+    match resolve ~fault_tree ~benchmark ~lambda ~alpha ~p_lethal with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok (circuit, model) -> (
+        let config =
+          {
+            P.default_config with
+            P.epsilon;
+            node_limit;
+            mv_order = mv;
+            bit_order = bits;
+          }
+        in
+        match P.run ~config circuit model with
+        | Error f ->
+            Printf.printf
+              "FAILED at stage %s: node budget exhausted (peak %s nodes)\n"
+              f.P.stage
+              (Text_table.group_thousands f.P.peak_at_failure);
+            exit 1
+        | Ok r ->
+            Printf.printf "yield           in [%.6f, %.6f]  (error bound %.2g)\n"
+              r.P.yield_lower r.P.yield_upper epsilon;
+            Printf.printf "P(not usable)   %.6f\n" r.P.p_unusable;
+            Printf.printf "truncation M    %d lethal defects analyzed\n" r.P.m;
+            Printf.printf "P_lethal        %.4f\n" r.P.p_lethal;
+            Printf.printf "binary vars     %d (%d multiple-valued variables)\n"
+              r.P.num_binary_vars r.P.num_groups;
+            Printf.printf "G gates         %d\n" r.P.gate_count;
+            Printf.printf "coded ROBDD     %s nodes (peak %s)\n"
+              (Text_table.group_thousands r.P.robdd_size)
+              (Text_table.group_thousands r.P.robdd_peak);
+            Printf.printf "ROMDD           %s nodes\n"
+              (Text_table.group_thousands r.P.romdd_size);
+            Printf.printf "CPU time        %.2f s\n" r.P.cpu_seconds)
+  in
+  let term =
+    Term.(
+      const run $ fault_tree_arg $ benchmark_arg $ lambda_arg $ alpha_arg
+      $ p_lethal_arg $ epsilon_arg $ node_limit_arg $ mv_order_arg $ bit_order_arg)
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate the yield of a fault-tolerant system-on-chip")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* mc                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mc_cmd =
+  let trials_arg =
+    Arg.(value & opt int 100_000 & info [ "trials" ] ~docv:"N" ~doc:"Trial count.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+  in
+  let run fault_tree benchmark lambda alpha p_lethal trials seed =
+    match resolve ~fault_tree ~benchmark ~lambda ~alpha ~p_lethal with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok (circuit, model) ->
+        let lethal = Model.to_lethal model in
+        let r =
+          Socy_core.Montecarlo.run ~seed:(Int64.of_int seed) ~trials circuit lethal
+        in
+        Printf.printf "yield estimate  %.6f\n" r.Socy_core.Montecarlo.estimate;
+        Printf.printf "95%% CI          [%.6f, %.6f]\n" r.Socy_core.Montecarlo.ci_low
+          r.Socy_core.Montecarlo.ci_high;
+        Printf.printf "trials          %d (%d functioning)\n"
+          r.Socy_core.Montecarlo.trials r.Socy_core.Montecarlo.functioning
+  in
+  let term =
+    Term.(
+      const run $ fault_tree_arg $ benchmark_arg $ lambda_arg $ alpha_arg
+      $ p_lethal_arg $ trials_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "mc" ~doc:"Monte Carlo yield estimate (simulation baseline)") term
+
+(* ------------------------------------------------------------------ *)
+(* orders                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let orders_cmd =
+  let run fault_tree benchmark lambda alpha p_lethal epsilon node_limit =
+    match resolve ~fault_tree ~benchmark ~lambda ~alpha ~p_lethal with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok (circuit, model) ->
+        let lethal = Model.to_lethal model in
+        let t =
+          Text_table.create
+            ~aligns:[ Left; Right; Right; Right ]
+            [ "mv ordering"; "ROMDD"; "coded ROBDD"; "ROBDD peak" ]
+        in
+        List.iter
+          (fun mv ->
+            let config =
+              {
+                P.default_config with
+                P.epsilon;
+                node_limit;
+                mv_order = mv;
+                bit_order = Scheme.Ml;
+              }
+            in
+            let cells =
+              match P.run_lethal ~config circuit lethal with
+              | Ok r ->
+                  [
+                    Text_table.group_thousands r.P.romdd_size;
+                    Text_table.group_thousands r.P.robdd_size;
+                    Text_table.group_thousands r.P.robdd_peak;
+                  ]
+              | Error _ -> [ "-"; "-"; "-" ]
+            in
+            Text_table.add_row t (Scheme.mv_order_name mv :: cells))
+          Scheme.table2_mv_orders;
+        print_string (Text_table.render t)
+  in
+  let term =
+    Term.(
+      const run $ fault_tree_arg $ benchmark_arg $ lambda_arg $ alpha_arg
+      $ p_lethal_arg $ epsilon_arg $ node_limit_arg)
+  in
+  Cmd.v
+    (Cmd.info "orders" ~doc:"Compare variable orderings on one instance (cf. Table 2)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    let t =
+      Text_table.create ~aligns:[ Left; Right; Right ]
+        [ "benchmark"; "components"; "gates" ]
+    in
+    List.iter
+      (fun (instance : S.instance) ->
+        Text_table.add_row t
+          [
+            instance.S.label;
+            string_of_int instance.S.circuit.C.num_inputs;
+            string_of_int (C.gate_count instance.S.circuit);
+          ])
+      (S.table1_instances ());
+    print_string (Text_table.render t)
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in benchmark instances (cf. Table 1)")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let dot_cmd =
+  let what_arg =
+    let doc = "What to export: 'fault-tree', 'g-circuit' or 'romdd'." in
+    Arg.(value & pos 0 (enum [ ("fault-tree", `Ft); ("g-circuit", `G); ("romdd", `Romdd) ]) `Ft & info [] ~docv:"WHAT" ~doc)
+  in
+  let run what fault_tree benchmark lambda alpha p_lethal epsilon =
+    match resolve ~fault_tree ~benchmark ~lambda ~alpha ~p_lethal with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok (circuit, model) -> (
+        match what with
+        | `Ft -> print_string (C.to_dot circuit)
+        | `G ->
+            let lethal = Model.to_lethal model in
+            let m = Model.truncation lethal ~epsilon in
+            let problem = Socy_encode.Problem.build circuit ~m in
+            print_string (C.to_dot problem.Socy_encode.Problem.circuit)
+        | `Romdd -> (
+            let lethal = Model.to_lethal model in
+            let config = { P.default_config with P.epsilon } in
+            match P.Artifacts.build ~config circuit lethal with
+            | Error f ->
+                prerr_endline ("failed at " ^ f.P.stage);
+                exit 1
+            | Ok a ->
+                print_string
+                  (Mdd.to_dot a.P.Artifacts.mdd a.P.Artifacts.mdd_root)))
+  in
+  let term =
+    Term.(
+      const run $ what_arg $ fault_tree_arg $ benchmark_arg $ lambda_arg
+      $ alpha_arg $ p_lethal_arg $ epsilon_arg)
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Export Graphviz renderings of the artifacts") term
+
+(* ------------------------------------------------------------------ *)
+(* cutsets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cutsets_cmd =
+  let limit_arg =
+    Arg.(value & opt int 50 & info [ "limit" ] ~docv:"N" ~doc:"Print at most N cut sets.")
+  in
+  let run fault_tree benchmark limit =
+    match resolve ~fault_tree ~benchmark ~lambda:10.0 ~alpha:S.alpha ~p_lethal:0.1 with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok (circuit, _model) ->
+        let names =
+          match benchmark with
+          | Some name -> (S.by_name name).S.component_names
+          | None ->
+              Array.init circuit.C.num_inputs (fun i -> Printf.sprintf "x%d" i)
+        in
+        let sets = Socy_bdd.Cutsets.of_circuit ~limit circuit in
+        Printf.printf "%d minimal cut set(s)%s:\n" (List.length sets)
+          (if List.length sets = limit then Printf.sprintf " (limited to %d)" limit
+           else "");
+        List.iter
+          (fun set ->
+            Printf.printf "  { %s }\n"
+              (String.concat ", " (List.map (fun i -> names.(i)) set)))
+          sets
+  in
+  let term = Term.(const run $ fault_tree_arg $ benchmark_arg $ limit_arg) in
+  Cmd.v
+    (Cmd.info "cutsets"
+       ~doc:"Minimal cut sets of a coherent fault tree (why yield is lost)")
+    term
+
+let () =
+  let info =
+    Cmd.info "socyield" ~version:"1.0.0"
+      ~doc:
+        "Combinatorial evaluation of yield of fault-tolerant systems-on-chip \
+         (reproduction of Munteanu, Suñé, Rodríguez-Montañés, Carrasco, DSN'03)"
+  in
+  exit (Cmd.eval (Cmd.group info [ eval_cmd; mc_cmd; orders_cmd; list_cmd; dot_cmd; cutsets_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_fault_tree.ml: Array Filename List Printf Socy_bdd Socy_core Socy_defects Socy_logic Socy_mdd String

@@ -1,0 +1,1 @@
+examples/esen_network.ml: Array List Printf Socy_benchmarks Socy_core Socy_logic Socy_order Socy_util String

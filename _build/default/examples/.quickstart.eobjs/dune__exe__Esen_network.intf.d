@@ -1,0 +1,1 @@
+examples/esen_network.mli:

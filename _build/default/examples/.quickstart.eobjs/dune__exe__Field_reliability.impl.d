@@ -1,0 +1,1 @@
+examples/field_reliability.ml: Array List Printf Socy_core Socy_defects Socy_logic Socy_util

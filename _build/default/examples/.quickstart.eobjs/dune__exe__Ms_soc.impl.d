@@ -1,0 +1,1 @@
+examples/ms_soc.ml: Array List Printf Socy_benchmarks Socy_core Socy_defects Socy_util

@@ -1,0 +1,1 @@
+examples/ms_soc.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Socy_core Socy_defects Socy_logic

@@ -1,0 +1,1 @@
+lib/bdd/compile.ml: Array Hashtbl List Manager Option Socy_logic

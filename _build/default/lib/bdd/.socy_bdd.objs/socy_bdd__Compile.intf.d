@@ -1,0 +1,1 @@
+lib/bdd/compile.mli: Manager Socy_logic

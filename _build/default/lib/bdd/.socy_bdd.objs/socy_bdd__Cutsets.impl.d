@@ -1,0 +1,1 @@
+lib/bdd/cutsets.ml: Compile Fun Hashtbl List Manager Socy_logic

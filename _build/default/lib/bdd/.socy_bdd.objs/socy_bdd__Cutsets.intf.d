@@ -1,0 +1,1 @@
+lib/bdd/cutsets.mli: Manager Socy_logic

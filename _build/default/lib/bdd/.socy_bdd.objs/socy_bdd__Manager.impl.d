@@ -1,0 +1,1 @@
+lib/bdd/manager.ml: Array Buffer Hashtbl List Printf Sys

@@ -1,0 +1,84 @@
+module C = Socy_logic.Circuit
+
+type stats = {
+  peak_nodes : int;
+  final_size : int;
+  created : int;
+  gc_runs : int;
+}
+
+let of_circuit ?(gc_threshold = 500_000) m circuit ~var_of_input =
+  Manager.reset_peak m;
+  let created_before = Manager.created_total m in
+  let gc_before = Manager.gc_count m in
+  let order = C.postorder circuit in
+  let fanout = C.fanout circuit in
+  (* Remaining consumers per circuit node; the output gets one synthetic
+     consumer so its BDD ownership survives and transfers to the caller. *)
+  let remaining = Hashtbl.create 256 in
+  List.iter
+    (fun (n : C.node) ->
+      let f = Option.value ~default:0 (Hashtbl.find_opt fanout n.C.id) in
+      let extra = if n.C.id = circuit.C.output.C.id then 1 else 0 in
+      Hashtbl.replace remaining n.C.id (f + extra))
+    order;
+  let bdd_of = Hashtbl.create 256 in
+  let lookup (n : C.node) = Hashtbl.find bdd_of n.C.id in
+  let consume (n : C.node) =
+    let r = Hashtbl.find remaining n.C.id - 1 in
+    Hashtbl.replace remaining n.C.id r;
+    if r = 0 then Manager.deref m (lookup n)
+  in
+  (* Left fold of a binary manager operation over a fan-in array, threading
+     ownership through the accumulator. *)
+  let fold_op op (args : C.node array) =
+    let first = lookup args.(0) in
+    Manager.ref_ m first;
+    let acc = ref first in
+    for i = 1 to Array.length args - 1 do
+      let next = op m !acc (lookup args.(i)) in
+      Manager.deref m !acc;
+      acc := next
+    done;
+    !acc
+  in
+  let negate owned =
+    let r = Manager.not_ m owned in
+    Manager.deref m owned;
+    r
+  in
+  let compile_gate kind args =
+    match (kind : C.gate_kind) with
+    | C.And -> fold_op Manager.and_ args
+    | C.Or -> fold_op Manager.or_ args
+    | C.Xor -> fold_op Manager.xor_ args
+    | C.Not -> Manager.not_ m (lookup args.(0))
+    | C.Nand -> negate (fold_op Manager.and_ args)
+    | C.Nor -> negate (fold_op Manager.or_ args)
+    | C.Xnor -> negate (fold_op Manager.xor_ args)
+  in
+  List.iter
+    (fun (n : C.node) ->
+      let bdd =
+        match n.C.desc with
+        | C.Input i -> Manager.var m (var_of_input i)
+        | C.Const false -> Manager.zero
+        | C.Const true -> Manager.one
+        | C.Gate (kind, args) ->
+            let bdd = compile_gate kind args in
+            Array.iter consume args;
+            bdd
+      in
+      Hashtbl.replace bdd_of n.C.id bdd;
+      if Manager.dead m >= gc_threshold then Manager.collect m)
+    order;
+  let root = lookup circuit.C.output in
+  let stats =
+    {
+      peak_nodes = Manager.peak_alive m;
+      final_size = Manager.size m root;
+      created = Manager.created_total m - created_before;
+      gc_runs = Manager.gc_count m - gc_before;
+    }
+  in
+  (root, stats)

@@ -1,0 +1,133 @@
+module M = Manager
+
+(* "Make node" in terms of the public Manager API: the canonical node
+   (lv ? high : low) is ite(var lv, high, low). *)
+let mk_node m lv ~low ~high =
+  let v = M.var m lv in
+  let r = M.ite m v high low in
+  M.deref m v;
+  r
+
+(* [without f g]: the paths of [f] that are not supersets of any path of
+   [g] (paths read as the set of variables taken on their high edge).
+   Both operands are minimal-solution BDDs. *)
+let without m f g =
+  let memo = Hashtbl.create 256 in
+  let rec go f g =
+    if g = M.one then M.zero
+    else if f = M.zero || g = M.zero then begin
+      M.ref_ m f;
+      f
+    end
+    else if f = M.one then begin
+      M.ref_ m M.one;
+      M.one
+    end
+    else if f = g then M.zero
+    else
+      match Hashtbl.find_opt memo (f, g) with
+      | Some r ->
+          M.ref_ m r;
+          r
+      | None ->
+          let vf = M.level m f and vg = M.level m g in
+          let r =
+            if vf = vg then begin
+              let f0' = go (M.low m f) (M.low m g) in
+              let tmp = go (M.high m f) (M.low m g) in
+              let f1' = go tmp (M.high m g) in
+              M.deref m tmp;
+              let r = mk_node m vf ~low:f0' ~high:f1' in
+              M.deref m f0';
+              M.deref m f1';
+              r
+            end
+            else if vf < vg then begin
+              let f0' = go (M.low m f) g in
+              let f1' = go (M.high m f) g in
+              let r = mk_node m vf ~low:f0' ~high:f1' in
+              M.deref m f0';
+              M.deref m f1';
+              r
+            end
+            else go f (M.low m g)
+          in
+          Hashtbl.add memo (f, g) r;
+          r
+  in
+  go f g
+
+let minimal_solutions m f =
+  let memo = Hashtbl.create 256 in
+  let rec go f =
+    if M.is_terminal f then begin
+      M.ref_ m f;
+      f
+    end
+    else
+      match Hashtbl.find_opt memo f with
+      | Some r ->
+          M.ref_ m r;
+          r
+      | None ->
+          let s0 = go (M.low m f) in
+          let s1 = go (M.high m f) in
+          (* minimal solutions through "var = 1" must not already be
+             solutions without it (monotonicity: f0 <= f1) *)
+          let s1' = without m s1 s0 in
+          let r = mk_node m (M.level m f) ~low:s0 ~high:s1' in
+          M.deref m s0;
+          M.deref m s1;
+          M.deref m s1';
+          Hashtbl.add memo f r;
+          r
+  in
+  go f
+
+let count m f =
+  let sols = minimal_solutions m f in
+  let memo = Hashtbl.create 256 in
+  let rec paths n =
+    if n = M.zero then 0
+    else if n = M.one then 1
+    else
+      match Hashtbl.find_opt memo n with
+      | Some c -> c
+      | None ->
+          let c = paths (M.low m n) + paths (M.high m n) in
+          if c < 0 then failwith "Cutsets.count: overflow";
+          Hashtbl.add memo n c;
+          c
+  in
+  let c = paths sols in
+  M.deref m sols;
+  c
+
+let enumerate ?(limit = 10_000) m f =
+  let sols = minimal_solutions m f in
+  let acc = ref [] in
+  let n_found = ref 0 in
+  let rec walk n chosen =
+    if !n_found < limit then
+      if n = M.one then begin
+        acc := List.rev chosen :: !acc;
+        incr n_found
+      end
+      else if n <> M.zero then begin
+        walk (M.low m n) chosen;
+        walk (M.high m n) (M.level m n :: chosen)
+      end
+  in
+  walk sols [];
+  M.deref m sols;
+  (* smallest cut sets first; ties in lexicographic order *)
+  List.sort
+    (fun a b ->
+      let c = compare (List.length a) (List.length b) in
+      if c <> 0 then c else compare a b)
+    (List.rev !acc)
+
+let of_circuit ?limit circuit =
+  let m = M.create ~num_vars:circuit.Socy_logic.Circuit.num_inputs () in
+  let root, _ = Compile.of_circuit m circuit ~var_of_input:Fun.id in
+  enumerate ?limit m root

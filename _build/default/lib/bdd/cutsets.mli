@@ -1,0 +1,40 @@
+(** Minimal cut sets of coherent fault trees, from their ROBDDs.
+
+    A {e cut set} of a fault tree is a set of components whose joint
+    failure brings the system down; it is {e minimal} when no proper
+    subset is. Minimal cut sets are the classic designer-facing artifact
+    of fault-tree analysis (the BDD literature the paper builds on —
+    Rauzy's works, refs [4, 26] — is about computing them), and they
+    complement the yield number: they say {e why} the yield is lost.
+
+    The algorithm is Rauzy's minimal-solutions construction: a bottom-up
+    pass building, for each BDD node, the BDD whose paths are exactly the
+    minimal solutions, using a superset-aware set difference ("without").
+
+    The input function must be {b monotone} (coherent fault tree: failing
+    one more component never repairs the system) — guaranteed by
+    construction for circuits with only AND/OR gates over positive
+    literals. Results on non-monotone functions are not meaningful. *)
+
+(** [minimal_solutions m f] is a BDD whose 1-paths (variables taken on
+    their high edge) are exactly the minimal solutions of [f]. Owned
+    reference. *)
+val minimal_solutions : Manager.t -> Manager.node -> Manager.node
+
+(** [count m f] is the number of minimal cut sets of [f] (number of
+    1-paths of {!minimal_solutions}); exact, using arbitrary-size
+    integers would be overkill here: raises [Failure] on overflow past
+    [max_int]. *)
+val count : Manager.t -> Manager.node -> int
+
+(** [enumerate ?limit m f] lists the minimal cut sets (each a sorted list
+    of variable indices), smallest-cardinality first (ties lexicographic).
+    At most [limit] (default 10_000) sets are collected — the cutoff
+    happens in diagram order {e before} sorting, so when the limit bites,
+    use {!count} to know how much is missing and raise the limit if the
+    globally smallest sets are required. *)
+val enumerate : ?limit:int -> Manager.t -> Manager.node -> int list list
+
+(** [of_circuit ?limit circuit] compiles the fault tree and enumerates its
+    minimal cut sets in one go (component indices). *)
+val of_circuit : ?limit:int -> Socy_logic.Circuit.t -> int list list

@@ -1,0 +1,509 @@
+type node = int
+
+exception Node_limit_exceeded
+exception Cpu_limit_exceeded
+
+type t = {
+  nvars : int;
+  node_limit : int;
+  cpu_deadline : float; (* Sys.time () value after which mk raises; infinity = off *)
+  mutable creations_until_clock_check : int;
+  (* Node store: parallel arrays indexed by node handle. Slots 0 and 1 are
+     the terminals. [level] is [-1] for freed slots. [next] chains both hash
+     buckets and the free list. *)
+  mutable level : int array;
+  mutable low : int array;
+  mutable high : int array;
+  mutable rc : int array;
+  mutable next : int array;
+  mutable used : int; (* slots handed out, including freed ones *)
+  mutable free_head : int;
+  (* Unique table *)
+  mutable buckets : int array;
+  mutable bucket_mask : int;
+  (* ITE computed cache: direct-mapped *)
+  cache_f : int array;
+  cache_g : int array;
+  cache_h : int array;
+  cache_r : int array;
+  cache_mask : int;
+  (* Statistics *)
+  mutable alive_count : int;
+  mutable dead_count : int;
+  mutable peak : int;
+  mutable created : int;
+  mutable gc_runs : int;
+}
+
+let zero = 0
+let one = 1
+let is_terminal n = n < 2
+let num_vars m = m.nvars
+
+let initial_capacity = 1024
+let initial_buckets = 1 lsl 10
+
+let create ?(node_limit = max_int) ?cpu_limit ?(cache_bits = 18) ~num_vars () =
+  if num_vars < 0 then invalid_arg "Manager.create: negative num_vars";
+  let cap = initial_capacity in
+  let m =
+    {
+      nvars = num_vars;
+      node_limit;
+      cpu_deadline =
+        (match cpu_limit with None -> infinity | Some s -> Sys.time () +. s);
+      creations_until_clock_check = 65536;
+      level = Array.make cap (-1);
+      low = Array.make cap 0;
+      high = Array.make cap 0;
+      rc = Array.make cap 0;
+      next = Array.make cap (-1);
+      used = 2;
+      free_head = -1;
+      buckets = Array.make initial_buckets (-1);
+      bucket_mask = initial_buckets - 1;
+      cache_f = Array.make (1 lsl cache_bits) (-1);
+      cache_g = Array.make (1 lsl cache_bits) 0;
+      cache_h = Array.make (1 lsl cache_bits) 0;
+      cache_r = Array.make (1 lsl cache_bits) 0;
+      cache_mask = (1 lsl cache_bits) - 1;
+      alive_count = 0;
+      dead_count = 0;
+      peak = 0;
+      created = 0;
+      gc_runs = 0;
+    }
+  in
+  (* Terminals: level below every variable, self-children, immortal. *)
+  m.level.(0) <- num_vars;
+  m.level.(1) <- num_vars;
+  m.low.(0) <- 0;
+  m.high.(0) <- 0;
+  m.low.(1) <- 1;
+  m.high.(1) <- 1;
+  m.rc.(0) <- max_int;
+  m.rc.(1) <- max_int;
+  m
+
+let level m n = m.level.(n)
+
+let low m n =
+  if is_terminal n then invalid_arg "Manager.low: terminal node";
+  m.low.(n)
+
+let high m n =
+  if is_terminal n then invalid_arg "Manager.high: terminal node";
+  m.high.(n)
+
+(* --- reference counting ------------------------------------------------ *)
+
+let bump_alive m =
+  if m.alive_count > m.peak then m.peak <- m.alive_count
+
+let rec ref_ m n =
+  if not (is_terminal n) then begin
+    let c = m.rc.(n) in
+    m.rc.(n) <- c + 1;
+    if c = 0 then begin
+      (* Resurrection: the node was dead, its cone was released; re-acquire
+         the children it still points to. *)
+      m.alive_count <- m.alive_count + 1;
+      m.dead_count <- m.dead_count - 1;
+      bump_alive m;
+      ref_ m m.low.(n);
+      ref_ m m.high.(n)
+    end
+  end
+
+let rec deref m n =
+  if not (is_terminal n) then begin
+    let c = m.rc.(n) in
+    if c <= 0 then invalid_arg "Manager.deref: reference count underflow";
+    m.rc.(n) <- c - 1;
+    if c = 1 then begin
+      m.alive_count <- m.alive_count - 1;
+      m.dead_count <- m.dead_count + 1;
+      deref m m.low.(n);
+      deref m m.high.(n)
+    end
+  end
+
+(* --- unique table ------------------------------------------------------ *)
+
+let hash3 a b c =
+  let h = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE3D) in
+  (h lxor (h lsr 15)) land max_int
+
+let grow_store m =
+  let cap = Array.length m.level in
+  let ncap = 2 * cap in
+  let extend a fill =
+    let b = Array.make ncap fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  m.level <- extend m.level (-1);
+  m.low <- extend m.low 0;
+  m.high <- extend m.high 0;
+  m.rc <- extend m.rc 0;
+  m.next <- extend m.next (-1)
+
+let rehash m =
+  let nbuckets = 2 * Array.length m.buckets in
+  m.buckets <- Array.make nbuckets (-1);
+  m.bucket_mask <- nbuckets - 1;
+  for i = 2 to m.used - 1 do
+    if m.level.(i) >= 0 then begin
+      let b = hash3 m.level.(i) m.low.(i) m.high.(i) land m.bucket_mask in
+      m.next.(i) <- m.buckets.(b);
+      m.buckets.(b) <- i
+    end
+  done
+
+let alloc_slot m =
+  if m.free_head >= 0 then begin
+    let slot = m.free_head in
+    m.free_head <- m.next.(slot);
+    slot
+  end
+  else begin
+    if m.used = Array.length m.level then grow_store m;
+    let slot = m.used in
+    m.used <- m.used + 1;
+    slot
+  end
+
+(* [mk] returns an owned reference. *)
+let mk m lv lo hi =
+  if lo = hi then begin
+    ref_ m lo;
+    lo
+  end
+  else begin
+    let b = hash3 lv lo hi land m.bucket_mask in
+    let rec find i =
+      if i < 0 then -1
+      else if m.level.(i) = lv && m.low.(i) = lo && m.high.(i) = hi then i
+      else find m.next.(i)
+    in
+    let existing = find m.buckets.(b) in
+    if existing >= 0 then begin
+      ref_ m existing;
+      existing
+    end
+    else begin
+      if m.alive_count >= m.node_limit then raise Node_limit_exceeded;
+      m.creations_until_clock_check <- m.creations_until_clock_check - 1;
+      if m.creations_until_clock_check <= 0 then begin
+        m.creations_until_clock_check <- 65536;
+        if Sys.time () > m.cpu_deadline then raise Cpu_limit_exceeded
+      end;
+      let slot = alloc_slot m in
+      m.level.(slot) <- lv;
+      m.low.(slot) <- lo;
+      m.high.(slot) <- hi;
+      m.rc.(slot) <- 1;
+      m.next.(slot) <- m.buckets.(b);
+      m.buckets.(b) <- slot;
+      m.alive_count <- m.alive_count + 1;
+      m.created <- m.created + 1;
+      bump_alive m;
+      ref_ m lo;
+      ref_ m hi;
+      if m.alive_count + m.dead_count > 2 * Array.length m.buckets then rehash m;
+      slot
+    end
+  end
+
+let var m v =
+  if v < 0 || v >= m.nvars then invalid_arg "Manager.var: out of range";
+  mk m v zero one
+
+let nvar m v =
+  if v < 0 || v >= m.nvars then invalid_arg "Manager.nvar: out of range";
+  mk m v one zero
+
+(* --- ITE ---------------------------------------------------------------- *)
+
+let cache_lookup m f g h =
+  let i = hash3 f g h land m.cache_mask in
+  if m.cache_f.(i) = f && m.cache_g.(i) = g && m.cache_h.(i) = h then
+    m.cache_r.(i)
+  else -1
+
+let cache_store m f g h r =
+  let i = hash3 f g h land m.cache_mask in
+  m.cache_f.(i) <- f;
+  m.cache_g.(i) <- g;
+  m.cache_h.(i) <- h;
+  m.cache_r.(i) <- r
+
+let rec ite m f g h =
+  if f = one then begin
+    ref_ m g;
+    g
+  end
+  else if f = zero then begin
+    ref_ m h;
+    h
+  end
+  else if g = h then begin
+    ref_ m g;
+    g
+  end
+  else if g = one && h = zero then begin
+    ref_ m f;
+    f
+  end
+  else begin
+    let g = if g = f then one else g in
+    let h = if h = f then zero else h in
+    (* Commutativity normalizations (Brace-Rudell): AND and OR triples get
+       a canonical operand order, improving computed-cache hit rates. *)
+    let f, g, h =
+      if h = zero && g < f then (g, f, h)
+      else if g = one && h < f then (h, g, f)
+      else (f, g, h)
+    in
+    let cached = cache_lookup m f g h in
+    if cached >= 0 then begin
+      ref_ m cached;
+      cached
+    end
+    else begin
+      let lf = m.level.(f) and lg = m.level.(g) and lh = m.level.(h) in
+      let lv = min lf (min lg lh) in
+      let cof x lx = if lx = lv then (m.low.(x), m.high.(x)) else (x, x) in
+      let f0, f1 = cof f lf in
+      let g0, g1 = cof g lg in
+      let h0, h1 = cof h lh in
+      let t = ite m f1 g1 h1 in
+      let e = ite m f0 g0 h0 in
+      let r = mk m lv e t in
+      deref m t;
+      deref m e;
+      cache_store m f g h r;
+      r
+    end
+  end
+
+let not_ m f = ite m f zero one
+let and_ m f g = ite m f g zero
+let or_ m f g = ite m f one g
+let imp m f g = ite m f g one
+
+let xor_ m f g =
+  let ng = not_ m g in
+  let r = ite m f ng g in
+  deref m ng;
+  r
+
+(* --- cofactors and quantification --------------------------------------- *)
+
+let restrict m f ~var ~value =
+  if var < 0 || var >= m.nvars then invalid_arg "Manager.restrict: var out of range";
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    let lv = m.level.(f) in
+    if lv > var then begin
+      ref_ m f;
+      f
+    end
+    else if lv = var then begin
+      let c = if value then m.high.(f) else m.low.(f) in
+      ref_ m c;
+      c
+    end
+    else
+      match Hashtbl.find_opt memo f with
+      | Some r ->
+          ref_ m r;
+          r
+      | None ->
+          let e = go m.low.(f) in
+          let t = go m.high.(f) in
+          let r = mk m lv e t in
+          deref m e;
+          deref m t;
+          Hashtbl.add memo f r;
+          (* The memo holds a borrowed handle; the first owned reference is
+             the one we return now. Later hits take fresh references. *)
+          r
+  in
+  go f
+
+let quantify m combine vars f =
+  let vset = Array.make m.nvars false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= m.nvars then invalid_arg "Manager.quantify: var out of range";
+      vset.(v) <- true)
+    vars;
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    if is_terminal f then begin
+      ref_ m f;
+      f
+    end
+    else
+      match Hashtbl.find_opt memo f with
+      | Some r ->
+          ref_ m r;
+          r
+      | None ->
+          let lv = m.level.(f) in
+          let e = go m.low.(f) in
+          let t = go m.high.(f) in
+          let r =
+            if vset.(lv) then begin
+              let r = combine e t in
+              deref m e;
+              deref m t;
+              r
+            end
+            else begin
+              let r = mk m lv e t in
+              deref m e;
+              deref m t;
+              r
+            end
+          in
+          Hashtbl.add memo f r;
+          r
+  in
+  go f
+
+let exists m vars f = quantify m (fun a b -> or_ m a b) vars f
+let forall m vars f = quantify m (fun a b -> and_ m a b) vars f
+
+(* --- read-only analyses -------------------------------------------------- *)
+
+let iter_reachable m n f =
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      if not (is_terminal n) then begin
+        go m.low.(n);
+        go m.high.(n)
+      end;
+      f n
+    end
+  in
+  go n
+
+let size m n =
+  let c = ref 0 in
+  iter_reachable m n (fun _ -> incr c);
+  !c
+
+let size_multi m roots =
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      if not (is_terminal n) then begin
+        go m.low.(n);
+        go m.high.(n)
+      end
+    end
+  in
+  List.iter go roots;
+  Hashtbl.length seen
+
+let eval m n assignment =
+  let rec go n =
+    if n = zero then false
+    else if n = one then true
+    else if assignment m.level.(n) then go m.high.(n)
+    else go m.low.(n)
+  in
+  go n
+
+let probability m n ~p =
+  let memo = Hashtbl.create 64 in
+  let rec go n =
+    if n = zero then 0.0
+    else if n = one then 1.0
+    else
+      match Hashtbl.find_opt memo n with
+      | Some v -> v
+      | None ->
+          let pv = p m.level.(n) in
+          let v =
+            (pv *. go m.high.(n)) +. ((1.0 -. pv) *. go m.low.(n))
+          in
+          Hashtbl.add memo n v;
+          v
+  in
+  go n
+
+let sat_fraction m n = probability m n ~p:(fun _ -> 0.5)
+
+let support m n =
+  let present = Array.make m.nvars false in
+  iter_reachable m n (fun x ->
+      if not (is_terminal x) then present.(m.level.(x)) <- true);
+  let acc = ref [] in
+  for v = m.nvars - 1 downto 0 do
+    if present.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let any_sat m n =
+  if n = zero then raise Not_found;
+  let rec go n acc =
+    if n = one then List.rev acc
+    else if m.high.(n) <> zero then go m.high.(n) ((m.level.(n), true) :: acc)
+    else go m.low.(n) ((m.level.(n), false) :: acc)
+  in
+  go n []
+
+(* --- garbage collection -------------------------------------------------- *)
+
+let collect m =
+  (* Rebuild the unique table keeping only referenced nodes; freed slots go
+     to the free list. The computed cache may point at reclaimed slots, so
+     flush it. *)
+  Array.fill m.buckets 0 (Array.length m.buckets) (-1);
+  for i = 2 to m.used - 1 do
+    if m.level.(i) >= 0 then
+      if m.rc.(i) > 0 then begin
+        let b = hash3 m.level.(i) m.low.(i) m.high.(i) land m.bucket_mask in
+        m.next.(i) <- m.buckets.(b);
+        m.buckets.(b) <- i
+      end
+      else begin
+        m.level.(i) <- -1;
+        m.next.(i) <- m.free_head;
+        m.free_head <- i
+      end
+  done;
+  m.dead_count <- 0;
+  Array.fill m.cache_f 0 (Array.length m.cache_f) (-1);
+  m.gc_runs <- m.gc_runs + 1
+
+let alive m = m.alive_count
+let peak_alive m = m.peak
+let dead m = m.dead_count
+let created_total m = m.created
+let gc_count m = m.gc_runs
+let reset_peak m = m.peak <- m.alive_count
+
+let to_dot m n =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph bdd {\n";
+  Buffer.add_string buf "  t0 [label=\"0\", shape=box];\n";
+  Buffer.add_string buf "  t1 [label=\"1\", shape=box];\n";
+  let name x = if x = zero then "t0" else if x = one then "t1" else Printf.sprintf "n%d" x in
+  iter_reachable m n (fun x ->
+      if not (is_terminal x) then begin
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d [label=\"x%d\"];\n" x m.level.(x));
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> %s [style=dashed];\n" x (name m.low.(x)));
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> %s;\n" x (name m.high.(x)))
+      end);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

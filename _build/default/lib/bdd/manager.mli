@@ -1,0 +1,166 @@
+(** ROBDD (reduced ordered binary decision diagram) engine.
+
+    A from-scratch replacement for the CMU BDD library the paper uses:
+    hash-consed nodes, ITE with a computed cache, reference counting with
+    dead-node resurrection, explicit garbage collection, and the live-node
+    statistics the paper reports (current size, {e peak} size).
+
+    {2 Variables and ordering}
+
+    A manager is created over a fixed number of variables; the variable
+    index {e is} the level: variable 0 is tested first on every path.
+    Callers that want a non-trivial ordering (all of them, in this
+    repository) permute their problem variables into levels before building
+    — see {!Socy_order}.
+
+    {2 Reference discipline}
+
+    Every function returning a node returns an {e owned} reference: the
+    caller must eventually pass it to {!deref} (or transfer it). Nodes whose
+    reference count drops to zero become dead; dead nodes are resurrected
+    transparently when the unique table or the computed cache hands them out
+    again, and are reclaimed only by {!collect}. The [alive] statistic
+    therefore counts exactly the nodes reachable from owned references, and
+    [peak_alive] is the paper's "peak number of ROBDD nodes". *)
+
+type t
+(** A BDD manager. *)
+
+type node = int
+(** Node handle, only meaningful together with its manager. The constant
+    nodes are {!zero} and {!one}. *)
+
+exception Node_limit_exceeded
+(** Raised when a node creation would push the live-node count beyond the
+    manager's [node_limit]; reproduces the paper's "—" (method failed due to
+    excessive memory requirements) entries. *)
+
+exception Cpu_limit_exceeded
+(** Raised (from node creation, so at a safe point) once the manager's
+    [cpu_limit] budget is spent. Checked every 64k creations. *)
+
+(** [create ~num_vars ()] is a fresh manager. [node_limit] bounds live
+    nodes (default: unbounded); [cpu_limit] bounds CPU seconds from
+    creation (default: unbounded). [cache_bits] sizes the computed cache
+    at [2^cache_bits] entries (default 18). *)
+val create :
+  ?node_limit:int -> ?cpu_limit:float -> ?cache_bits:int -> num_vars:int -> unit -> t
+
+val num_vars : t -> int
+
+val zero : node
+(** The constant-false terminal (handle [0]). *)
+
+val one : node
+(** The constant-true terminal (handle [1]). *)
+
+(** [var m v] is the function of variable [v] (owned). *)
+val var : t -> int -> node
+
+(** [nvar m v] is the negation of variable [v] (owned). *)
+val nvar : t -> int -> node
+
+(** {1 Reference counting} *)
+
+(** [ref_ m n] takes an additional owned reference on [n]. *)
+val ref_ : t -> node -> unit
+
+(** [deref m n] releases one owned reference; recursively kills the node's
+    cone when the count reaches zero. *)
+val deref : t -> node -> unit
+
+(** {1 Operations}
+
+    All operations return owned references. Operand references are {e not}
+    consumed. *)
+
+val ite : t -> node -> node -> node -> node
+val not_ : t -> node -> node
+val and_ : t -> node -> node -> node
+val or_ : t -> node -> node -> node
+val xor_ : t -> node -> node -> node
+val imp : t -> node -> node -> node
+
+(** [restrict m f ~var ~value] is the cofactor of [f] with variable [var]
+    fixed to [value]. *)
+val restrict : t -> node -> var:int -> value:bool -> node
+
+(** [exists m vars f] existentially quantifies the listed variables. *)
+val exists : t -> int list -> node -> node
+
+(** [forall m vars f] universally quantifies the listed variables. *)
+val forall : t -> int list -> node -> node
+
+(** {1 Structure access} *)
+
+(** [is_terminal n] is true for {!zero} and {!one}. *)
+val is_terminal : node -> bool
+
+(** [level m n] is the variable tested at [n]; [num_vars m] for terminals. *)
+val level : t -> node -> int
+
+(** [low m n] / [high m n] are the else/then children. Raises
+    [Invalid_argument] on terminals. The returned handles are {e borrowed}
+    (not owned): they are kept alive by [n]. *)
+val low : t -> node -> node
+
+val high : t -> node -> node
+
+(** {1 Analysis} *)
+
+(** [size m n] is the number of distinct nodes reachable from [n],
+    terminals included (the paper's "number of nodes" convention counts the
+    whole graph; sizes of the 2 terminals are included). *)
+val size : t -> node -> int
+
+(** [size_multi m roots] is the number of distinct nodes reachable from any
+    of [roots] — shared nodes counted once. *)
+val size_multi : t -> node list -> int
+
+(** [eval m n assignment] evaluates the function; [assignment v] is the
+    value of variable [v]. *)
+val eval : t -> node -> (int -> bool) -> bool
+
+(** [sat_fraction m n] is the fraction of assignments (over all
+    [num_vars] variables) satisfying the function. *)
+val sat_fraction : t -> node -> float
+
+(** [probability m n ~p] is P(f = 1) when variable [v] is independently 1
+    with probability [p v]. *)
+val probability : t -> node -> p:(int -> float) -> float
+
+(** [support m n] is the increasing list of variables on which [n] depends. *)
+val support : t -> node -> int list
+
+(** [any_sat m n] is a satisfying partial assignment [(var, value)] list
+    along one path to {!one}; raises [Not_found] when [n] = {!zero}. *)
+val any_sat : t -> node -> (int * bool) list
+
+(** {1 Memory management and statistics} *)
+
+(** [collect m] reclaims dead nodes and flushes the computed cache. Safe
+    only between operations (never called implicitly). *)
+val collect : t -> unit
+
+(** Live (referenced) nonterminal nodes right now. *)
+val alive : t -> int
+
+(** High-water mark of {!alive} since creation — the paper's "ROBDD peak". *)
+val peak_alive : t -> int
+
+(** Dead-but-resurrectable nodes currently in the table. *)
+val dead : t -> int
+
+(** Total nodes ever created (a work measure). *)
+val created_total : t -> int
+
+(** Number of {!collect} runs. *)
+val gc_count : t -> int
+
+(** Reset the peak statistic to the current live count. *)
+val reset_peak : t -> unit
+
+(** {1 Export} *)
+
+(** Graphviz rendering of the cone of [n] (for small diagrams/tests). *)
+val to_dot : t -> node -> string

@@ -1,0 +1,1 @@
+lib/benchmarks/esen.ml: Array List Printf Socy_logic

@@ -1,0 +1,1 @@
+lib/benchmarks/esen.mli: Socy_logic

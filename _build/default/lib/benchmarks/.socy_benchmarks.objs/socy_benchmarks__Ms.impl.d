@@ -1,0 +1,1 @@
+lib/benchmarks/ms.ml: Array List Printf Socy_logic

@@ -1,0 +1,1 @@
+lib/benchmarks/ms.mli: Socy_logic

@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: Esen Ms Printf Socy_defects Socy_logic String

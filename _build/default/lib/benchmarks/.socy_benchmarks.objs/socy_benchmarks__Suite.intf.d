@@ -1,0 +1,1 @@
+lib/benchmarks/suite.mli: Socy_defects Socy_logic

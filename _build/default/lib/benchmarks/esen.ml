@@ -1,0 +1,137 @@
+module C = Socy_logic.Circuit
+
+type t = {
+  circuit : C.t;
+  component_names : string array;
+  affect : float array;
+}
+
+let log2_exact n =
+  let rec loop l v = if v = n then l else if v > n then -1 else loop (l + 1) (2 * v) in
+  loop 0 1
+
+(* Perfect shuffle: rotate the L-bit port number left by one. *)
+let shuffle ~bits p = ((p lsl 1) lor (p lsr (bits - 1))) land ((1 lsl bits) - 1)
+
+let route ~n a b r =
+  let bits = log2_exact n in
+  let stages = bits + 1 in
+  let ses = Array.make stages 0 in
+  let p = ref a in
+  for s = 0 to stages - 1 do
+    let p' = shuffle ~bits !p in
+    ses.(s) <- p' lsr 1;
+    let bit = if s = 0 then r else (b lsr (bits - s)) land 1 in
+    p := (p' land lnot 1) lor bit
+  done;
+  assert (!p = b);
+  ses
+
+let routes ~n a b = [ route ~n a b 0; route ~n a b 1 ]
+
+let build ?(p_lethal = 0.1) ~n ~m () =
+  let bits = log2_exact n in
+  if bits < 2 then invalid_arg "Esen.build: n must be a power of two >= 4";
+  if m < 1 || n * m mod 2 <> 0 then invalid_arg "Esen.build: bad m";
+  let stages = bits + 1 in
+  let half = n / 2 in
+  let cores_per_side = n * m / 2 in
+  let with_concentrators = m >= 2 in
+  (* Component layout: IPAs, IPBs, SEs stage-major (redundant copies of
+     first/last stage adjacent to their primary), then concentrators. *)
+  let ipa j = j in
+  let ipb j = cores_per_side + j in
+  let se_base = 2 * cores_per_side in
+  let slots_before s =
+    (* SE slots are 2 components wide in stages 0 and [stages-1]. *)
+    if s = 0 then 0
+    else (2 * half) + ((s - 1) * half) + if s = stages then half else 0
+  in
+  let se s e copy =
+    (* [copy] = 0 or 1; only stages 0 and stages-1 have copy 1. *)
+    let redundant = s = 0 || s = stages - 1 in
+    se_base + slots_before s + (if redundant then 2 * e else e) + copy
+  in
+  let conc_base = se_base + slots_before stages in
+  let conc_a p = conc_base + p in
+  let conc_b p = conc_base + n + p in
+  let num_components = conc_base + if with_concentrators then 2 * n else 0 in
+  (* Expected totals: (n/2)(log2 n + 1) + n SEs + cores + concentrators. *)
+  let names = Array.make num_components "" in
+  let weights = Array.make num_components 0.0 in
+  for j = 0 to cores_per_side - 1 do
+    names.(ipa j) <- Printf.sprintf "IPA_%d" j;
+    weights.(ipa j) <- 1.0;
+    names.(ipb j) <- Printf.sprintf "IPB_%d" j;
+    weights.(ipb j) <- 1.0
+  done;
+  for s = 0 to stages - 1 do
+    let redundant = s = 0 || s = stages - 1 in
+    for e = 0 to half - 1 do
+      names.(se s e 0) <- Printf.sprintf "SE_%d_%d" s e;
+      weights.(se s e 0) <- 0.5;
+      if redundant then begin
+        names.(se s e 1) <- Printf.sprintf "SE_%d_%d_r" s e;
+        weights.(se s e 1) <- 0.5
+      end
+    done
+  done;
+  if with_concentrators then
+    for p = 0 to n - 1 do
+      names.(conc_a p) <- Printf.sprintf "CA_%d" p;
+      weights.(conc_a p) <- 0.1;
+      names.(conc_b p) <- Printf.sprintf "CB_%d" p;
+      weights.(conc_b p) <- 0.1
+    done;
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let affect = Array.map (fun w -> w *. p_lethal /. total) weights in
+  (* Ports used by cores. m = 1: IPA_j on input port j (entry SE j), IPB_j
+     on output port 2j (exit SE j). m >= 2: all ports, round-robin. *)
+  let input_port j = if m = 1 then j else j mod n in
+  let output_port j = if m = 1 then 2 * j else j mod n in
+  let used_inputs =
+    List.sort_uniq compare (List.init cores_per_side input_port)
+  in
+  let used_outputs =
+    List.sort_uniq compare (List.init cores_per_side output_port)
+  in
+  let b = C.builder ~num_inputs:num_components () in
+  let x i = C.input b i in
+  (* SE slot broken: both copies failed where redundant. *)
+  let se_broken s e =
+    if s = 0 || s = stages - 1 then C.and_ b [ x (se s e 0); x (se s e 1) ]
+    else x (se s e 0)
+  in
+  let route_broken ses =
+    C.or_ b (Array.to_list (Array.mapi (fun s e -> se_broken s e) ses))
+  in
+  let pair_disconnected a bp =
+    C.and_ b (List.map route_broken (routes ~n a bp))
+  in
+  let network_lacks_full_access =
+    C.or_ b
+      (List.concat_map
+         (fun a -> List.map (fun bp -> pair_disconnected a bp) used_outputs)
+         used_inputs)
+  in
+  let core_inaccessible side j =
+    let core, conc = match side with
+      | `A -> (ipa j, conc_a (input_port j))
+      | `B -> (ipb j, conc_b (output_port j))
+    in
+    if with_concentrators then C.or_ b [ x core; x conc ] else x core
+  in
+  let too_few side =
+    let losses = List.init cores_per_side (core_inaccessible side) in
+    (* Fails when at least 2 cores on this side are inaccessible
+       (tolerates one loss). *)
+    C.at_least b 2 losses
+  in
+  let f =
+    C.or_ b [ too_few `A; too_few `B; network_lacks_full_access ]
+  in
+  {
+    circuit = C.finish b ~name:(Printf.sprintf "ESEN%dx%d" n m) f;
+    component_names = names;
+    affect;
+  }

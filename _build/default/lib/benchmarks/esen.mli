@@ -1,0 +1,39 @@
+(** The ESENn×m scalable system-on-chip (paper Fig. 5).
+
+    n·m/2 IPA cores talk to n·m/2 IPB cores through an extended
+    shuffle-exchange network (ESEN) with n ports: log2(n) + 1 stages of n/2
+    switching elements (SE), where every SE of the {e first and last} stage
+    has a redundant copy (the slot works while either copy does). The extra
+    stage gives every input/output port pair exactly two routes. When
+    m >= 2, cores reach the network through one concentrator per port on
+    each side (2n total); with m = 1 they attach directly. Links are
+    defect-free.
+
+    Component count (matches the paper's Table 1 on all six instances):
+    SEs (n/2)(log2 n + 1) + n, cores 2·(n·m/2), concentrators 2n when
+    m >= 2:
+    ESEN4x1 = 14, 4x2 = 26, 4x4 = 34, 8x1 = 32, 8x2 = 56, 8x4 = 72.
+
+    Operational condition (reconstruction; the paper's sentence is garbled
+    in the available text, see DESIGN.md): at least n·m/2 − 1 IPAs and at
+    least n·m/2 − 1 IPBs are {e accessible} (core, its concentrator if any,
+    unfailed), and the network has {e full access} between every used input
+    and output port: for each such pair, one of its two routes has all its
+    SE slots working (first/last stage slots are redundant pairs). *)
+
+type t = {
+  circuit : Socy_logic.Circuit.t;
+  component_names : string array;
+  affect : float array;
+      (** P_i ratios (reconstruction, DESIGN.md §3): P_IPB = P_IPA,
+          P_SE = P_IPA/2, P_C = P_IPA/10, scaled to Σ P_i = p_lethal. *)
+}
+
+(** [build ?p_lethal ~n ~m ()] — [n] a power of two >= 4, [m >= 1] with
+    [n·m] even. [p_lethal] defaults to 0.1. *)
+val build : ?p_lethal:float -> n:int -> m:int -> unit -> t
+
+(** [routes ~n a b] are the two SE-index paths (one per route) from input
+    port [a] to output port [b]: each is an array of per-stage SE indices,
+    length log2(n) + 1. Exposed for the topology unit tests. *)
+val routes : n:int -> int -> int -> int array list

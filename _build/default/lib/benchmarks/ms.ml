@@ -1,0 +1,67 @@
+module C = Socy_logic.Circuit
+
+type t = {
+  circuit : C.t;
+  component_names : string array;
+  affect : float array;
+}
+
+(* Component indices *)
+let ipm j = j (* j in 0,1 *)
+
+let cm j bus = 2 + (2 * j) + bus (* bus 0 = A, 1 = B *)
+
+let cluster_base i = 6 + (6 * i)
+
+let ips i s = cluster_base i + s (* s in 0,1 *)
+
+let cs i s bus = cluster_base i + 2 + (2 * s) + bus
+
+let build ?(p_lethal = 0.1) n =
+  if n < 1 then invalid_arg "Ms.build: need at least one cluster";
+  let num_components = 6 + (6 * n) in
+  let names = Array.make num_components "" in
+  let weights = Array.make num_components 0.0 in
+  let bus_name = function 0 -> "A" | _ -> "B" in
+  for j = 0 to 1 do
+    names.(ipm j) <- Printf.sprintf "IPM_%d" (j + 1);
+    weights.(ipm j) <- 1.0;
+    for bus = 0 to 1 do
+      names.(cm j bus) <- Printf.sprintf "CM_%d_%s" (j + 1) (bus_name bus);
+      weights.(cm j bus) <- 0.1
+    done
+  done;
+  for i = 0 to n - 1 do
+    for s = 0 to 1 do
+      names.(ips i s) <- Printf.sprintf "IPS_%d_%d" (i + 1) (s + 1);
+      weights.(ips i s) <- 0.5;
+      for bus = 0 to 1 do
+        names.(cs i s bus) <- Printf.sprintf "CS_%d_%d_%s" (i + 1) (s + 1) (bus_name bus);
+        weights.(cs i s bus) <- 0.1
+      done
+    done
+  done;
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let affect = Array.map (fun w -> w *. p_lethal /. total) weights in
+  (* Fault tree: fails ⟺ ∧_j [ IPM_j ∨ ∨_i ∧_{s,bus} path_broken(j,i,s,bus) ]
+     where path_broken = IPS_i_s ∨ CM_j_bus ∨ CS_i_s_bus (all "failed"). *)
+  let b = C.builder ~num_inputs:num_components () in
+  let x i = C.input b i in
+  let master_loses j =
+    let cluster_unreachable i =
+      let path_broken s bus =
+        C.or_ b [ x (ips i s); x (cm j bus); x (cs i s bus) ]
+      in
+      C.and_ b
+        [
+          path_broken 0 0; path_broken 0 1; path_broken 1 0; path_broken 1 1;
+        ]
+    in
+    C.or_ b (x (ipm j) :: List.init n cluster_unreachable)
+  in
+  let f = C.and_ b [ master_loses 0; master_loses 1 ] in
+  {
+    circuit = C.finish b ~name:(Printf.sprintf "MS%d" n) f;
+    component_names = names;
+    affect;
+  }

@@ -1,0 +1,30 @@
+(** The MSn scalable system-on-chip (paper Fig. 4).
+
+    Two "master" IP cores (IPM), each owning a communication module on each
+    of two buses (CM), and n slave clusters of two "slave" IP cores (IPS),
+    each owning a communication module on each bus (CS). Buses are
+    defect-free. The system is operational iff some unfailed IPM can reach,
+    in every cluster, some unfailed IPS through one bus and the two
+    corresponding unfailed communication modules.
+
+    Components (C = 6 + 6n, matching the paper's Table 1):
+    - 0, 1: IPM_1, IPM_2
+    - 2..5: CM_1_A, CM_1_B, CM_2_A, CM_2_B
+    - then per cluster i: IPS_i_1, IPS_i_2, CS_i_1_A, CS_i_1_B, CS_i_2_A,
+      CS_i_2_B.
+
+    The fault tree is coherent (no inverters): the system fails iff for
+    every master, the master failed or some cluster has all four
+    master-to-cluster paths broken. *)
+
+type t = {
+  circuit : Socy_logic.Circuit.t;
+  component_names : string array;
+  affect : float array;
+      (** P_i with the paper's ratios P_IPS/P_IPM = 1/2, P_C/P_IPM = 1/10,
+          scaled to Σ P_i = p_lethal *)
+}
+
+(** [build ?p_lethal n] with [n >= 1] clusters; [p_lethal] defaults to the
+    paper's 0.1. *)
+val build : ?p_lethal:float -> int -> t

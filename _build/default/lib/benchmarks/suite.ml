@@ -1,0 +1,71 @@
+module Model = Socy_defects.Model
+module Distribution = Socy_defects.Distribution
+
+type instance = {
+  label : string;
+  circuit : Socy_logic.Circuit.t;
+  component_names : string array;
+  affect : float array;
+}
+
+type row = { instance : instance; lambda : float; lambda_lethal : float }
+
+let alpha = 4.0
+let p_lethal = 0.1
+let epsilon = 1e-3
+
+let ms n =
+  let { Ms.circuit; component_names; affect } = Ms.build ~p_lethal n in
+  { label = Printf.sprintf "MS%d" n; circuit; component_names; affect }
+
+let esen ~n ~m =
+  let { Esen.circuit; component_names; affect } = Esen.build ~p_lethal ~n ~m () in
+  { label = Printf.sprintf "ESEN%dx%d" n m; circuit; component_names; affect }
+
+let by_name name =
+  let fail () = raise Not_found in
+  if String.length name > 2 && String.sub name 0 2 = "MS" then
+    match int_of_string_opt (String.sub name 2 (String.length name - 2)) with
+    | Some n when n >= 1 -> ms n
+    | Some _ | None -> fail ()
+  else if String.length name > 4 && String.sub name 0 4 = "ESEN" then
+    match String.index_opt name 'x' with
+    | None -> fail ()
+    | Some i -> (
+        let n = int_of_string_opt (String.sub name 4 (i - 4)) in
+        let m = int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) in
+        match (n, m) with Some n, Some m -> esen ~n ~m | _ -> fail ())
+  else fail ()
+
+let table1_instances () =
+  [
+    ms 2; ms 4; ms 6; ms 8; ms 10;
+    esen ~n:4 ~m:1; esen ~n:4 ~m:2; esen ~n:4 ~m:4;
+    esen ~n:8 ~m:1; esen ~n:8 ~m:2; esen ~n:8 ~m:4;
+  ]
+
+let mk_row instance lambda =
+  { instance; lambda; lambda_lethal = lambda *. p_lethal }
+
+let table_rows () =
+  let l1 = 10.0 and l2 = 20.0 in
+  [
+    mk_row (ms 2) l1; mk_row (ms 4) l1; mk_row (ms 6) l1; mk_row (ms 8) l1;
+    mk_row (ms 10) l1;
+    mk_row (ms 2) l2; mk_row (ms 4) l2;
+    mk_row (esen ~n:4 ~m:1) l1; mk_row (esen ~n:4 ~m:2) l1;
+    mk_row (esen ~n:4 ~m:4) l1;
+    mk_row (esen ~n:8 ~m:1) l1; mk_row (esen ~n:8 ~m:2) l1;
+    mk_row (esen ~n:4 ~m:1) l2; mk_row (esen ~n:4 ~m:2) l2;
+    mk_row (esen ~n:4 ~m:4) l2;
+  ]
+
+let model row =
+  Model.create
+    (Distribution.negative_binomial ~mean:row.lambda ~alpha)
+    row.instance.affect
+
+let lethal row = Model.to_lethal (model row)
+
+let row_label row =
+  Printf.sprintf "%s, l'=%g" row.instance.label row.lambda_lethal

@@ -1,0 +1,46 @@
+(** The paper's benchmark suite (Section 3) with its defect-model
+    parameters, as reconstructed in DESIGN.md:
+
+    negative binomial defects with clustering parameter α = 4, expected
+    defects λ ∈ {10, 20}, P_L = Σ P_i = 0.1 (hence expected {e lethal}
+    defects λ′ ∈ {1, 2}), error requirement ε = 1e-3 — which reproduces
+    the paper's truncation points M = 6 (λ′ = 1) and M = 10 (λ′ = 2). *)
+
+type instance = {
+  label : string;  (** e.g. "MS4" *)
+  circuit : Socy_logic.Circuit.t;
+  component_names : string array;
+  affect : float array;  (** P_i *)
+}
+
+type row = {
+  instance : instance;
+  lambda : float;  (** expected manufacturing defects (10 or 20) *)
+  lambda_lethal : float;  (** λ′ = λ · P_L *)
+}
+
+val alpha : float
+val p_lethal : float
+val epsilon : float
+
+val ms : int -> instance
+val esen : n:int -> m:int -> instance
+
+(** [by_name "MS4"] / [by_name "ESEN8x2"]. Raises [Not_found] on unknown
+    names. *)
+val by_name : string -> instance
+
+(** The Table 1 instances, in paper order. *)
+val table1_instances : unit -> instance list
+
+(** The 15 rows of Tables 2-4 (instance × λ′), in paper order. *)
+val table_rows : unit -> row list
+
+(** [model row] is the full defect model (Q over manufacturing defects with
+    the row's λ, P_i from the instance). *)
+val model : row -> Socy_defects.Model.t
+
+(** [lethal row] is the lethal form (negative binomial with mean λ′). *)
+val lethal : row -> Socy_defects.Model.lethal
+
+val row_label : row -> string

@@ -1,0 +1,1 @@
+lib/core/brute.ml: Array Socy_defects Socy_logic

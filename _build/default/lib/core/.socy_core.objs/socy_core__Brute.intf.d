@@ -1,0 +1,1 @@
+lib/core/brute.mli: Socy_defects Socy_logic

@@ -1,0 +1,1 @@
+lib/core/direct.ml: Array Hashtbl List Pipeline Socy_defects Socy_encode Socy_logic Socy_mdd Socy_order

@@ -1,0 +1,1 @@
+lib/core/direct.mli: Pipeline Socy_defects Socy_logic Socy_mdd Socy_order

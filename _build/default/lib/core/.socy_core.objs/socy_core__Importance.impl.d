@@ -1,0 +1,1 @@
+lib/core/importance.ml: Array Fun List Pipeline Printf Socy_defects

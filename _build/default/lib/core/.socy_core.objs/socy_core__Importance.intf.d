@@ -1,0 +1,1 @@
+lib/core/importance.mli: Pipeline Socy_defects Socy_logic

@@ -1,0 +1,1 @@
+lib/core/montecarlo.ml: Array Socy_defects Socy_logic Socy_util

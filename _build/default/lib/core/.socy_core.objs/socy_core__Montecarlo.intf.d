@@ -1,0 +1,1 @@
+lib/core/montecarlo.mli: Socy_defects Socy_logic

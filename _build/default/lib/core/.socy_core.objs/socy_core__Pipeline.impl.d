@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Socy_bdd Socy_defects Socy_encode Socy_logic Socy_mdd Socy_order Sys

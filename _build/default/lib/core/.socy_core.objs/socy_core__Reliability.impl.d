@@ -1,0 +1,1 @@
+lib/core/reliability.ml: Array Hashtbl List Printf Socy_defects Socy_logic Socy_mdd

@@ -1,0 +1,56 @@
+module C = Socy_logic.Circuit
+module Model = Socy_defects.Model
+module Distribution = Socy_defects.Distribution
+
+(* Binomial coefficient as float (guards and weights are small here). *)
+let choose n k =
+  let k = min k (n - k) in
+  let rec loop i acc =
+    if i > k then acc
+    else loop (i + 1) (acc *. float_of_int (n - k + i) /. float_of_int i)
+  in
+  if k < 0 then 0.0 else loop 1 1.0
+
+(* Y_k by enumerating defect multisets: assign t_i defects to component i,
+   Σ t_i = k; each multiset carries weight (k choose t_1, …, t_C) Π p_i^t_i
+   — the multinomial mass of the placement. *)
+let yield_k fault_tree p' k =
+  let c = Array.length p' in
+  let failed = Array.make c false in
+  let total = ref 0.0 in
+  let rec go i remaining weight =
+    if weight = 0.0 then ()
+    else if i = c then begin
+      if remaining = 0 && not (C.eval fault_tree (fun j -> failed.(j))) then
+        total := !total +. weight
+    end
+    else begin
+      (* t = 0 first: keeps the failed array updates minimal *)
+      go (i + 1) remaining weight;
+      let factor = ref weight in
+      (if remaining > 0 && p'.(i) > 0.0 then begin
+         failed.(i) <- true;
+         for t = 1 to remaining do
+           factor := !factor *. p'.(i) *. choose remaining t /. choose remaining (t - 1);
+           go (i + 1) (remaining - t) !factor
+         done;
+         failed.(i) <- false
+       end)
+    end
+  in
+  go 0 k 1.0;
+  !total
+
+let yield_m ?(budget = 20_000_000) fault_tree lethal ~m =
+  let c = Array.length lethal.Model.component in
+  if fault_tree.C.num_inputs <> c then
+    invalid_arg "Brute.yield_m: fault tree / model component mismatch";
+  if choose (c + m - 1) m > float_of_int budget then
+    invalid_arg "Brute.yield_m: instance too large for exhaustive enumeration";
+  let q = Distribution.pmf_array lethal.Model.count ~upto:m in
+  let y = Array.init (m + 1) (fun k -> yield_k fault_tree lethal.Model.component k) in
+  let y_m = ref 0.0 in
+  for k = 0 to m do
+    y_m := !y_m +. (q.(k) *. y.(k))
+  done;
+  (!y_m, y)

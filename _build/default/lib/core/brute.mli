@@ -1,0 +1,18 @@
+(** Exact yield by exhaustive enumeration of defect placements.
+
+    Y_k = P(system functioning | k lethal defects) is computed by summing
+    Π_j P′_{c_j} over every placement vector (c_1 … c_k) ∈ C^k for which
+    the induced failed-set leaves the fault tree at 0; then
+    Y_M = Σ_{k≤M} Q′_k · Y_k exactly as in Section 2 of the paper, with no
+    decision diagrams involved. Cost is O(C^M); use only to validate the
+    pipeline on small instances (the test suite does). *)
+
+(** [yield_m fault_tree lethal ~m ~budget] is (Y_M, per-k conditional
+    yields Y_0..Y_m). Raises [Invalid_argument] when C^m exceeds [budget]
+    (default 20 million placements). *)
+val yield_m :
+  ?budget:int ->
+  Socy_logic.Circuit.t ->
+  Socy_defects.Model.lethal ->
+  m:int ->
+  float * float array

@@ -1,0 +1,91 @@
+module C = Socy_logic.Circuit
+module Mdd = Socy_mdd.Mdd
+module Problem = Socy_encode.Problem
+module Scheme = Socy_order.Scheme
+module Model = Socy_defects.Model
+
+(* Build G = I_{M+1}(w) ∨ F(x_1 … x_C) with x_i = ∨_l I_{>=l}(w)·I_i(v_l),
+   entirely with multiple-valued APPLY. *)
+let build mdd problem (scheme : Scheme.t) =
+  let m = problem.Problem.m in
+  let pos_of_group g = scheme.Scheme.group_position.(g) in
+  let w_pos = pos_of_group 0 in
+  let range lo hi = List.init (hi - lo + 1) (fun i -> lo + i) in
+  let w_overflow = Mdd.literal mdd w_pos ~values:[ m + 1 ] in
+  let w_at_least = Array.make (m + 1) Mdd.zero in
+  for l = 1 to m do
+    w_at_least.(l) <- Mdd.literal mdd w_pos ~values:(range l (m + 1))
+  done;
+  let component_failed i =
+    let rec fold acc l =
+      if l > m then acc
+      else
+        let hit =
+          Mdd.apply_and mdd w_at_least.(l)
+            (Mdd.literal mdd (pos_of_group l) ~values:[ i ])
+        in
+        fold (Mdd.apply_or mdd acc hit) (l + 1)
+    in
+    fold Mdd.zero 1
+  in
+  let failed = Array.init problem.Problem.num_components component_failed in
+  (* Evaluate the fault tree bottom-up with APPLY. *)
+  let memo = Hashtbl.create 256 in
+  let rec go (n : C.node) =
+    match Hashtbl.find_opt memo n.C.id with
+    | Some v -> v
+    | None ->
+        let v =
+          match n.C.desc with
+          | C.Input i -> failed.(i)
+          | C.Const false -> Mdd.zero
+          | C.Const true -> Mdd.one
+          | C.Gate (kind, args) -> (
+              let vals = Array.map go args in
+              let fold op =
+                Array.fold_left
+                  (fun acc x -> op mdd acc x)
+                  vals.(0)
+                  (Array.sub vals 1 (Array.length vals - 1))
+              in
+              match kind with
+              | C.And -> fold Mdd.apply_and
+              | C.Or -> fold Mdd.apply_or
+              | C.Xor -> fold Mdd.apply_xor
+              | C.Not -> Mdd.not_ mdd vals.(0)
+              | C.Nand -> Mdd.not_ mdd (fold Mdd.apply_and)
+              | C.Nor -> Mdd.not_ mdd (fold Mdd.apply_or)
+              | C.Xnor -> Mdd.not_ mdd (fold Mdd.apply_xor))
+        in
+        Hashtbl.add memo n.C.id v;
+        v
+  in
+  let f_value = go problem.Problem.fault_tree.C.output in
+  Mdd.apply_or mdd w_overflow f_value
+
+let build_into (artifacts : Pipeline.Artifacts.t) =
+  build artifacts.Pipeline.Artifacts.mdd artifacts.Pipeline.Artifacts.problem
+    artifacts.Pipeline.Artifacts.scheme
+
+let evaluate ?(epsilon = 1e-3) fault_tree lethal ~mv ~bits =
+  let m = Model.truncation lethal ~epsilon in
+  let problem = Problem.build fault_tree ~m in
+  let scheme = Scheme.make problem ~mv ~bits in
+  let specs =
+    Array.map
+      (fun g ->
+        {
+          Mdd.name = Problem.group_name problem g;
+          Mdd.domain = Problem.domain problem g;
+        })
+      scheme.Scheme.groups_in_order
+  in
+  let mdd = Mdd.create specs in
+  let root = build mdd problem scheme in
+  let w = Model.w_pmf lethal ~m in
+  let p pos value =
+    let g = scheme.Scheme.groups_in_order.(pos) in
+    if g = 0 then w.(value) else lethal.Model.component.(value)
+  in
+  let p_unusable = Mdd.probability mdd root ~p in
+  (1.0 -. p_unusable, m, Mdd.size mdd root)

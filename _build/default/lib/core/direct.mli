@@ -1,0 +1,27 @@
+(** Direct ROMDD construction of G(w, v_1 … v_M) with multiple-valued APPLY
+    operations — the "algorithms and packages for ROMDD manipulation" route
+    ([23, 29]) that the paper argues {e against} on efficiency grounds.
+
+    Two uses here:
+    - an independent implementation path: ROMDDs are canonical, so the
+      directly built diagram must be the {e same node} as the one obtained
+      by converting the coded ROBDD (when built in the same manager with
+      the same ordering) — a strong end-to-end correctness check;
+    - the ablation benchmark comparing its cost against the coded-ROBDD
+      route (DESIGN.md §7). *)
+
+(** [build_into artifacts] rebuilds G by MDD APPLY inside the artifact's
+    own manager and ordering, returning the root (equal to
+    [artifacts.mdd_root] iff the two routes agree). *)
+val build_into : Pipeline.Artifacts.t -> Socy_mdd.Mdd.node
+
+(** [evaluate ?epsilon fault_tree lethal ~mv ~bits] runs the whole method
+    on the direct route only (no BDD), returning (yield_lower, M,
+    romdd_size). Meant for small instances and benchmarks. *)
+val evaluate :
+  ?epsilon:float ->
+  Socy_logic.Circuit.t ->
+  Socy_defects.Model.lethal ->
+  mv:Socy_order.Scheme.mv_order ->
+  bits:Socy_order.Scheme.bit_order ->
+  float * int * int

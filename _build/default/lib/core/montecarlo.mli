@@ -1,0 +1,28 @@
+(** Monte Carlo yield estimation — the simulation alternative the paper's
+    introduction describes as "not severely limited by the complexity of
+    the system, but [it] tends to be expensive and does not provide strict
+    error control". Serves as an independent baseline for every benchmark
+    and for the accuracy/cost comparison in EXPERIMENTS.md.
+
+    Each trial samples the number of lethal defects K from Q′, then K
+    victim components i.i.d. from P′, marks them failed and evaluates the
+    fault tree. The estimate is the fraction of functioning chips with a
+    Wilson 95% confidence interval. *)
+
+type result = {
+  estimate : float;
+  ci_low : float;  (** Wilson 95% *)
+  ci_high : float;
+  trials : int;
+  functioning : int;
+}
+
+(** [run ?seed ?trials fault_tree lethal]. Defaults: seed 42, 100_000
+    trials. The tail of Q′ beyond cdf ≥ 1 − 1e-12 is collapsed onto its
+    first index (negligible for the ε regimes used here). *)
+val run :
+  ?seed:int64 ->
+  ?trials:int ->
+  Socy_logic.Circuit.t ->
+  Socy_defects.Model.lethal ->
+  result

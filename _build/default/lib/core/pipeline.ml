@@ -1,0 +1,190 @@
+module C = Socy_logic.Circuit
+module B = Socy_bdd.Manager
+module Compile = Socy_bdd.Compile
+module Mdd = Socy_mdd.Mdd
+module Conversion = Socy_mdd.Conversion
+module Problem = Socy_encode.Problem
+module Scheme = Socy_order.Scheme
+module Model = Socy_defects.Model
+module Distribution = Socy_defects.Distribution
+
+type config = {
+  epsilon : float;
+  mv_order : Scheme.mv_order;
+  bit_order : Scheme.bit_order;
+  node_limit : int;
+  gc_threshold : int;
+  cache_bits : int;
+  cpu_limit : float option;
+}
+
+let default_config =
+  {
+    epsilon = 1e-3;
+    mv_order = Scheme.Heur Socy_order.Heuristics.Weight;
+    bit_order = Scheme.Ml;
+    node_limit = 40_000_000;
+    gc_threshold = 2_000_000;
+    cache_bits = 21;
+    cpu_limit = None;
+  }
+
+type report = {
+  yield_lower : float;
+  yield_upper : float;
+  p_unusable : float;
+  m : int;
+  p_lethal : float;
+  cpu_seconds : float;
+  robdd_peak : int;
+  robdd_size : int;
+  romdd_size : int;
+  num_binary_vars : int;
+  num_groups : int;
+  gate_count : int;
+}
+
+type failure = { stage : string; peak_at_failure : int }
+
+(* The conversion layout induced by a problem and an ordering scheme:
+   BDD level -> group position, positions -> contiguous level blocks, and
+   codewords re-aligned from most-significant-first to level order. *)
+let layout_of_scheme problem (scheme : Scheme.t) : Conversion.layout =
+  let nvars = Problem.num_binary_vars problem in
+  let num_groups = Problem.num_groups problem in
+  let group_of_level =
+    Array.init nvars (fun lv ->
+        let input = scheme.Scheme.input_of_level.(lv) in
+        scheme.Scheme.group_position.(Problem.group_of_input problem input))
+  in
+  let levels_of_group = Array.make num_groups [||] in
+  for pos = 0 to num_groups - 1 do
+    let levels = ref [] in
+    for lv = nvars - 1 downto 0 do
+      if group_of_level.(lv) = pos then levels := lv :: !levels
+    done;
+    levels_of_group.(pos) <- Array.of_list !levels
+  done;
+  (* bit index (msb-first) of each level position within its group *)
+  let bit_at = Array.make nvars (-1) in
+  Array.iter
+    (Array.iter (fun lv ->
+         bit_at.(lv) <- Problem.bit_of_input problem scheme.Scheme.input_of_level.(lv)))
+    levels_of_group;
+  let codeword pos value =
+    let g = scheme.Scheme.groups_in_order.(pos) in
+    let msb_first = Problem.codeword problem ~group:g ~value in
+    Array.map (fun lv -> msb_first.(bit_at.(lv))) levels_of_group.(pos)
+  in
+  { Conversion.group_of_level; levels_of_group; codeword }
+
+let mdd_specs problem (scheme : Scheme.t) =
+  Array.map
+    (fun g ->
+      {
+        Mdd.name = Problem.group_name problem g;
+        Mdd.domain = Problem.domain problem g;
+      })
+    scheme.Scheme.groups_in_order
+
+module Artifacts = struct
+  type t = {
+    problem : Problem.t;
+    scheme : Scheme.t;
+    bdd : B.t;
+    bdd_root : B.node;
+    bdd_stats : Compile.stats;
+    mdd : Mdd.t;
+    mdd_root : Mdd.node;
+    lethal : Model.lethal;
+    m : int;
+  }
+
+  let build ?(config = default_config) fault_tree lethal =
+    let m = Model.truncation lethal ~epsilon:config.epsilon in
+    let problem = Problem.build fault_tree ~m in
+    let scheme = Scheme.make problem ~mv:config.mv_order ~bits:config.bit_order in
+    let bdd =
+      B.create ~node_limit:config.node_limit ?cpu_limit:config.cpu_limit
+        ~cache_bits:config.cache_bits
+        ~num_vars:(Problem.num_binary_vars problem)
+        ()
+    in
+    match
+      Compile.of_circuit ~gc_threshold:config.gc_threshold bdd problem.Problem.circuit
+        ~var_of_input:(fun i -> scheme.Scheme.level_of_input.(i))
+    with
+    | exception B.Node_limit_exceeded ->
+        Error { stage = "coded-robdd"; peak_at_failure = B.peak_alive bdd }
+    | exception B.Cpu_limit_exceeded ->
+        Error { stage = "coded-robdd (cpu budget)"; peak_at_failure = B.peak_alive bdd }
+    | bdd_root, bdd_stats ->
+        let mdd = Mdd.create (mdd_specs problem scheme) in
+        let mdd_root =
+          Conversion.run bdd bdd_root mdd (layout_of_scheme problem scheme)
+        in
+        Ok { problem; scheme; bdd; bdd_root; bdd_stats; mdd; mdd_root; lethal; m }
+
+  let probability_of_level t =
+    let w = Model.w_pmf t.lethal ~m:t.m in
+    let p' = t.lethal.Model.component in
+    fun pos value ->
+      let g = t.scheme.Scheme.groups_in_order.(pos) in
+      if g = 0 then w.(value) else p'.(value)
+
+  let victim_sensitivities t =
+    (* For M = 0 there are no victim variables: zero gradient. *)
+    if t.m = 0 then Array.make t.problem.Problem.num_components 0.0
+    else begin
+      let _, sens =
+        Mdd.probability_with_sensitivities t.mdd t.mdd_root
+          ~p:(probability_of_level t)
+      in
+      let c = Problem.domain t.problem 1 in
+      Array.init c (fun i ->
+          let acc = ref 0.0 in
+          for pos = 0 to Problem.num_groups t.problem - 1 do
+            if t.scheme.Scheme.groups_in_order.(pos) <> 0 then
+              acc := !acc +. sens.(pos).(i)
+          done;
+          (* Y = 1 - P(G = 1) *)
+          -. !acc)
+    end
+
+  let conditional_yields t =
+    let p' = t.lethal.Model.component in
+    Array.init (t.m + 1) (fun k ->
+        let p pos value =
+          let g = t.scheme.Scheme.groups_in_order.(pos) in
+          if g = 0 then if value = k then 1.0 else 0.0 else p'.(value)
+        in
+        1.0 -. Mdd.probability t.mdd t.mdd_root ~p)
+
+  let report t ~cpu_seconds =
+    let p_unusable = Mdd.probability t.mdd t.mdd_root ~p:(probability_of_level t) in
+    let yield_lower = 1.0 -. p_unusable in
+    let tail = (Model.w_pmf t.lethal ~m:t.m).(t.m + 1) in
+    {
+      yield_lower;
+      yield_upper = yield_lower +. tail;
+      p_unusable;
+      m = t.m;
+      p_lethal = t.lethal.Model.p_lethal;
+      cpu_seconds;
+      robdd_peak = t.bdd_stats.Compile.peak_nodes;
+      robdd_size = t.bdd_stats.Compile.final_size;
+      romdd_size = Mdd.size t.mdd t.mdd_root;
+      num_binary_vars = Problem.num_binary_vars t.problem;
+      num_groups = Problem.num_groups t.problem;
+      gate_count = C.gate_count t.problem.Problem.circuit;
+    }
+end
+
+let run_lethal ?(config = default_config) fault_tree lethal =
+  let t0 = Sys.time () in
+  match Artifacts.build ~config fault_tree lethal with
+  | Error f -> Error f
+  | Ok artifacts -> Ok (Artifacts.report artifacts ~cpu_seconds:(Sys.time () -. t0))
+
+let run ?(config = default_config) fault_tree model =
+  run_lethal ~config fault_tree (Model.to_lethal model)

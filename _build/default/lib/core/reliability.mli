@@ -1,0 +1,41 @@
+(** Operational reliability accounting for manufacturing defects — the
+    extension the paper's conclusion announces as future work ("extend the
+    method to allow the evaluation of the operational reliability of a
+    fault-tolerant system-on-chip taking into account manufacturing
+    defects").
+
+    Model: the chip ships if it is functioning after manufacturing (the
+    yield event, governed by the lethal-defect model). In the field, each
+    component [i] then fails independently by mission time [t] with
+    probability [p_field.(i)] (e.g. [1 − exp (−. rate_i *. t)]). The
+    system is operational at [t] iff the fault tree stays at 0 on the
+    union of defect-failed and field-failed components.
+
+    The computation extends the multiple-valued function of Theorem 1 with
+    one extra binary variable per component and evaluates both
+    G₀ (functioning at time 0) and G_t on a single shared ROMDD built by
+    multiple-valued APPLY:
+
+    - [survival]    = P(functioning at 0 {e and} at t)  (truncated at M,
+      pessimistic, error ≤ ε like the yield);
+    - [reliability] = survival / yield — the probability a {e shipped}
+      chip still works at [t]. Defect clustering makes this differ from
+      the defect-free reliability: surviving manufacturing is evidence of
+      few defects. *)
+
+type result = {
+  yield : float;  (** Y_M: P(functioning at time 0), truncated at M *)
+  survival : float;  (** P(functioning at 0 and at t), truncated at M *)
+  reliability : float;  (** survival / yield (clamped to [0, 1]) *)
+  m : int;
+  romdd_nodes : int;  (** total nodes in the shared manager *)
+}
+
+(** [evaluate ?epsilon fault_tree lethal ~p_field]. [p_field] must have
+    one entry per component, each in [0, 1]. *)
+val evaluate :
+  ?epsilon:float ->
+  Socy_logic.Circuit.t ->
+  Socy_defects.Model.lethal ->
+  p_field:float array ->
+  result

@@ -1,0 +1,1 @@
+lib/defects/distribution.ml: Array List Printf Socy_util String

@@ -1,0 +1,1 @@
+lib/defects/distribution.mli:

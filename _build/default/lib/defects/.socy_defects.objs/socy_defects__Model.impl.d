@@ -1,0 +1,1 @@
+lib/defects/model.ml: Array Distribution

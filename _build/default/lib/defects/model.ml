@@ -1,0 +1,35 @@
+type t = { defects : Distribution.t; affect : float array }
+
+type lethal = {
+  count : Distribution.t;
+  component : float array;
+  p_lethal : float;
+}
+
+let create defects affect =
+  if Array.exists (fun p -> p < 0.0) affect then
+    invalid_arg "Model.create: negative P_i";
+  let p_lethal = Array.fold_left ( +. ) 0.0 affect in
+  if p_lethal > 1.0 +. 1e-9 then invalid_arg "Model.create: sum of P_i exceeds 1";
+  if Array.length affect = 0 then invalid_arg "Model.create: no components";
+  { defects; affect }
+
+let num_components t = Array.length t.affect
+
+let to_lethal t =
+  let p_lethal = Array.fold_left ( +. ) 0.0 t.affect in
+  if p_lethal <= 0.0 then
+    invalid_arg "Model.to_lethal: P_L = 0 (no defect can be lethal)";
+  {
+    count = Distribution.lethal t.defects ~p_lethal;
+    component = Array.map (fun p -> p /. p_lethal) t.affect;
+    p_lethal;
+  }
+
+let truncation l ~epsilon = Distribution.truncation_point l.count ~epsilon
+
+let w_pmf l ~m =
+  if m < 0 then invalid_arg "Model.w_pmf: negative M";
+  let q = Distribution.pmf_array l.count ~upto:m in
+  let covered = Array.fold_left ( +. ) 0.0 q in
+  Array.init (m + 2) (fun k -> if k <= m then q.(k) else max 0.0 (1.0 -. covered))

@@ -1,0 +1,39 @@
+(** The paper's defect model and its computationally convenient
+    lethal-defect form.
+
+    A {!t} bundles the distribution [Q] of the number of manufacturing
+    defects with the per-component probabilities [P_i] that a given defect
+    affects component [i] {e and} is lethal ([Σ_i P_i = P_L ≤ 1]; the
+    residual [1 − P_L] is the probability a defect is harmless).
+
+    {!to_lethal} rewrites the model over lethal defects only (Section 1):
+    the count distribution shifts toward smaller values, so truncating at
+    [M] defects costs less accuracy — exactly why the method works on the
+    lethal model. *)
+
+type t = {
+  defects : Distribution.t;  (** Q — number of manufacturing defects *)
+  affect : float array;  (** P_i, indexed by component, 0-based *)
+}
+
+type lethal = {
+  count : Distribution.t;  (** Q′ — number of lethal defects *)
+  component : float array;  (** P′_i = P_i / P_L — victim distribution *)
+  p_lethal : float;  (** P_L = Σ_i P_i *)
+}
+
+(** [create defects affect] validates [0 ≤ P_i] and [Σ P_i ≤ 1]. *)
+val create : Distribution.t -> float array -> t
+
+val num_components : t -> int
+
+(** The lethal-defect model (Eq. 1 / closed forms). *)
+val to_lethal : t -> lethal
+
+(** [truncation l ~epsilon] is the M for the error requirement ε. *)
+val truncation : lethal -> epsilon:float -> int
+
+(** [w_pmf l ~m] is the distribution of the paper's random variable W over
+    [{0, …, M+1}]: [P(W=k) = Q′_k] for k ≤ M and
+    [P(W=M+1) = 1 − Σ_{k≤M} Q′_k]. *)
+val w_pmf : lethal -> m:int -> float array

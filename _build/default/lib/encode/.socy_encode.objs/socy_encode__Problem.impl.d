@@ -1,0 +1,1 @@
+lib/encode/problem.ml: Array List Printf Socy_logic

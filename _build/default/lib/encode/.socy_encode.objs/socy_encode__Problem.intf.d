@@ -1,0 +1,1 @@
+lib/encode/problem.mli: Socy_logic

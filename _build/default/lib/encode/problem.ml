@@ -1,0 +1,103 @@
+module C = Socy_logic.Circuit
+
+type t = {
+  fault_tree : C.t;
+  circuit : C.t;
+  num_components : int;
+  m : int;
+  w_bits : int;
+  v_bits : int;
+}
+
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Problem.ceil_log2: need n >= 1";
+  let rec loop bits cap = if cap >= n then bits else loop (bits + 1) (2 * cap) in
+  loop 1 2
+
+let num_groups p = p.m + 1
+let num_binary_vars p = p.w_bits + (p.m * p.v_bits)
+
+let domain p g =
+  if g < 0 || g > p.m then invalid_arg "Problem.domain: group out of range";
+  if g = 0 then p.m + 2 else p.num_components
+
+let bits_of_group p g =
+  if g < 0 || g > p.m then invalid_arg "Problem.bits_of_group: group out of range";
+  if g = 0 then p.w_bits else p.v_bits
+
+let group_name p g =
+  if g < 0 || g > p.m then invalid_arg "Problem.group_name: group out of range";
+  if g = 0 then "w" else Printf.sprintf "v%d" g
+
+let input_id p ~group ~bit =
+  let nbits = bits_of_group p group in
+  if bit < 0 || bit >= nbits then invalid_arg "Problem.input_id: bit out of range";
+  if group = 0 then bit else p.w_bits + ((group - 1) * p.v_bits) + bit
+
+let group_of_input p i =
+  if i < 0 || i >= num_binary_vars p then
+    invalid_arg "Problem.group_of_input: out of range";
+  if i < p.w_bits then 0 else 1 + ((i - p.w_bits) / p.v_bits)
+
+let bit_of_input p i =
+  if i < 0 || i >= num_binary_vars p then
+    invalid_arg "Problem.bit_of_input: out of range";
+  if i < p.w_bits then i else (i - p.w_bits) mod p.v_bits
+
+let codeword p ~group ~value =
+  if value < 0 || value >= domain p group then
+    invalid_arg "Problem.codeword: value outside domain";
+  let nbits = bits_of_group p group in
+  Array.init nbits (fun bit ->
+      (* bit 0 = most significant *)
+      value land (1 lsl (nbits - 1 - bit)) <> 0)
+
+let build fault_tree ~m =
+  if m < 0 then invalid_arg "Problem.build: negative M";
+  let num_components = fault_tree.C.num_inputs in
+  if num_components < 1 then invalid_arg "Problem.build: fault tree has no components";
+  let w_bits = ceil_log2 (m + 2) in
+  let v_bits = ceil_log2 num_components in
+  let p_partial =
+    { fault_tree; circuit = fault_tree (* placeholder *); num_components; m; w_bits; v_bits }
+  in
+  let b = C.builder ~num_inputs:(w_bits + (m * v_bits)) () in
+  (* minterm over a group's bits: AND of positive/negated bit inputs,
+     most-significant first, exactly the paper's lit(·,·) products. *)
+  let minterm ~group ~value =
+    let bits = codeword p_partial ~group ~value in
+    let literals =
+      Array.to_list
+        (Array.mapi
+           (fun bit set ->
+             let x = C.input b (input_id p_partial ~group ~bit) in
+             if set then x else C.not_ b x)
+           bits)
+    in
+    C.and_ b literals
+  in
+  (* z_{M+1} and the cascade z_{>=k} = z_{>=k+1} ∨ minterm(w = k). *)
+  let z_overflow = minterm ~group:0 ~value:(m + 1) in
+  let z_ge = Array.make (m + 2) z_overflow in
+  (* z_ge.(k) = "w >= k" for 1 <= k <= M+1 *)
+  for k = m downto 1 do
+    z_ge.(k) <- C.or_ b [ z_ge.(k + 1); minterm ~group:0 ~value:k ]
+  done;
+  (* x_i = ∨_l ( z_{>=l} ∧ minterm(v_l = i) ) *)
+  let component_failed i =
+    if m = 0 then C.const b false
+    else
+      C.or_ b
+        (List.init m (fun l0 ->
+             let l = l0 + 1 in
+             C.and_ b [ z_ge.(l); minterm ~group:l ~value:i ]))
+  in
+  let failed = Array.init num_components component_failed in
+  let f_substituted = C.substitute b fault_tree ~subst:(fun i -> failed.(i)) in
+  let g = C.or_ b [ z_overflow; f_substituted ] in
+  let name =
+    Printf.sprintf "G[%s, M=%d]"
+      (if fault_tree.C.name = "" then "F" else fault_tree.C.name)
+      m
+  in
+  { p_partial with circuit = C.finish b ~name g }

@@ -1,0 +1,66 @@
+(** Construction of the generalized fault tree G(w, v_1, …, v_M) in binary
+    logic (the paper's Fig. 1 plus the filter-gate formulas of Section 2).
+
+    Multiple-valued variables: [w ∈ {0..M+1}] is the truncated number of
+    lethal defects and [v_l ∈ {0..C-1}] (0-based here; the paper numbers
+    components from 1) is the component hit by the l-th lethal defect.
+
+    Binary encoding: [w] uses the minimum ⌈log2(M+2)⌉ bits; each [v_l] uses
+    ⌈log2 C⌉ bits encoding the component index (the paper encodes
+    [v_i − 1]; identical in 0-based terms). The "filter" gates become:
+    {v
+      z_{M+1}  = minterm(w = M+1)
+      z_{>=k}  = z_{>=k+1} ∨ minterm(w = k)        k = M, …, 1
+      z^i_l    = minterm(v_l = i)
+      x_i      = ∨_{l=1..M} ( z_{>=l} ∧ z^i_l )
+      G        = z_{M+1} ∨ F(x_1, …, x_C)
+    v}
+
+    {b Groups}: group 0 is [w]; group [l] (1-based) is [v_l]. Circuit input
+    identifiers are laid out group-major, most-significant bit first; the
+    actual BDD variable ordering is chosen later ({!Socy_order}). *)
+
+type t = {
+  fault_tree : Socy_logic.Circuit.t;  (** F, over C component-failed inputs *)
+  circuit : Socy_logic.Circuit.t;  (** G in binary logic *)
+  num_components : int;  (** C *)
+  m : int;  (** truncation point M *)
+  w_bits : int;
+  v_bits : int;
+}
+
+(** [build fault_tree ~m]. Requires [m >= 0] and at least one component. *)
+val build : Socy_logic.Circuit.t -> m:int -> t
+
+(** [ceil_log2 n] is the minimum number of bits to distinguish [n] values
+    (at least 1). *)
+val ceil_log2 : int -> int
+
+(** Number of multiple-valued variables, [M + 1]. *)
+val num_groups : t -> int
+
+(** Total binary inputs of [circuit]. *)
+val num_binary_vars : t -> int
+
+(** Domain size of a group: [M+2] for group 0, [C] for the others. *)
+val domain : t -> int -> int
+
+(** Bits encoding a group: [w_bits] or [v_bits]. *)
+val bits_of_group : t -> int -> int
+
+(** Display name: "w", "v1", "v2", … *)
+val group_name : t -> int -> string
+
+(** [input_id p ~group ~bit] is the circuit input identifier of the given
+    bit ([bit] 0 = most significant) of the given group. *)
+val input_id : t -> group:int -> bit:int -> int
+
+(** Inverse of {!input_id}: [group_of_input], [bit_of_input]. *)
+val group_of_input : t -> int -> int
+
+val bit_of_input : t -> int -> int
+
+(** [codeword p ~group ~value] is the encoding of [value], most significant
+    bit first. Raises [Invalid_argument] when the value is outside the
+    group's domain. *)
+val codeword : t -> group:int -> value:int -> bool array

@@ -1,0 +1,1 @@
+lib/logic/circuit.ml: Array Buffer Fun Hashtbl List Option Printf

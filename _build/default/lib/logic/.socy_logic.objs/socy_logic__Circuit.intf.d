@@ -1,0 +1,1 @@
+lib/logic/circuit.mli: Hashtbl

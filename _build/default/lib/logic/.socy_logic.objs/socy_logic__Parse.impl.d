@@ -1,0 +1,1 @@
+lib/logic/parse.ml: Circuit List Printf String

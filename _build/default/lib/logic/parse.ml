@@ -1,0 +1,184 @@
+exception Syntax_error of string
+
+type token =
+  | T_var of int
+  | T_const of bool
+  | T_and
+  | T_or
+  | T_not
+  | T_lparen
+  | T_rparen
+  | T_comma
+  | T_semi
+  | T_int of int
+  | T_name of string
+  | T_eof
+
+let tokenize s =
+  let tokens = ref [] in
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Syntax_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let read_digits () =
+    let start = !pos in
+    while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+      incr pos
+    done;
+    if !pos = start then fail "expected digits";
+    int_of_string (String.sub s start (!pos - start))
+  in
+  while !pos < n do
+    let c = s.[!pos] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '&' then (incr pos; tokens := T_and :: !tokens)
+    else if c = '|' then (incr pos; tokens := T_or :: !tokens)
+    else if c = '!' then (incr pos; tokens := T_not :: !tokens)
+    else if c = '(' then (incr pos; tokens := T_lparen :: !tokens)
+    else if c = ')' then (incr pos; tokens := T_rparen :: !tokens)
+    else if c = ',' then (incr pos; tokens := T_comma :: !tokens)
+    else if c = ';' then (incr pos; tokens := T_semi :: !tokens)
+    else if c >= '0' && c <= '9' then begin
+      match read_digits () with
+      | 0 -> tokens := T_const false :: !tokens
+      | 1 -> tokens := T_const true :: !tokens
+      | v -> tokens := T_int v :: !tokens
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        let c = s.[!pos] in
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+      do
+        incr pos
+      done;
+      let word = String.sub s start (!pos - start) in
+      if word = "x" && !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' then
+        tokens := T_var (read_digits ()) :: !tokens
+      else tokens := T_name word :: !tokens
+    end
+    else fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev (T_eof :: !tokens)
+
+(* Untyped AST; variables resolved against the builder at elaboration time. *)
+type ast =
+  | A_var of int
+  | A_const of bool
+  | A_and of ast * ast
+  | A_or of ast * ast
+  | A_not of ast
+  | A_xor of ast list
+  | A_threshold of string * int * ast list
+
+let parse_tokens tokens =
+  let toks = ref tokens in
+  let peek () = match !toks with [] -> T_eof | t :: _ -> t in
+  let advance () = match !toks with [] -> () | _ :: rest -> toks := rest in
+  let fail msg = raise (Syntax_error msg) in
+  let expect t msg = if peek () = t then advance () else fail msg in
+  let rec expr () =
+    let left = and_exp () in
+    if peek () = T_or then begin
+      advance ();
+      A_or (left, expr ())
+    end
+    else left
+  and and_exp () =
+    let left = unary () in
+    if peek () = T_and then begin
+      advance ();
+      A_and (left, and_exp ())
+    end
+    else left
+  and unary () =
+    match peek () with
+    | T_not ->
+        advance ();
+        A_not (unary ())
+    | _ -> atom ()
+  and arg_list () =
+    let first = expr () in
+    let rec more acc =
+      if peek () = T_comma then begin
+        advance ();
+        more (expr () :: acc)
+      end
+      else List.rev acc
+    in
+    more [ first ]
+  and atom () =
+    match peek () with
+    | T_var i ->
+        advance ();
+        A_var i
+    | T_const b ->
+        advance ();
+        A_const b
+    | T_lparen ->
+        advance ();
+        let e = expr () in
+        expect T_rparen "expected ')'";
+        e
+    | T_name (("atleast" | "atmost" | "exactly") as kind) ->
+        advance ();
+        expect T_lparen "expected '(' after threshold keyword";
+        let k =
+          match peek () with
+          | T_int k ->
+              advance ();
+              k
+          | T_const true ->
+              advance ();
+              1
+          | T_const false ->
+              advance ();
+              0
+          | _ -> fail "expected integer threshold"
+        in
+        expect T_semi "expected ';' after threshold";
+        let args = arg_list () in
+        expect T_rparen "expected ')'";
+        A_threshold (kind, k, args)
+    | T_name "xor" ->
+        advance ();
+        expect T_lparen "expected '(' after xor";
+        let args = arg_list () in
+        expect T_rparen "expected ')'";
+        A_xor args
+    | T_name w -> fail (Printf.sprintf "unknown identifier %S" w)
+    | T_eof -> fail "unexpected end of input"
+    | T_and | T_or | T_not | T_rparen | T_comma | T_semi | T_int _ ->
+        fail "unexpected token"
+  in
+  let e = expr () in
+  if peek () <> T_eof then fail "trailing input";
+  e
+
+let rec max_var = function
+  | A_var i -> i
+  | A_const _ -> -1
+  | A_and (a, b) | A_or (a, b) -> max (max_var a) (max_var b)
+  | A_not a -> max_var a
+  | A_xor args | A_threshold (_, _, args) ->
+      List.fold_left (fun acc a -> max acc (max_var a)) (-1) args
+
+let fault_tree ?(name = "") ?num_inputs s =
+  let ast = parse_tokens (tokenize s) in
+  let num_inputs =
+    match num_inputs with Some n -> n | None -> max_var ast + 1
+  in
+  let b = Circuit.builder ~num_inputs () in
+  let rec build = function
+    | A_var i -> Circuit.input b i
+    | A_const v -> Circuit.const b v
+    | A_and (x, y) -> Circuit.and_ b [ build x; build y ]
+    | A_or (x, y) -> Circuit.or_ b [ build x; build y ]
+    | A_not x -> Circuit.not_ b (build x)
+    | A_xor args -> Circuit.xor_ b (List.map build args)
+    | A_threshold ("atleast", k, args) -> Circuit.at_least b k (List.map build args)
+    | A_threshold ("atmost", k, args) -> Circuit.at_most b k (List.map build args)
+    | A_threshold (_, k, args) -> Circuit.exactly b k (List.map build args)
+  in
+  Circuit.finish b ~name (build ast)

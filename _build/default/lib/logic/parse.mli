@@ -1,0 +1,23 @@
+(** A small concrete syntax for fault trees.
+
+    Grammar (whitespace-insensitive):
+    {v
+      expr   ::= and-exp ( '|' and-exp )*
+      and-exp::= unary ( '&' unary )*
+      unary  ::= '!' unary | atom
+      atom   ::= '(' expr ')' | var | '0' | '1'
+               | ('atleast'|'atmost'|'exactly') '(' int ';' expr (',' expr)* ')'
+               | 'xor' '(' expr (',' expr)* ')'
+      var    ::= 'x' digits          (0-based input index)
+    v}
+
+    Example: ["x0 & x1 | atleast(2; x2, x3, x4)"]. *)
+
+exception Syntax_error of string
+(** Raised with a position-annotated message on malformed input. *)
+
+(** [fault_tree ?name ?num_inputs s] parses [s]. When [num_inputs] is
+    omitted, it is inferred as [max referenced index + 1]. Raises
+    {!Syntax_error} on malformed input and [Invalid_argument] when a
+    referenced variable exceeds the declared [num_inputs]. *)
+val fault_tree : ?name:string -> ?num_inputs:int -> string -> Circuit.t

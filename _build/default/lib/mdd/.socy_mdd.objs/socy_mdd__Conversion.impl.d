@@ -1,0 +1,1 @@
+lib/mdd/conversion.ml: Array Hashtbl List Mdd Socy_bdd

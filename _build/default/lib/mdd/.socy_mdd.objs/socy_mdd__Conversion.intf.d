@@ -1,0 +1,1 @@
+lib/mdd/conversion.mli: Mdd Socy_bdd

@@ -1,0 +1,1 @@
+lib/mdd/mdd.ml: Array Buffer Hashtbl List Option Printf String

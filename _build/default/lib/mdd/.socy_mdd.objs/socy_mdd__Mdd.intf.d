@@ -1,0 +1,1 @@
+lib/mdd/mdd.mli:

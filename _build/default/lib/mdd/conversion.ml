@@ -1,0 +1,81 @@
+module B = Socy_bdd.Manager
+
+type layout = {
+  group_of_level : int array;
+  levels_of_group : int array array;
+  codeword : int -> int -> bool array;
+}
+
+let run bdd root mdd layout =
+  let num_groups = Array.length layout.levels_of_group in
+  if num_groups <> Mdd.num_mvars mdd then
+    invalid_arg "Conversion.run: group count must match the MDD manager";
+  let group_of n = layout.group_of_level.(B.level bdd n) in
+  (* Position of a BDD level within its group (levels are few per group;
+     precompute a direct map). *)
+  let pos_in_group = Array.make (B.num_vars bdd) (-1) in
+  Array.iter
+    (fun levels -> Array.iteri (fun i lv -> pos_in_group.(lv) <- i) levels)
+    layout.levels_of_group;
+  (* Pass 1: find the entry nodes of each layer. An entry node is the root,
+     or a nonterminal target of an edge whose source lies in a different
+     group. *)
+  let entries = Array.make num_groups [] in
+  let mark n = entries.(group_of n) <- n :: entries.(group_of n) in
+  let seen = Hashtbl.create 1024 in
+  let rec scan n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      if not (B.is_terminal n) then begin
+        let g = group_of n in
+        let edge c =
+          if not (B.is_terminal c) && group_of c <> g then mark c;
+          scan c
+        in
+        edge (B.low bdd n);
+        edge (B.high bdd n)
+      end
+    end
+  in
+  if not (B.is_terminal root) then mark root;
+  scan root;
+  (* Pass 2: process layers bottom-up. [mapping] associates processed entry
+     nodes (and terminals) with ROMDD nodes. *)
+  let mapping = Hashtbl.create 1024 in
+  Hashtbl.add mapping B.zero Mdd.zero;
+  Hashtbl.add mapping B.one Mdd.one;
+  let simulate g entry value =
+    (* Follow the codeword of [value] through layer [g], skipping the bits
+       the BDD does not test. *)
+    let bits = layout.codeword g value in
+    let rec follow n =
+      if B.is_terminal n || group_of n <> g then n
+      else
+        let bit = bits.(pos_in_group.(B.level bdd n)) in
+        follow (if bit then B.high bdd n else B.low bdd n)
+    in
+    follow entry
+  in
+  for g = num_groups - 1 downto 0 do
+    let domain = (Mdd.spec mdd g).domain in
+    List.iter
+      (fun entry ->
+        if not (Hashtbl.mem mapping entry) then begin
+          let kids =
+            Array.init domain (fun j ->
+                let target = simulate g entry j in
+                match Hashtbl.find_opt mapping target with
+                | Some mnode -> mnode
+                | None ->
+                    (* Unreachable in a correct layout: targets are
+                       terminals or entries of deeper, already processed
+                       layers. *)
+                    invalid_arg
+                      "Conversion.run: simulation escaped to an unprocessed \
+                       node; is the layout group-contiguous?")
+          in
+          Hashtbl.add mapping entry (Mdd.mk mdd g kids)
+        end)
+      entries.(g)
+  done;
+  Hashtbl.find mapping root

@@ -1,0 +1,31 @@
+(** Conversion of a coded ROBDD into the ROMDD it encodes — the layer
+    algorithm of the paper (Section 2, illustrated by its Fig. 3).
+
+    The coded ROBDD must use a binary variable ordering in which the bits
+    encoding each multiple-valued variable are contiguous ("kept grouped"),
+    with groups ordered like the desired multiple-valued ordering. Layers
+    are processed bottom-up; each entry node of a layer (a node reached from
+    a different layer, or the root) is mapped to an ROMDD node by
+    "simulating", for every domain value, the codeword of that value through
+    the layer's binary nodes. *)
+
+type layout = {
+  group_of_level : int array;
+      (** BDD level → group (= ROMDD level). Must be monotone nondecreasing:
+          groups occupy contiguous level blocks in order. *)
+  levels_of_group : int array array;
+      (** group → its BDD levels, increasing. *)
+  codeword : int -> int -> bool array;
+      (** [codeword g j] = bit values of value [j] of group [g], aligned
+          with [levels_of_group.(g)]. *)
+}
+
+(** [run bdd root mdd layout] converts the coded ROBDD [root] into an ROMDD
+    inside [mdd]. The number of groups must equal [Mdd.num_mvars mdd] and
+    [layout.levels_of_group] must cover every BDD level below
+    [Manager.num_vars bdd].
+
+    Returns the ROMDD root. Nodes corresponding to binary combinations that
+    encode no domain value are never created (the paper instead creates and
+    then prunes them; the result is the same reduced diagram). *)
+val run : Socy_bdd.Manager.t -> Socy_bdd.Manager.node -> Mdd.t -> layout -> Mdd.node

@@ -1,0 +1,304 @@
+type spec = { name : string; domain : int }
+
+type node = int
+
+module Key = struct
+  type t = int * int array (* level, children *)
+
+  let equal (l1, c1) (l2, c2) =
+    l1 = l2
+    && Array.length c1 = Array.length c2
+    &&
+    let rec loop i = i >= Array.length c1 || (c1.(i) = c2.(i) && loop (i + 1)) in
+    loop 0
+
+  let hash (l, c) =
+    let h = ref (l * 0x9E3779B1) in
+    Array.iter (fun x -> h := (!h * 31) + x + 1) c;
+    !h land max_int
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type t = {
+  specs : spec array;
+  table : node Tbl.t;
+  mutable levels : int array; (* node -> level *)
+  mutable kids : int array array; (* node -> children *)
+  mutable used : int;
+  apply_cache : (int * int * int, node) Hashtbl.t;
+}
+
+let zero = 0
+let one = 1
+let is_terminal n = n < 2
+
+let create specs =
+  Array.iter
+    (fun s ->
+      if s.domain < 1 then invalid_arg "Mdd.create: empty domain")
+    specs;
+  let nvars = Array.length specs in
+  let levels = Array.make 1024 (-1) in
+  levels.(0) <- nvars;
+  levels.(1) <- nvars;
+  {
+    specs;
+    table = Tbl.create 4096;
+    levels;
+    kids = Array.make 1024 [||];
+    used = 2;
+    apply_cache = Hashtbl.create 4096;
+  }
+
+let num_mvars t = Array.length t.specs
+
+let spec t v =
+  if v < 0 || v >= num_mvars t then invalid_arg "Mdd.spec: out of range";
+  t.specs.(v)
+
+let level t n = t.levels.(n)
+
+let children t n =
+  if is_terminal n then invalid_arg "Mdd.children: terminal node";
+  t.kids.(n)
+
+let grow t =
+  let cap = Array.length t.levels in
+  let extend a fill =
+    let b = Array.make (2 * cap) fill in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  t.levels <- extend t.levels (-1);
+  t.kids <- extend t.kids [||]
+
+let mk t lv children =
+  if lv < 0 || lv >= num_mvars t then invalid_arg "Mdd.mk: level out of range";
+  if Array.length children <> t.specs.(lv).domain then
+    invalid_arg "Mdd.mk: children arity must match the variable domain";
+  let first = children.(0) in
+  if Array.for_all (fun c -> c = first) children then first
+  else
+    let key = (lv, children) in
+    match Tbl.find_opt t.table key with
+    | Some n -> n
+    | None ->
+        if t.used = Array.length t.levels then grow t;
+        let n = t.used in
+        t.used <- n + 1;
+        t.levels.(n) <- lv;
+        t.kids.(n) <- Array.copy children;
+        Tbl.add t.table (lv, t.kids.(n)) n;
+        n
+
+let literal t lv ~values =
+  let domain = (spec t lv).domain in
+  let children = Array.make domain zero in
+  List.iter
+    (fun j ->
+      if j < 0 || j >= domain then invalid_arg "Mdd.literal: value out of domain";
+      children.(j) <- one)
+    values;
+  mk t lv children
+
+(* Generic binary APPLY with short-circuit evaluation per operation. *)
+type op = O_and | O_or | O_xor
+
+let op_code = function O_and -> 0 | O_or -> 1 | O_xor -> 2
+
+let apply t op f g =
+  let rec go f g =
+    (* Terminal short-circuits *)
+    let shortcut =
+      match op with
+      | O_and ->
+          if f = zero || g = zero then Some zero
+          else if f = one then Some g
+          else if g = one then Some f
+          else if f = g then Some f
+          else None
+      | O_or ->
+          if f = one || g = one then Some one
+          else if f = zero then Some g
+          else if g = zero then Some f
+          else if f = g then Some f
+          else None
+      | O_xor ->
+          if f = g then Some zero
+          else if f = zero then Some g
+          else if g = zero then Some f
+          else if is_terminal f && is_terminal g then Some one
+          else None
+    in
+    match shortcut with
+    | Some r -> r
+    | None -> (
+        (* Commutative ops: normalize the key. *)
+        let a, b = if f <= g then (f, g) else (g, f) in
+        let key = (op_code op, a, b) in
+        match Hashtbl.find_opt t.apply_cache key with
+        | Some r -> r
+        | None ->
+            let lf = t.levels.(f) and lg = t.levels.(g) in
+            let lv = min lf lg in
+            let domain = t.specs.(lv).domain in
+            let cof x lx j = if lx = lv then t.kids.(x).(j) else x in
+            let kids =
+              Array.init domain (fun j -> go (cof f lf j) (cof g lg j))
+            in
+            let r = mk t lv kids in
+            Hashtbl.add t.apply_cache key r;
+            r)
+  in
+  go f g
+
+let apply_and t f g = apply t O_and f g
+let apply_or t f g = apply t O_or f g
+let apply_xor t f g = apply t O_xor f g
+
+let not_ t f = apply_xor t f one
+
+let eval t n assignment =
+  let rec go n =
+    if n = zero then false
+    else if n = one then true
+    else go t.kids.(n).(assignment t.levels.(n))
+  in
+  go n
+
+let probability t n ~p =
+  let memo = Hashtbl.create 256 in
+  let rec go n =
+    if n = zero then 0.0
+    else if n = one then 1.0
+    else
+      match Hashtbl.find_opt memo n with
+      | Some v -> v
+      | None ->
+          let lv = t.levels.(n) in
+          let kids = t.kids.(n) in
+          let acc = ref 0.0 in
+          for j = 0 to Array.length kids - 1 do
+            let pj = p lv j in
+            if pj <> 0.0 then acc := !acc +. (pj *. go kids.(j))
+          done;
+          Hashtbl.add memo n !acc;
+          !acc
+  in
+  go n
+
+let probability_with_sensitivities t n ~p =
+  (* Upward sweep: value of every reachable node. *)
+  let value = Hashtbl.create 256 in
+  let rec node_value n =
+    if n = zero then 0.0
+    else if n = one then 1.0
+    else
+      match Hashtbl.find_opt value n with
+      | Some v -> v
+      | None ->
+          let lv = t.levels.(n) in
+          let kids = t.kids.(n) in
+          let acc = ref 0.0 in
+          for j = 0 to Array.length kids - 1 do
+            acc := !acc +. (p lv j *. node_value kids.(j))
+          done;
+          Hashtbl.add value n !acc;
+          !acc
+  in
+  let total = node_value n in
+  (* Downward sweep: reach probability of every node (sum over paths of the
+     product of edge probabilities), in topological (level) order. *)
+  let reach = Hashtbl.create 256 in
+  Hashtbl.replace reach n 1.0;
+  let nodes = ref [] in
+  let seen = Hashtbl.create 256 in
+  let rec collect n =
+    if (not (is_terminal n)) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      nodes := n :: !nodes;
+      Array.iter collect t.kids.(n)
+    end
+  in
+  collect n;
+  let by_level =
+    List.sort (fun a b -> compare t.levels.(a) t.levels.(b)) !nodes
+  in
+  let sens =
+    Array.init (num_mvars t) (fun v -> Array.make t.specs.(v).domain 0.0)
+  in
+  List.iter
+    (fun m ->
+      let r = Option.value ~default:0.0 (Hashtbl.find_opt reach m) in
+      if r <> 0.0 then begin
+        let lv = t.levels.(m) in
+        let kids = t.kids.(m) in
+        for j = 0 to Array.length kids - 1 do
+          sens.(lv).(j) <- sens.(lv).(j) +. (r *. node_value kids.(j));
+          if not (is_terminal kids.(j)) then begin
+            let cur = Option.value ~default:0.0 (Hashtbl.find_opt reach kids.(j)) in
+            Hashtbl.replace reach kids.(j) (cur +. (r *. p lv j))
+          end
+        done
+      end)
+    by_level;
+  (total, sens)
+
+let iter_reachable t n f =
+  let seen = Hashtbl.create 256 in
+  let rec go n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      if not (is_terminal n) then Array.iter go t.kids.(n);
+      f n
+    end
+  in
+  go n
+
+let size t n =
+  let c = ref 0 in
+  iter_reachable t n (fun _ -> incr c);
+  !c
+
+let total_nodes t = t.used
+
+let support t n =
+  let nvars = num_mvars t in
+  let present = Array.make (nvars + 1) false in
+  iter_reachable t n (fun x -> present.(t.levels.(x)) <- true);
+  let acc = ref [] in
+  for v = nvars - 1 downto 0 do
+    if present.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let to_dot t n =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph romdd {\n";
+  Buffer.add_string buf "  t0 [label=\"0\", shape=box];\n";
+  Buffer.add_string buf "  t1 [label=\"1\", shape=box];\n";
+  let name x = if x = zero then "t0" else if x = one then "t1" else Printf.sprintf "n%d" x in
+  iter_reachable t n (fun x ->
+      if not (is_terminal x) then begin
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d [label=\"%s\"];\n" x t.specs.(t.levels.(x)).name);
+        (* Group edges by destination to render value-set labels like the
+           paper's Fig. 2. *)
+        let dests = Hashtbl.create 8 in
+        Array.iteri
+          (fun j c ->
+            let l = Option.value ~default:[] (Hashtbl.find_opt dests c) in
+            Hashtbl.replace dests c (j :: l))
+          t.kids.(x);
+        Hashtbl.iter
+          (fun c values ->
+            let label =
+              String.concat "," (List.map string_of_int (List.rev values))
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "  n%d -> %s [label=\"%s\"];\n" x (name c) label))
+          dests
+      end);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

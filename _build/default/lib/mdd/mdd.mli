@@ -1,0 +1,87 @@
+(** ROMDD (reduced ordered multiple-valued decision diagram) package.
+
+    Nodes test a multiple-valued variable and have one outgoing edge per
+    domain value; the represented functions here are boolean-valued
+    (terminals 0/1), which is all the yield method needs. Reduction rules:
+    (a) hash-consing (no two structurally identical nodes), (b) node
+    elimination (a node whose children are all equal is replaced by the
+    child). The diagrams are therefore canonical for a given variable
+    ordering, which the test suite exploits: the ROMDD obtained by
+    converting a coded ROBDD must be {e physically} the same node as the one
+    built directly with {!apply}.
+
+    Managers never reclaim nodes (ROMDDs are an order of magnitude smaller
+    than the coded ROBDDs they come from — Table 4 of the paper); sizes are
+    counted over the cone of a root. *)
+
+type spec = { name : string; domain : int }
+(** A multiple-valued variable: values are [0 .. domain-1]. *)
+
+type t
+(** Manager: owns the node store for a fixed ordered list of variables
+    (index in the array = level, level 0 tested first). *)
+
+type node = int
+(** Node handle; {!zero} and {!one} are the terminals. *)
+
+val create : spec array -> t
+val num_mvars : t -> int
+val spec : t -> int -> spec
+
+val zero : node
+val one : node
+val is_terminal : node -> bool
+
+(** [mk t level children] hash-conses a node; [Array.length children] must
+    equal the variable's domain. Applies the elimination rule. *)
+val mk : t -> int -> node array -> node
+
+(** [literal t level values] is the function "variable [level] ∈ [values]"
+    — the paper's filter gates [I_i] and (with a range) [I_{>=i}]. *)
+val literal : t -> int -> values:int list -> node
+
+(** The variable tested at a node; [num_mvars t] for terminals. *)
+val level : t -> node -> int
+
+(** Children array (borrowed; do not mutate). Raises on terminals. *)
+val children : t -> node -> node array
+
+(** {1 Boolean combinators} (hash-consed, memoized APPLY) *)
+
+val apply_and : t -> node -> node -> node
+val apply_or : t -> node -> node -> node
+val apply_xor : t -> node -> node -> node
+val not_ : t -> node -> node
+
+(** {1 Analysis} *)
+
+(** [eval t n assignment] with [assignment level] the value of that
+    variable. *)
+val eval : t -> node -> (int -> int) -> bool
+
+(** [probability t n ~p] is P(f = 1) when variable [v] independently takes
+    value [j] with probability [p v j] — the paper's depth-first, left-most
+    evaluation (Section 2, Fig. 2). Probabilities of each variable must sum
+    to 1 over its domain for the result to be a probability. *)
+val probability : t -> node -> p:(int -> int -> float) -> float
+
+(** [probability_with_sensitivities t n ~p] additionally returns the exact
+    partial derivatives ∂P(f = 1)/∂p(v, j) for every variable [v] and value
+    [j], computed in one downward (reach-probability) and one upward
+    (node-value) sweep: the partial at (v, j) is
+    Σ_{nodes m at level v} reach(m) · value(child_j m). The derivatives
+    treat all [p v j] as independent parameters (no sum-to-1 constraint);
+    compose with a chain rule for constrained parametrizations. *)
+val probability_with_sensitivities :
+  t -> node -> p:(int -> int -> float) -> float * float array array
+
+(** Distinct nodes in the cone of [n], terminals included. *)
+val size : t -> node -> int
+
+(** Total nodes ever created in the manager (a memory/work measure). *)
+val total_nodes : t -> int
+
+(** Increasing list of levels on which [n] depends. *)
+val support : t -> node -> int list
+
+val to_dot : t -> node -> string

@@ -1,0 +1,1 @@
+lib/ordering/heuristics.ml: Array Hashtbl List Socy_logic Socy_util

@@ -1,0 +1,1 @@
+lib/ordering/heuristics.mli: Socy_logic

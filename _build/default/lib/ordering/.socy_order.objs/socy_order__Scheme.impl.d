@@ -1,0 +1,1 @@
+lib/ordering/scheme.ml: Array Heuristics List Socy_encode

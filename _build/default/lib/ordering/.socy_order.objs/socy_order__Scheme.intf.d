@@ -1,0 +1,1 @@
+lib/ordering/scheme.mli: Heuristics Socy_encode

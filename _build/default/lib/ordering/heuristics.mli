@@ -1,0 +1,29 @@
+(** Static variable-ordering heuristics over gate-level descriptions.
+
+    The three heuristics the paper selects from the ROBDD literature:
+
+    - {b topology} (Nikolskaïa-Rauzy-Sherman [26]): inputs ranked in
+      depth-first, left-most traversal order of the gate description.
+    - {b weight} (Minato-Ishiura-Yajima [25]): inputs get weight 1; every
+      gate the sum of its fan-in weights; fan-ins are reordered by
+      increasing weight (stable) and inputs ranked by a depth-first,
+      left-most traversal of the reordered description.
+    - {b H4} (Bouissou-Bruyère-Rauzy [4]): depth-first traversal where the
+      fan-ins of a gate are sorted, when the gate is first visited, by
+      (1) fewest not-yet-visited inputs in their dependency cone, then
+      (2) smallest sum of the ranks of already-visited inputs in their
+      cone, preserving the original order on ties.
+
+    Each heuristic returns [rank] with [rank.(i)] the position of circuit
+    input [i] (0 = first). Inputs not reachable from the output are ranked
+    last, in index order. *)
+
+type kind = Topology | Weight | H4
+
+val name : kind -> string
+
+val rank : kind -> Socy_logic.Circuit.t -> int array
+
+val topology : Socy_logic.Circuit.t -> int array
+val weight : Socy_logic.Circuit.t -> int array
+val h4 : Socy_logic.Circuit.t -> int array

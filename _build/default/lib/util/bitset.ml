@@ -1,0 +1,77 @@
+type t = { capacity : int; words : int array }
+
+let bits_per_word = 63
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  let nwords = (capacity + bits_per_word - 1) / bits_per_word in
+  { capacity; words = Array.make (max nwords 1) 0 }
+
+let capacity s = s.capacity
+
+let check s i =
+  if i < 0 || i >= s.capacity then invalid_arg "Bitset: index out of range"
+
+let mem s i =
+  check s i;
+  s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add s i =
+  check s i;
+  let w = i / bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove s i =
+  check s i;
+  let w = i / bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let copy s = { s with words = Array.copy s.words }
+
+let union_into ~into s =
+  if into.capacity <> s.capacity then invalid_arg "Bitset.union_into: capacity mismatch";
+  for w = 0 to Array.length s.words - 1 do
+    into.words.(w) <- into.words.(w) lor s.words.(w)
+  done
+
+let inter_cardinal a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.inter_cardinal: capacity mismatch";
+  let acc = ref 0 in
+  for w = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(w) land b.words.(w))
+  done;
+  !acc
+
+let diff_cardinal a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset.diff_cardinal: capacity mismatch";
+  let acc = ref 0 in
+  for w = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(w) land lnot b.words.(w))
+  done;
+  !acc
+
+let iter f s =
+  for i = 0 to s.capacity - 1 do
+    if s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then f i
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let equal a b =
+  a.capacity = b.capacity
+  &&
+  let rec loop w = w >= Array.length a.words || (a.words.(w) = b.words.(w) && loop (w + 1)) in
+  loop 0
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words

@@ -1,0 +1,52 @@
+(** Fixed-capacity mutable bitsets over a dense range [0, capacity).
+
+    Used by the variable-ordering heuristics to manipulate dependency cones
+    (sets of circuit inputs) cheaply. *)
+
+type t
+
+(** [create n] is the empty set over universe [0 .. n-1]. *)
+val create : int -> t
+
+(** Capacity (universe size) the set was created with. *)
+val capacity : t -> int
+
+(** [mem s i] tests membership. Raises [Invalid_argument] when [i] is outside
+    the universe. *)
+val mem : t -> int -> bool
+
+(** [add s i] adds [i] in place. *)
+val add : t -> int -> unit
+
+(** [remove s i] removes [i] in place. *)
+val remove : t -> int -> unit
+
+(** Number of elements. O(capacity / word size). *)
+val cardinal : t -> int
+
+(** [copy s] is an independent copy of [s]. *)
+val copy : t -> t
+
+(** [union_into ~into s] adds every element of [s] to [into]. *)
+val union_into : into:t -> t -> unit
+
+(** [inter_cardinal a b] is [cardinal (a ∩ b)] without allocating. *)
+val inter_cardinal : t -> t -> int
+
+(** [diff_cardinal a b] is [cardinal (a \ b)] without allocating. *)
+val diff_cardinal : t -> t -> int
+
+(** [iter f s] applies [f] to the elements in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f s init] folds over elements in increasing order. *)
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Elements in increasing order. *)
+val elements : t -> int list
+
+(** [equal a b] is set equality (capacities must match). *)
+val equal : t -> t -> bool
+
+(** [is_empty s] is [cardinal s = 0] but faster. *)
+val is_empty : t -> bool

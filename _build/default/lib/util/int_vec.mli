@@ -1,0 +1,28 @@
+(** Growable [int] arrays.
+
+    The decision-diagram managers store node fields (variable, children,
+    reference counts, hash links) in parallel integer vectors; this module is
+    their backing store. Amortized O(1) push, O(1) random access. *)
+
+type t
+
+(** [create ?capacity ()] is an empty vector. *)
+val create : ?capacity:int -> unit -> t
+
+(** Number of stored elements. *)
+val length : t -> int
+
+(** [get v i]; raises [Invalid_argument] when out of bounds. *)
+val get : t -> int -> int
+
+(** [set v i x]; raises [Invalid_argument] when out of bounds. *)
+val set : t -> int -> int -> unit
+
+(** [push v x] appends [x] and returns its index. *)
+val push : t -> int -> int
+
+(** [unsafe_get v i] skips bounds checking (hot paths only). *)
+val unsafe_get : t -> int -> int
+
+(** [unsafe_set v i x] skips bounds checking (hot paths only). *)
+val unsafe_set : t -> int -> int -> unit

@@ -1,0 +1,30 @@
+(** Deterministic, seedable pseudo-random number generator (splitmix64).
+
+    The Monte Carlo yield baseline needs reproducible streams independent of
+    the OCaml stdlib [Random] state; this module provides a small, fast,
+    well-mixed generator with a value-level state. *)
+
+type t
+
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+val create : int64 -> t
+
+(** [split t] is a new generator statistically independent of [t]'s
+    subsequent output (splitmix64 "split" construction). *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] when
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [categorical t ~cdf] samples an index [i] such that
+    [cdf.(i-1) <= u < cdf.(i)] for a uniform [u] (with [cdf.(-1)] read as 0).
+    [cdf] must be nondecreasing with last entry >= 1.0 - epsilon; the last
+    index is returned when [u] exceeds every entry. Binary search, O(log n). *)
+val categorical : t -> cdf:float array -> int

@@ -1,0 +1,50 @@
+(* Lanczos approximation with g = 7, n = 9 coefficients (Boost/GSL constants). *)
+let lanczos_g = 7.0
+
+let lanczos_coefficients =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let pi = 4.0 *. atan 1.0
+
+let rec log_gamma x =
+  if x <= 0.0 then invalid_arg "Specfun.log_gamma: nonpositive argument";
+  if x < 0.5 then
+    (* Reflection formula keeps the Lanczos series in its accurate range. *)
+    log (pi /. sin (pi *. x)) -. log_gamma (1.0 -. x)
+  else
+    let x = x -. 1.0 in
+    let a = ref lanczos_coefficients.(0) in
+    for i = 1 to Array.length lanczos_coefficients - 1 do
+      a := !a +. (lanczos_coefficients.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. lanczos_g +. 0.5 in
+    (0.5 *. log (2.0 *. pi)) +. ((x +. 0.5) *. log t) -. t +. log !a
+
+let factorial_table_size = 171
+
+let log_factorial_table =
+  let t = Array.make factorial_table_size 0.0 in
+  let acc = ref 0.0 in
+  for k = 1 to factorial_table_size - 1 do
+    acc := !acc +. log (float_of_int k);
+    t.(k) <- !acc
+  done;
+  t
+
+let log_factorial k =
+  if k < 0 then invalid_arg "Specfun.log_factorial: negative argument";
+  if k < factorial_table_size then log_factorial_table.(k)
+  else log_gamma (float_of_int k +. 1.0)
+
+let log_choose n k =
+  if k < 0 || k > n then invalid_arg "Specfun.log_choose: k out of range";
+  log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+let log_add_exp a b =
+  if a = neg_infinity then b
+  else if b = neg_infinity then a
+  else
+    let hi = max a b and lo = min a b in
+    hi +. log1p (exp (lo -. hi))

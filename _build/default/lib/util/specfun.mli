@@ -1,0 +1,20 @@
+(** Special functions needed by the defect-distribution models.
+
+    The negative binomial pmf involves Gamma-function ratios; we evaluate all
+    pmfs in log space to stay accurate for large [k] and extreme parameters. *)
+
+(** [log_gamma x] is ln Γ(x) for [x > 0]. Lanczos approximation, accurate to
+    ~1e-13 relative over the range used here. Raises [Invalid_argument] for
+    [x <= 0]. *)
+val log_gamma : float -> float
+
+(** [log_factorial k] is ln k! for [k >= 0]. Exact (tabulated) for small [k],
+    [log_gamma] beyond. *)
+val log_factorial : int -> float
+
+(** [log_choose n k] is ln C(n, k); raises [Invalid_argument] unless
+    [0 <= k <= n]. *)
+val log_choose : int -> int -> float
+
+(** [log_add_exp a b] is ln(e^a + e^b) computed stably. *)
+val log_add_exp : float -> float -> float

@@ -1,0 +1,33 @@
+type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+let create () = { n = 0; mean = 0.0; m2 = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+let count t = t.n
+let mean t = t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+
+let z95 = 1.959963984540054
+
+let confidence95 t =
+  if t.n < 2 then 0.0 else z95 *. stddev t /. sqrt (float_of_int t.n)
+
+let wilson95 ~successes ~trials =
+  if trials <= 0 then invalid_arg "Stats.wilson95: no trials";
+  if successes < 0 || successes > trials then
+    invalid_arg "Stats.wilson95: successes out of range";
+  let n = float_of_int trials and x = float_of_int successes in
+  let p = x /. n in
+  let z2 = z95 *. z95 in
+  let denom = 1.0 +. (z2 /. n) in
+  let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z95 /. denom *. sqrt (((p *. (1.0 -. p)) /. n) +. (z2 /. (4.0 *. n *. n)))
+  in
+  (max 0.0 (center -. half), min 1.0 (center +. half))

@@ -1,0 +1,34 @@
+(** Running statistics (Welford) and binomial confidence intervals.
+
+    Used by the Monte Carlo yield baseline, which the paper's introduction
+    names as the alternative approach "without strict error control" — we
+    still report proper confidence intervals. *)
+
+type t
+
+(** A fresh accumulator. *)
+val create : unit -> t
+
+(** [add t x] records one observation. *)
+val add : t -> float -> unit
+
+(** Number of observations so far. *)
+val count : t -> int
+
+(** Sample mean; 0 when empty. *)
+val mean : t -> float
+
+(** Unbiased sample variance; 0 when fewer than two observations. *)
+val variance : t -> float
+
+(** Sample standard deviation. *)
+val stddev : t -> float
+
+(** [confidence95 t] is the half-width of the normal-approximation 95%
+    confidence interval of the mean. *)
+val confidence95 : t -> float
+
+(** [wilson95 ~successes ~trials] is the Wilson score 95% interval
+    [(lo, hi)] for a binomial proportion; better behaved than the normal
+    approximation near 0 and 1 (yields live near 1). *)
+val wilson95 : successes:int -> trials:int -> float * float

@@ -1,0 +1,63 @@
+type align = Left | Right
+
+type t = {
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let headers = Array.of_list headers in
+  let aligns =
+    match aligns with
+    | None -> Array.make (Array.length headers) Left
+    | Some l ->
+        if List.length l <> Array.length headers then
+          invalid_arg "Text_table.create: aligns arity mismatch";
+        Array.of_list l
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  let cells = Array.of_list cells in
+  if Array.length cells <> Array.length t.headers then
+    invalid_arg "Text_table.add_row: arity mismatch";
+  t.rows <- cells :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.headers in
+  let width c =
+    List.fold_left
+      (fun acc row -> max acc (String.length row.(c)))
+      (String.length t.headers.(c))
+      rows
+  in
+  let widths = Array.init ncols width in
+  let pad align w s =
+    let fill = String.make (w - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let line cells =
+    let parts =
+      List.init ncols (fun c -> pad t.aligns.(c) widths.(c) cells.(c))
+    in
+    String.concat " | " parts
+  in
+  let sep =
+    String.concat "-+-" (List.init ncols (fun c -> String.make widths.(c) '-'))
+  in
+  let body = List.map line rows in
+  String.concat "\n" ((line t.headers :: sep :: body) @ [ "" ])
+
+let group_thousands n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  let grouped = Buffer.contents buf in
+  if n < 0 then "-" ^ grouped else grouped

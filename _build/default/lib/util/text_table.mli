@@ -1,0 +1,25 @@
+(** Plain-text table rendering for the benchmark harness and CLI.
+
+    Produces aligned, pipe-separated tables comparable to the paper's layout,
+    e.g. {v
+    benchmark   | wv     | wvr    | ...
+    MS2, l'=1   | 3,202  | 2,034  | ...
+    v} *)
+
+type align = Left | Right
+
+type t
+
+(** [create headers] starts a table; every row must have the same width. *)
+val create : ?aligns:align list -> string list -> t
+
+(** [add_row t cells] appends a data row. Raises [Invalid_argument] when the
+    arity differs from the header. *)
+val add_row : t -> string list -> unit
+
+(** Render with single-space-padded columns. *)
+val render : t -> string
+
+(** [group_thousands n] formats an integer with ',' separators like the
+    paper's tables (e.g. 7,954,261). *)
+val group_thousands : int -> string

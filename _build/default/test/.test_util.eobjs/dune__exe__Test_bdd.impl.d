@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Socy_bdd Socy_logic String

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Fun Int64 List Printf QCheck QCheck_alcotest Socy_benchmarks Socy_logic Socy_util

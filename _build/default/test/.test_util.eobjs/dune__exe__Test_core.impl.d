@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Socy_benchmarks Socy_core Socy_defects Socy_logic Socy_mdd Socy_order Socy_util

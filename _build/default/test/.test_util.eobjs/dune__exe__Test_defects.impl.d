@@ -1,0 +1,1 @@
+test/test_defects.ml: Alcotest Array List Printf QCheck QCheck_alcotest Socy_defects

@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Socy_encode Socy_logic Socy_util String

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Fun Hashtbl List Option Printf QCheck QCheck_alcotest Socy_logic String

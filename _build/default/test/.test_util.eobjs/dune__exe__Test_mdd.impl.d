@@ -1,0 +1,1 @@
+test/test_mdd.ml: Alcotest Array List Printf QCheck QCheck_alcotest Socy_bdd Socy_mdd

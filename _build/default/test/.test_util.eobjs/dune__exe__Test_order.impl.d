@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Socy_benchmarks Socy_encode Socy_logic Socy_order

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Hashtbl List Printf QCheck QCheck_alcotest Socy_util String

@@ -1,0 +1,549 @@
+(* Tests for Socy_bdd: ROBDD algebra, canonicity against truth tables,
+   cofactors/quantifiers, probability, reference counting, garbage
+   collection, node limits, and the circuit compiler. *)
+
+module M = Socy_bdd.Manager
+module Compile = Socy_bdd.Compile
+module C = Socy_logic.Circuit
+module Parse = Socy_logic.Parse
+
+let with_manager ?node_limit n f = f (M.create ?node_limit ~num_vars:n ())
+
+(* Truth table of a BDD over the manager's variables, on all 2^n
+   assignments (bit v of the mask = value of variable v). *)
+let semantics m node n =
+  List.init (1 lsl n) (fun mask -> M.eval m node (fun v -> (mask lsr v) land 1 = 1))
+
+(* ------------------------------------------------------------------ *)
+(* Basics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_terminals () =
+  with_manager 2 (fun m ->
+      Alcotest.(check bool) "zero is terminal" true (M.is_terminal M.zero);
+      Alcotest.(check bool) "one is terminal" true (M.is_terminal M.one);
+      Alcotest.(check int) "terminal level" 2 (M.level m M.zero);
+      Alcotest.(check bool) "eval zero" false (M.eval m M.zero (fun _ -> true));
+      Alcotest.(check bool) "eval one" true (M.eval m M.one (fun _ -> false)))
+
+let test_var_semantics () =
+  with_manager 3 (fun m ->
+      let x1 = M.var m 1 in
+      Alcotest.(check bool) "var true" true (M.eval m x1 (fun v -> v = 1));
+      Alcotest.(check bool) "var false" false (M.eval m x1 (fun v -> v <> 1));
+      let nx1 = M.nvar m 1 in
+      Alcotest.(check bool) "nvar" true (M.eval m nx1 (fun v -> v <> 1));
+      Alcotest.(check int) "var size" 3 (M.size m x1))
+
+let test_structure_access () =
+  with_manager 2 (fun m ->
+      let x0 = M.var m 0 in
+      Alcotest.(check int) "level" 0 (M.level m x0);
+      Alcotest.(check int) "low" M.zero (M.low m x0);
+      Alcotest.(check int) "high" M.one (M.high m x0);
+      Alcotest.check_raises "low of terminal"
+        (Invalid_argument "Manager.low: terminal node") (fun () ->
+          ignore (M.low m M.zero)))
+
+let test_canonicity_same_function_same_node () =
+  with_manager 3 (fun m ->
+      let a = M.var m 0 and b = M.var m 1 in
+      let ab = M.and_ m a b in
+      let ba = M.and_ m b a in
+      Alcotest.(check int) "and commutes to same node" ab ba;
+      (* De Morgan: ¬(a ∧ b) = ¬a ∨ ¬b *)
+      let lhs = M.not_ m ab in
+      let na = M.not_ m a and nb = M.not_ m b in
+      let rhs = M.or_ m na nb in
+      Alcotest.(check int) "de morgan" lhs rhs)
+
+let test_ite_identities () =
+  with_manager 4 (fun m ->
+      let f = M.var m 0 and g = M.var m 1 and h = M.var m 2 in
+      Alcotest.(check int) "ite(1,g,h) = g" g (M.ite m M.one g h);
+      Alcotest.(check int) "ite(0,g,h) = h" h (M.ite m M.zero g h);
+      Alcotest.(check int) "ite(f,g,g) = g" g (M.ite m f g g);
+      Alcotest.(check int) "ite(f,1,0) = f" f (M.ite m f M.one M.zero);
+      Alcotest.(check int) "ite(f,f,h) = ite(f,1,h)" (M.ite m f M.one h) (M.ite m f f h);
+      Alcotest.(check int) "ite(f,g,f) = ite(f,g,0)" (M.ite m f g M.zero) (M.ite m f g f);
+      let nf = M.not_ m f in
+      Alcotest.(check int) "double negation" f (M.not_ m nf))
+
+let test_xor_imp () =
+  with_manager 2 (fun m ->
+      let a = M.var m 0 and b = M.var m 1 in
+      let x = M.xor_ m a b in
+      Alcotest.(check (list bool)) "xor table" [ false; true; true; false ]
+        (semantics m x 2);
+      let i = M.imp m a b in
+      (* mask bit 0 = a, bit 1 = b: a→b is false only at a=1, b=0 (mask 1) *)
+      Alcotest.(check (list bool)) "imp table" [ true; false; true; true ]
+        (semantics m i 2))
+
+(* ------------------------------------------------------------------ *)
+(* Cofactors and quantification                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_restrict () =
+  with_manager 3 (fun m ->
+      (* f = (x0 ∧ x1) ∨ x2 *)
+      let f = M.or_ m (M.and_ m (M.var m 0) (M.var m 1)) (M.var m 2) in
+      let f_x1_true = M.restrict m f ~var:1 ~value:true in
+      let expected = M.or_ m (M.var m 0) (M.var m 2) in
+      Alcotest.(check int) "restrict x1=1" expected f_x1_true;
+      let f_x0_false = M.restrict m f ~var:0 ~value:false in
+      Alcotest.(check int) "restrict x0=0" (M.var m 2) f_x0_false)
+
+let test_exists_forall () =
+  with_manager 3 (fun m ->
+      let f = M.and_ m (M.var m 0) (M.var m 1) in
+      Alcotest.(check int) "exists" (M.var m 0) (M.exists m [ 1 ] f);
+      Alcotest.(check int) "forall" M.zero (M.forall m [ 1 ] f);
+      let g = M.or_ m (M.var m 0) (M.var m 2) in
+      Alcotest.(check int) "exists both" M.one (M.exists m [ 0; 2 ] g);
+      Alcotest.(check int) "forall none quantified" g (M.forall m [] g))
+
+let test_support_any_sat () =
+  with_manager 4 (fun m ->
+      let f = M.and_ m (M.var m 0) (M.var m 3) in
+      Alcotest.(check (list int)) "support" [ 0; 3 ] (M.support m f);
+      let assignment = M.any_sat m f in
+      Alcotest.(check bool) "sat assignment satisfies" true
+        (M.eval m f (fun v -> List.assoc_opt v assignment = Some true));
+      Alcotest.check_raises "unsat" Not_found (fun () -> ignore (M.any_sat m M.zero)))
+
+(* ------------------------------------------------------------------ *)
+(* Counting and probability                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sat_fraction () =
+  with_manager 3 (fun m ->
+      let f = M.or_ m (M.var m 0) (M.var m 1) in
+      Alcotest.(check (float 1e-12)) "or fraction" 0.75 (M.sat_fraction m f);
+      Alcotest.(check (float 1e-12)) "one" 1.0 (M.sat_fraction m M.one);
+      Alcotest.(check (float 1e-12)) "zero" 0.0 (M.sat_fraction m M.zero))
+
+let test_probability () =
+  with_manager 2 (fun m ->
+      let f = M.and_ m (M.var m 0) (M.var m 1) in
+      let p = function 0 -> 0.3 | _ -> 0.5 in
+      Alcotest.(check (float 1e-12)) "and prob" 0.15 (M.probability m f ~p);
+      let g = M.or_ m (M.var m 0) (M.var m 1) in
+      Alcotest.(check (float 1e-12)) "or prob" (0.3 +. 0.5 -. 0.15)
+        (M.probability m g ~p))
+
+let test_size () =
+  with_manager 2 (fun m ->
+      let f = M.and_ m (M.var m 0) (M.var m 1) in
+      Alcotest.(check int) "size of and" 4 (M.size m f);
+      Alcotest.(check int) "size zero" 1 (M.size m M.zero);
+      let g = M.or_ m f (M.not_ m f) in
+      Alcotest.(check int) "size tautology" 1 (M.size m g);
+      (* the standalone x0 node (x0 ? 1 : 0) differs from f's root
+         (x0 ? x1-node : 0): 3 nonterminals + 2 terminals *)
+      Alcotest.(check int) "size_multi shares" 5 (M.size_multi m [ f; M.var m 0 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Reference counting and GC                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_refcount_kill_resurrect () =
+  with_manager 4 (fun m ->
+      let a = M.var m 0 and b = M.var m 1 in
+      let f = M.and_ m a b in
+      let alive_before = M.alive m in
+      M.deref m f;
+      Alcotest.(check int) "killing a root releases it" (alive_before - 1) (M.alive m);
+      Alcotest.(check int) "dead count" 1 (M.dead m);
+      let f2 = M.and_ m a b in
+      Alcotest.(check int) "resurrected same node" f f2;
+      Alcotest.(check int) "alive restored" alive_before (M.alive m);
+      Alcotest.(check int) "no dead" 0 (M.dead m))
+
+let test_deref_underflow () =
+  with_manager 2 (fun m ->
+      let f = M.and_ m (M.var m 0) (M.var m 1) in
+      M.deref m f;
+      Alcotest.check_raises "underflow"
+        (Invalid_argument "Manager.deref: reference count underflow") (fun () ->
+          M.deref m f))
+
+let test_collect_reclaims_and_preserves () =
+  with_manager 4 (fun m ->
+      let a = M.var m 0 and b = M.var m 1 in
+      let keep = M.or_ m a b in
+      let junk = M.and_ m a b in
+      M.deref m junk;
+      Alcotest.(check bool) "some dead" true (M.dead m > 0);
+      M.collect m;
+      Alcotest.(check int) "no dead after collect" 0 (M.dead m);
+      Alcotest.(check int) "gc ran" 1 (M.gc_count m);
+      Alcotest.(check (list bool)) "keep semantics" [ false; true; true; true ]
+        (semantics m keep 2);
+      (* reclaimed slots are reusable *)
+      let j2 = M.and_ m a b in
+      Alcotest.(check (list bool)) "rebuilt junk semantics"
+        [ false; false; false; true ] (semantics m j2 2))
+
+let test_peak_tracking () =
+  with_manager 6 (fun m ->
+      let parity =
+        List.fold_left
+          (fun acc v ->
+            let x = M.var m v in
+            let nxt = M.xor_ m acc x in
+            M.deref m acc;
+            M.deref m x;
+            nxt)
+          M.zero [ 0; 1; 2; 3; 4; 5 ]
+      in
+      Alcotest.(check bool) "peak >= alive" true (M.peak_alive m >= M.alive m);
+      Alcotest.(check bool) "peak >= final size" true
+        (M.peak_alive m >= M.size m parity - 2);
+      M.reset_peak m;
+      Alcotest.(check int) "reset peak" (M.alive m) (M.peak_alive m))
+
+let test_node_limit () =
+  let m = M.create ~node_limit:10 ~num_vars:16 () in
+  let build () =
+    let acc = ref M.zero in
+    for v = 0 to 15 do
+      let x = M.var m v in
+      acc := M.xor_ m !acc x
+    done;
+    !acc
+  in
+  Alcotest.check_raises "limit" M.Node_limit_exceeded (fun () -> ignore (build ()))
+
+let test_to_dot () =
+  with_manager 2 (fun m ->
+      let f = M.and_ m (M.var m 0) (M.var m 1) in
+      let dot = M.to_dot m f in
+      Alcotest.(check bool) "mentions x0" true
+        (let rec has i =
+           i + 2 <= String.length dot && (String.sub dot i 2 = "x0" || has (i + 1))
+         in
+         has 0))
+
+(* ------------------------------------------------------------------ *)
+(* Canonicity against truth tables (property)                          *)
+(* ------------------------------------------------------------------ *)
+
+type rexpr =
+  | RVar of int
+  | RNot of rexpr
+  | RAnd of rexpr * rexpr
+  | ROr of rexpr * rexpr
+  | RXor of rexpr * rexpr
+
+let rec rexpr_print = function
+  | RVar i -> Printf.sprintf "x%d" i
+  | RNot e -> Printf.sprintf "!(%s)" (rexpr_print e)
+  | RAnd (a, b) -> Printf.sprintf "(%s&%s)" (rexpr_print a) (rexpr_print b)
+  | ROr (a, b) -> Printf.sprintf "(%s|%s)" (rexpr_print a) (rexpr_print b)
+  | RXor (a, b) -> Printf.sprintf "(%s^%s)" (rexpr_print a) (rexpr_print b)
+
+let rec rexpr_eval env = function
+  | RVar i -> env i
+  | RNot e -> not (rexpr_eval env e)
+  | RAnd (a, b) -> rexpr_eval env a && rexpr_eval env b
+  | ROr (a, b) -> rexpr_eval env a || rexpr_eval env b
+  | RXor (a, b) -> rexpr_eval env a <> rexpr_eval env b
+
+let rec rexpr_build m = function
+  | RVar i -> M.var m i
+  | RNot e -> M.not_ m (rexpr_build m e)
+  | RAnd (a, b) -> M.and_ m (rexpr_build m a) (rexpr_build m b)
+  | ROr (a, b) -> M.or_ m (rexpr_build m a) (rexpr_build m b)
+  | RXor (a, b) -> M.xor_ m (rexpr_build m a) (rexpr_build m b)
+
+let gen_rexpr num_vars =
+  QCheck.Gen.(
+    sized_size (int_bound 8)
+    @@ fix (fun self size ->
+           if size <= 0 then map (fun i -> RVar i) (int_bound (num_vars - 1))
+           else
+             frequency
+               [
+                 (1, map (fun i -> RVar i) (int_bound (num_vars - 1)));
+                 (1, map (fun e -> RNot e) (self (size - 1)));
+                 (2, map2 (fun a b -> RAnd (a, b)) (self (size / 2)) (self (size / 2)));
+                 (2, map2 (fun a b -> ROr (a, b)) (self (size / 2)) (self (size / 2)));
+                 (1, map2 (fun a b -> RXor (a, b)) (self (size / 2)) (self (size / 2)));
+               ]))
+
+let arb_rexpr n = QCheck.make ~print:rexpr_print (gen_rexpr n)
+
+let nvars_prop = 5
+
+let prop_bdd_matches_semantics =
+  QCheck.Test.make ~name:"BDD evaluation equals formula semantics" ~count:300
+    (arb_rexpr nvars_prop)
+    (fun e ->
+      let m = M.create ~num_vars:nvars_prop () in
+      let node = rexpr_build m e in
+      List.for_all
+        (fun mask ->
+          let env v = (mask lsr v) land 1 = 1 in
+          rexpr_eval env e = M.eval m node env)
+        (List.init (1 lsl nvars_prop) Fun.id))
+
+let prop_canonicity =
+  QCheck.Test.make ~name:"equal truth tables <=> equal nodes" ~count:300
+    QCheck.(pair (arb_rexpr nvars_prop) (arb_rexpr nvars_prop))
+    (fun (e1, e2) ->
+      let m = M.create ~num_vars:nvars_prop () in
+      let n1 = rexpr_build m e1 and n2 = rexpr_build m e2 in
+      let equal_tables =
+        List.for_all
+          (fun mask ->
+            let env v = (mask lsr v) land 1 = 1 in
+            rexpr_eval env e1 = rexpr_eval env e2)
+          (List.init (1 lsl nvars_prop) Fun.id)
+      in
+      (n1 = n2) = equal_tables)
+
+let prop_sat_fraction_counts =
+  QCheck.Test.make ~name:"sat_fraction equals satisfying-assignment count" ~count:200
+    (arb_rexpr nvars_prop)
+    (fun e ->
+      let m = M.create ~num_vars:nvars_prop () in
+      let node = rexpr_build m e in
+      let count =
+        List.fold_left
+          (fun acc mask ->
+            let env v = (mask lsr v) land 1 = 1 in
+            if rexpr_eval env e then acc + 1 else acc)
+          0
+          (List.init (1 lsl nvars_prop) Fun.id)
+      in
+      abs_float
+        (M.sat_fraction m node -. (float_of_int count /. float_of_int (1 lsl nvars_prop)))
+      < 1e-12)
+
+let prop_refcounts_survive_gc =
+  QCheck.Test.make ~name:"semantics preserved across deref of temporaries + GC"
+    ~count:100
+    QCheck.(pair (arb_rexpr nvars_prop) (arb_rexpr nvars_prop))
+    (fun (e1, e2) ->
+      let m = M.create ~num_vars:nvars_prop () in
+      let keep = rexpr_build m e1 in
+      let junk = rexpr_build m e2 in
+      M.deref m junk;
+      M.collect m;
+      List.for_all
+        (fun mask ->
+          let env v = (mask lsr v) land 1 = 1 in
+          rexpr_eval env e1 = M.eval m keep env)
+        (List.init (1 lsl nvars_prop) Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Circuit compiler                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_compile_simple () =
+  let circuit = Parse.fault_tree ~num_inputs:3 "x0 & x1 | !x2" in
+  let m = M.create ~num_vars:3 () in
+  let root, stats = Compile.of_circuit m circuit ~var_of_input:Fun.id in
+  List.iter
+    (fun mask ->
+      let env v = (mask lsr v) land 1 = 1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "mask %d" mask)
+        ((env 0 && env 1) || not (env 2))
+        (M.eval m root env))
+    (List.init 8 Fun.id);
+  Alcotest.(check int) "final size consistent" (M.size m root) stats.Compile.final_size;
+  Alcotest.(check bool) "peak >= final" true
+    (stats.Compile.peak_nodes >= stats.Compile.final_size - 2)
+
+let test_compile_var_permutation () =
+  let circuit = Parse.fault_tree ~num_inputs:3 "x0 | x1 & x2" in
+  let m = M.create ~num_vars:3 () in
+  let perm = [| 2; 0; 1 |] in
+  let root, _ = Compile.of_circuit m circuit ~var_of_input:(fun i -> perm.(i)) in
+  List.iter
+    (fun mask ->
+      let input_env i = (mask lsr i) land 1 = 1 in
+      let bdd_env v =
+        input_env (if perm.(0) = v then 0 else if perm.(1) = v then 1 else 2)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "mask %d" mask)
+        (input_env 0 || (input_env 1 && input_env 2))
+        (M.eval m root bdd_env))
+    (List.init 8 Fun.id)
+
+let test_compile_releases_intermediates () =
+  let circuit = Parse.fault_tree ~num_inputs:6 "atleast(3; x0, x1, x2, x3, x4, x5)" in
+  let m = M.create ~num_vars:6 () in
+  let root, _ = Compile.of_circuit m circuit ~var_of_input:Fun.id in
+  M.collect m;
+  Alcotest.(check int) "alive = root cone" (M.size m root - 2) (M.alive m)
+
+let test_compile_constant_output () =
+  let circuit = Parse.fault_tree ~num_inputs:1 "x0 & !x0" in
+  let m = M.create ~num_vars:1 () in
+  let root, _ = Compile.of_circuit m circuit ~var_of_input:Fun.id in
+  Alcotest.(check int) "contradiction compiles to zero" M.zero root
+
+let prop_compile_matches_interpreter =
+  QCheck.Test.make ~name:"compiled circuit equals interpreter" ~count:200
+    (arb_rexpr nvars_prop)
+    (fun e ->
+      let b = C.builder ~num_inputs:nvars_prop () in
+      let rec build = function
+        | RVar i -> C.input b i
+        | RNot x -> C.not_ b (build x)
+        | RAnd (x, y) -> C.and_ b [ build x; build y ]
+        | ROr (x, y) -> C.or_ b [ build x; build y ]
+        | RXor (x, y) -> C.xor_ b [ build x; build y ]
+      in
+      let circuit = C.finish b ~name:"prop" (build e) in
+      let m = M.create ~num_vars:nvars_prop () in
+      let root, _ = Compile.of_circuit m circuit ~var_of_input:Fun.id in
+      List.for_all
+        (fun mask ->
+          let env v = (mask lsr v) land 1 = 1 in
+          rexpr_eval env e = M.eval m root env)
+        (List.init (1 lsl nvars_prop) Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Minimal cut sets                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Cutsets = Socy_bdd.Cutsets
+
+let test_cutsets_basic () =
+  let sets = Cutsets.of_circuit (Parse.fault_tree "x0 & x1 | x2") in
+  Alcotest.(check (list (list int))) "and-or" [ [ 2 ]; [ 0; 1 ] ] sets;
+  let sets = Cutsets.of_circuit (Parse.fault_tree "atleast(2; x0, x1, x2)") in
+  Alcotest.(check (list (list int))) "2-of-3" [ [ 0; 1 ]; [ 0; 2 ]; [ 1; 2 ] ] sets;
+  let sets = Cutsets.of_circuit (Parse.fault_tree "x0 | x0 & x1") in
+  Alcotest.(check (list (list int))) "absorption" [ [ 0 ] ] sets
+
+let test_cutsets_terminals () =
+  let m = M.create ~num_vars:3 () in
+  Alcotest.(check int) "zero has none" 0 (Cutsets.count m M.zero);
+  Alcotest.(check int) "one has the empty cut" 1 (Cutsets.count m M.one);
+  Alcotest.(check (list (list int))) "one enumerates empty" [ [] ]
+    (Cutsets.enumerate m M.one)
+
+let test_cutsets_count_and_limit () =
+  let circuit = Parse.fault_tree "atleast(3; x0, x1, x2, x3, x4, x5)" in
+  let m = M.create ~num_vars:6 () in
+  let root, _ = Compile.of_circuit m circuit ~var_of_input:Fun.id in
+  Alcotest.(check int) "C(6,3)" 20 (Cutsets.count m root);
+  Alcotest.(check int) "limit respected" 5
+    (List.length (Cutsets.enumerate ~limit:5 m root))
+
+(* Brute-force minimal true points of a monotone function. *)
+let brute_minimal_cuts circuit n =
+  let eval mask = C.eval circuit (fun i -> (mask lsr i) land 1 = 1) in
+  let cuts = ref [] in
+  for mask = 0 to (1 lsl n) - 1 do
+    if eval mask then begin
+      let minimal = ref true in
+      for i = 0 to n - 1 do
+        if (mask lsr i) land 1 = 1 && eval (mask land lnot (1 lsl i)) then
+          minimal := false
+      done;
+      if !minimal then begin
+        let set = List.filter (fun i -> (mask lsr i) land 1 = 1) (List.init n Fun.id) in
+        cuts := set :: !cuts
+      end
+    end
+  done;
+  List.sort
+    (fun a b ->
+      let c = compare (List.length a) (List.length b) in
+      if c <> 0 then c else compare a b)
+    !cuts
+
+(* Random monotone circuits: AND/OR over positive literals. *)
+type mono = MVar of int | MAndM of mono * mono | MOrM of mono * mono
+
+let rec mono_print = function
+  | MVar i -> Printf.sprintf "x%d" i
+  | MAndM (a, b) -> Printf.sprintf "(%s&%s)" (mono_print a) (mono_print b)
+  | MOrM (a, b) -> Printf.sprintf "(%s|%s)" (mono_print a) (mono_print b)
+
+let gen_mono num_vars =
+  QCheck.Gen.(
+    sized_size (int_bound 8)
+    @@ fix (fun self size ->
+           if size <= 0 then map (fun i -> MVar i) (int_bound (num_vars - 1))
+           else
+             frequency
+               [
+                 (1, map (fun i -> MVar i) (int_bound (num_vars - 1)));
+                 (2, map2 (fun a b -> MAndM (a, b)) (self (size / 2)) (self (size / 2)));
+                 (2, map2 (fun a b -> MOrM (a, b)) (self (size / 2)) (self (size / 2)));
+               ]))
+
+let prop_cutsets_match_brute_force =
+  QCheck.Test.make ~name:"minimal cut sets equal brute-force minimal points"
+    ~count:200
+    (QCheck.make ~print:mono_print (gen_mono 6))
+    (fun e ->
+      let circuit = Parse.fault_tree ~num_inputs:6 (mono_print e) in
+      Cutsets.of_circuit circuit = brute_minimal_cuts circuit 6)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "socy_bdd"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "terminals" `Quick test_terminals;
+          Alcotest.test_case "var semantics" `Quick test_var_semantics;
+          Alcotest.test_case "structure access" `Quick test_structure_access;
+          Alcotest.test_case "canonicity" `Quick test_canonicity_same_function_same_node;
+          Alcotest.test_case "ite identities" `Quick test_ite_identities;
+          Alcotest.test_case "xor/imp" `Quick test_xor_imp;
+        ] );
+      ( "cofactor",
+        [
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "exists/forall" `Quick test_exists_forall;
+          Alcotest.test_case "support/any_sat" `Quick test_support_any_sat;
+        ] );
+      ( "counting",
+        [
+          Alcotest.test_case "sat fraction" `Quick test_sat_fraction;
+          Alcotest.test_case "probability" `Quick test_probability;
+          Alcotest.test_case "size" `Quick test_size;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "kill/resurrect" `Quick test_refcount_kill_resurrect;
+          Alcotest.test_case "deref underflow" `Quick test_deref_underflow;
+          Alcotest.test_case "collect" `Quick test_collect_reclaims_and_preserves;
+          Alcotest.test_case "peak tracking" `Quick test_peak_tracking;
+          Alcotest.test_case "node limit" `Quick test_node_limit;
+          Alcotest.test_case "dot export" `Quick test_to_dot;
+        ] );
+      qsuite "props"
+        [
+          prop_bdd_matches_semantics;
+          prop_canonicity;
+          prop_sat_fraction_counts;
+          prop_refcounts_survive_gc;
+        ];
+      ( "compile",
+        [
+          Alcotest.test_case "simple" `Quick test_compile_simple;
+          Alcotest.test_case "permuted variables" `Quick test_compile_var_permutation;
+          Alcotest.test_case "releases intermediates" `Quick test_compile_releases_intermediates;
+          Alcotest.test_case "constant output" `Quick test_compile_constant_output;
+        ] );
+      qsuite "compile-props" [ prop_compile_matches_interpreter ];
+      ( "cutsets",
+        [
+          Alcotest.test_case "basic" `Quick test_cutsets_basic;
+          Alcotest.test_case "terminals" `Quick test_cutsets_terminals;
+          Alcotest.test_case "count and limit" `Quick test_cutsets_count_and_limit;
+        ] );
+      qsuite "cutsets-props" [ prop_cutsets_match_brute_force ];
+    ]

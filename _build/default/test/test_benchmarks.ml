@@ -1,0 +1,375 @@
+(* Tests for Socy_benchmarks: component counts against the paper's
+   Table 1, structure-function semantics of MSn and ESENn×m against
+   independent reference implementations, P_i ratio assignments, and the
+   ESEN route topology. *)
+
+module C = Socy_logic.Circuit
+module S = Socy_benchmarks.Suite
+module Ms = Socy_benchmarks.Ms
+module Esen = Socy_benchmarks.Esen
+
+let check_int = Alcotest.(check int)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 component counts                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_table1_component_counts () =
+  let expected =
+    [
+      ("MS2", 18); ("MS4", 30); ("MS6", 42); ("MS8", 54); ("MS10", 66);
+      ("ESEN4x1", 14); ("ESEN4x2", 26); ("ESEN4x4", 34);
+      ("ESEN8x1", 32); ("ESEN8x2", 56); ("ESEN8x4", 72);
+    ]
+  in
+  List.iter2
+    (fun (instance : S.instance) (label, c) ->
+      Alcotest.(check string) "label order" label instance.S.label;
+      check_int label c instance.S.circuit.C.num_inputs;
+      check_int (label ^ " names") c (Array.length instance.S.component_names);
+      check_int (label ^ " affect") c (Array.length instance.S.affect))
+    (S.table1_instances ()) expected
+
+let test_by_name () =
+  check_int "MS4 via name" 30 (S.by_name "MS4").S.circuit.C.num_inputs;
+  check_int "ESEN8x2 via name" 56 (S.by_name "ESEN8x2").S.circuit.C.num_inputs;
+  List.iter
+    (fun bad ->
+      Alcotest.check_raises bad Not_found (fun () -> ignore (S.by_name bad)))
+    [ "MS"; "MSx"; "ESEN"; "ESEN4"; "FOO8x2"; "" ]
+
+let test_table_rows () =
+  let rows = S.table_rows () in
+  check_int "15 rows" 15 (List.length rows);
+  let first = List.hd rows in
+  Alcotest.(check string) "first row" "MS2, l'=1" (S.row_label first);
+  check_float "lambda" 10.0 first.S.lambda;
+  check_float "lambda'" 1.0 first.S.lambda_lethal
+
+(* ------------------------------------------------------------------ *)
+(* P_i assignments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_ms_affect_ratios () =
+  let { Ms.component_names; affect; _ } = Ms.build 3 in
+  let find name =
+    let rec loop i =
+      if i >= Array.length component_names then Alcotest.failf "missing %s" name
+      else if component_names.(i) = name then affect.(i)
+      else loop (i + 1)
+    in
+    loop 0
+  in
+  check_float ~eps:1e-12 "sum = P_L" 0.1 (Array.fold_left ( +. ) 0.0 affect);
+  let p_ipm = find "IPM_1" in
+  check_float ~eps:1e-12 "IPS/IPM = 1/2" (p_ipm /. 2.0) (find "IPS_2_1");
+  check_float ~eps:1e-12 "CM/IPM = 1/10" (p_ipm /. 10.0) (find "CM_2_B");
+  check_float ~eps:1e-12 "CS/IPM = 1/10" (p_ipm /. 10.0) (find "CS_1_2_A")
+
+let test_esen_affect_ratios () =
+  let { Esen.component_names; affect; _ } = Esen.build ~n:4 ~m:2 () in
+  let find name =
+    let rec loop i =
+      if i >= Array.length component_names then Alcotest.failf "missing %s" name
+      else if component_names.(i) = name then affect.(i)
+      else loop (i + 1)
+    in
+    loop 0
+  in
+  check_float ~eps:1e-12 "sum = P_L" 0.1 (Array.fold_left ( +. ) 0.0 affect);
+  let p_ipa = find "IPA_0" in
+  check_float ~eps:1e-12 "IPB = IPA" p_ipa (find "IPB_3");
+  check_float ~eps:1e-12 "SE = IPA/2" (p_ipa /. 2.0) (find "SE_1_0");
+  check_float ~eps:1e-12 "redundant copy same" (p_ipa /. 2.0) (find "SE_0_1_r");
+  check_float ~eps:1e-12 "C = IPA/10" (p_ipa /. 10.0) (find "CA_3")
+
+let test_custom_p_lethal () =
+  let { Ms.affect; _ } = Ms.build ~p_lethal:0.25 2 in
+  check_float ~eps:1e-12 "custom P_L" 0.25 (Array.fold_left ( +. ) 0.0 affect)
+
+(* ------------------------------------------------------------------ *)
+(* MSn structure function vs a reference implementation                *)
+(* ------------------------------------------------------------------ *)
+
+(* Independent reference: direct translation of the operational rule. *)
+let ms_reference n failed =
+  let ipm j = j in
+  let cm j bus = 2 + (2 * j) + bus in
+  let ips i s = 6 + (6 * i) + s in
+  let cs i s bus = 6 + (6 * i) + 2 + (2 * s) + bus in
+  let master_ok j =
+    (not failed.(ipm j))
+    && List.for_all
+         (fun i ->
+           List.exists
+             (fun (s, bus) ->
+               (not failed.(ips i s))
+               && (not failed.(cm j bus))
+               && not failed.(cs i s bus))
+             [ (0, 0); (0, 1); (1, 0); (1, 1) ])
+         (List.init n Fun.id)
+  in
+  not (master_ok 0 || master_ok 1) (* true = system failed *)
+
+let random_failed rng c density =
+  Array.init c (fun _ -> Socy_util.Prng.float rng < density)
+
+let test_ms_semantics_random () =
+  List.iter
+    (fun n ->
+      let { Ms.circuit; _ } = Ms.build n in
+      let c = circuit.C.num_inputs in
+      let rng = Socy_util.Prng.create 99L in
+      for _ = 1 to 500 do
+        let failed = random_failed rng c 0.25 in
+        Alcotest.(check bool) "MS semantics"
+          (ms_reference n failed)
+          (C.eval circuit (fun i -> failed.(i)))
+      done)
+    [ 1; 2; 3 ]
+
+let test_ms_extremes () =
+  let { Ms.circuit; _ } = Ms.build 2 in
+  Alcotest.(check bool) "all good" false (C.eval circuit (fun _ -> false));
+  Alcotest.(check bool) "all failed" true (C.eval circuit (fun _ -> true));
+  (* both masters failed: system fails *)
+  Alcotest.(check bool) "masters down" true (C.eval circuit (fun i -> i < 2));
+  (* one master failed only: system works *)
+  Alcotest.(check bool) "one master down" false (C.eval circuit (fun i -> i = 0));
+  (* both IPS of one cluster failed: system fails *)
+  Alcotest.(check bool) "cluster down" true (C.eval circuit (fun i -> i = 6 || i = 7))
+
+(* ------------------------------------------------------------------ *)
+(* ESEN routes                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_esen_routes_shape () =
+  List.iter
+    (fun n ->
+      let stages =
+        let rec log2 v = if v = 1 then 0 else 1 + log2 (v / 2) in
+        log2 n + 1
+      in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          let rs = Esen.routes ~n a b in
+          check_int "two routes" 2 (List.length rs);
+          List.iter
+            (fun r ->
+              check_int "stage count" stages (Array.length r);
+              Array.iter
+                (fun se ->
+                  Alcotest.(check bool) "se in range" true (se >= 0 && se < n / 2))
+                r)
+            rs;
+          (* the two routes differ somewhere in the interior *)
+          match rs with
+          | [ r1; r2 ] ->
+              Alcotest.(check bool) "routes differ" true (r1 <> r2);
+              check_int "same last SE" r1.(stages - 1) r2.(stages - 1)
+          | _ -> Alcotest.fail "expected exactly two routes"
+        done
+      done)
+    [ 4; 8 ]
+
+let test_esen_extremes () =
+  let { Esen.circuit; _ } = Esen.build ~n:4 ~m:2 () in
+  Alcotest.(check bool) "all good" false (C.eval circuit (fun _ -> false));
+  Alcotest.(check bool) "all failed" true (C.eval circuit (fun _ -> true))
+
+let test_esen_tolerates_one_core_loss () =
+  let { Esen.circuit; component_names; _ } = Esen.build ~n:4 ~m:2 () in
+  let idx name =
+    let rec loop i =
+      if component_names.(i) = name then i else loop (i + 1)
+    in
+    loop 0
+  in
+  (* one IPA and one IPB failed: still operational *)
+  let a0 = idx "IPA_0" and b0 = idx "IPB_0" in
+  Alcotest.(check bool) "one core each side" false
+    (C.eval circuit (fun i -> i = a0 || i = b0));
+  (* two IPAs failed: not operational *)
+  let a1 = idx "IPA_1" in
+  Alcotest.(check bool) "two IPAs" true (C.eval circuit (fun i -> i = a0 || i = a1))
+
+let test_esen_redundant_se_tolerated () =
+  let { Esen.circuit; component_names; _ } = Esen.build ~n:4 ~m:1 () in
+  let idx name =
+    let rec loop i =
+      if i >= Array.length component_names then Alcotest.failf "missing %s" name
+      else if component_names.(i) = name then i
+      else loop (i + 1)
+    in
+    loop 0
+  in
+  (* a first-stage SE primary fails: its copy covers, system operational *)
+  let se00 = idx "SE_0_0" in
+  Alcotest.(check bool) "redundant primary" false (C.eval circuit (fun i -> i = se00));
+  (* primary and copy both fail: the slot is dead; full access lost *)
+  let se00r = idx "SE_0_0_r" in
+  Alcotest.(check bool) "both copies" true
+    (C.eval circuit (fun i -> i = se00 || i = se00r));
+  (* an interior SE has no copy: losing it breaks both routes of some pair?
+     In ESEN the extra stage covers a single interior SE loss for n = 4 only
+     when an alternative route exists; losing one middle SE must NOT bring
+     the system down because every pair has 2 routes through distinct
+     middle SEs. *)
+  let se10 = idx "SE_1_0" in
+  Alcotest.(check bool) "single middle SE tolerated" false
+    (C.eval circuit (fun i -> i = se10));
+  let se11 = idx "SE_1_1" in
+  Alcotest.(check bool) "both middle SEs fatal" true
+    (C.eval circuit (fun i -> i = se10 || i = se11))
+
+(* Independent reference for the ESEN structure function, written against
+   component *names* (so it also catches index-layout bugs) and the
+   published route semantics. *)
+let esen_reference ~n ~m (names : string array) failed =
+  let idx name =
+    let rec loop i =
+      if i >= Array.length names then Alcotest.failf "missing %s" name
+      else if names.(i) = name then i
+      else loop (i + 1)
+    in
+    loop 0
+  in
+  let is_failed name = failed.(idx name) in
+  let cores = n * m / 2 in
+  let stages =
+    let rec log2 v = if v = 1 then 0 else 1 + log2 (v / 2) in
+    log2 n + 1
+  in
+  let se_ok s e =
+    if s = 0 || s = stages - 1 then
+      (not (is_failed (Printf.sprintf "SE_%d_%d" s e)))
+      || not (is_failed (Printf.sprintf "SE_%d_%d_r" s e))
+    else not (is_failed (Printf.sprintf "SE_%d_%d" s e))
+  in
+  let accessible side j =
+    let core = Printf.sprintf "%s_%d" (match side with `A -> "IPA" | `B -> "IPB") j in
+    let conc =
+      Printf.sprintf "%s_%d" (match side with `A -> "CA" | `B -> "CB") (j mod n)
+    in
+    (not (is_failed core)) && (m < 2 || not (is_failed conc))
+  in
+  let count side =
+    List.length (List.filter (accessible side) (List.init cores Fun.id))
+  in
+  let used_inputs =
+    List.sort_uniq compare
+      (List.init cores (fun j -> if m = 1 then j else j mod n))
+  in
+  let used_outputs =
+    List.sort_uniq compare
+      (List.init cores (fun j -> if m = 1 then 2 * j else j mod n))
+  in
+  let pair_connected a b =
+    List.exists
+      (fun route ->
+        Array.for_all Fun.id (Array.mapi (fun s e -> se_ok s e) route))
+      (Esen.routes ~n a b)
+  in
+  let full_access =
+    List.for_all
+      (fun a -> List.for_all (fun b -> pair_connected a b) used_outputs)
+      used_inputs
+  in
+  let operational =
+    count `A >= cores - 1 && count `B >= cores - 1 && full_access
+  in
+  not operational (* fault-tree convention: 1 = failed *)
+
+let test_esen_semantics_random () =
+  List.iter
+    (fun (n, m) ->
+      let { Esen.circuit; component_names; _ } = Esen.build ~n ~m () in
+      let c = circuit.C.num_inputs in
+      let rng = Socy_util.Prng.create 123L in
+      for _ = 1 to 400 do
+        let failed = random_failed rng c 0.2 in
+        Alcotest.(check bool)
+          (Printf.sprintf "ESEN%dx%d semantics" n m)
+          (esen_reference ~n ~m component_names failed)
+          (C.eval circuit (fun i -> failed.(i)))
+      done)
+    [ (4, 1); (4, 2); (8, 1); (8, 2) ]
+
+let test_esen_validation () =
+  Alcotest.check_raises "n not power of two"
+    (Invalid_argument "Esen.build: n must be a power of two >= 4") (fun () ->
+      ignore (Esen.build ~n:6 ~m:1 ()));
+  Alcotest.check_raises "n too small"
+    (Invalid_argument "Esen.build: n must be a power of two >= 4") (fun () ->
+      ignore (Esen.build ~n:2 ~m:1 ()));
+  Alcotest.check_raises "bad m" (Invalid_argument "Esen.build: bad m") (fun () ->
+      ignore (Esen.build ~n:4 ~m:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Coherence (monotonicity) of MS                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_ms_monotone =
+  QCheck.Test.make ~name:"MSn fault tree is coherent (monotone)" ~count:200
+    QCheck.(pair (int_bound 10_000) (int_bound 17))
+    (fun (seed, flip) ->
+      let { Ms.circuit; _ } = Ms.build 2 in
+      let c = circuit.C.num_inputs in
+      let rng = Socy_util.Prng.create (Int64.of_int (seed + 1)) in
+      let failed = random_failed rng c 0.3 in
+      let before = C.eval circuit (fun i -> failed.(i)) in
+      failed.(flip) <- true;
+      let after = C.eval circuit (fun i -> failed.(i)) in
+      (* failing one more component can only make things worse *)
+      (not before) || after)
+
+let prop_esen_monotone =
+  QCheck.Test.make ~name:"ESEN fault tree is coherent (monotone)" ~count:200
+    QCheck.(pair (int_bound 10_000) (int_bound 25))
+    (fun (seed, flip) ->
+      let { Esen.circuit; _ } = Esen.build ~n:4 ~m:2 () in
+      let c = circuit.C.num_inputs in
+      let rng = Socy_util.Prng.create (Int64.of_int (seed + 1)) in
+      let failed = random_failed rng c 0.3 in
+      let before = C.eval circuit (fun i -> failed.(i)) in
+      failed.(flip) <- true;
+      let after = C.eval circuit (fun i -> failed.(i)) in
+      (not before) || after)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "socy_benchmarks"
+    [
+      ( "table1",
+        [
+          Alcotest.test_case "component counts" `Quick test_table1_component_counts;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+          Alcotest.test_case "table rows" `Quick test_table_rows;
+        ] );
+      ( "affect",
+        [
+          Alcotest.test_case "MS ratios" `Quick test_ms_affect_ratios;
+          Alcotest.test_case "ESEN ratios" `Quick test_esen_affect_ratios;
+          Alcotest.test_case "custom p_lethal" `Quick test_custom_p_lethal;
+        ] );
+      ( "ms-semantics",
+        [
+          Alcotest.test_case "random vs reference" `Quick test_ms_semantics_random;
+          Alcotest.test_case "extremes" `Quick test_ms_extremes;
+        ] );
+      ( "esen",
+        [
+          Alcotest.test_case "routes shape" `Quick test_esen_routes_shape;
+          Alcotest.test_case "extremes" `Quick test_esen_extremes;
+          Alcotest.test_case "one core loss tolerated" `Quick
+            test_esen_tolerates_one_core_loss;
+          Alcotest.test_case "redundant SE" `Quick test_esen_redundant_se_tolerated;
+          Alcotest.test_case "random vs reference" `Quick test_esen_semantics_random;
+          Alcotest.test_case "validation" `Quick test_esen_validation;
+        ] );
+      qsuite "props" [ prop_ms_monotone; prop_esen_monotone ];
+    ]

@@ -1,0 +1,613 @@
+(* Integration tests for Socy_core: the end-to-end method against exact
+   brute-force enumeration, direct multiple-valued APPLY construction,
+   Monte Carlo simulation, and hand-computed closed forms — including the
+   paper's Fig. 2 worked example. *)
+
+module C = Socy_logic.Circuit
+module Parse = Socy_logic.Parse
+module P = Socy_core.Pipeline
+module Direct = Socy_core.Direct
+module Brute = Socy_core.Brute
+module Montecarlo = Socy_core.Montecarlo
+module D = Socy_defects.Distribution
+module Model = Socy_defects.Model
+module Scheme = Socy_order.Scheme
+module H = Socy_order.Heuristics
+module Mdd = Socy_mdd.Mdd
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let uniform_lethal c ~q =
+  {
+    Model.count = D.of_array q;
+    component = Array.make c (1.0 /. float_of_int c);
+    p_lethal = 0.1;
+  }
+
+let run_exn ?config ft lethal =
+  match P.run_lethal ?config ft lethal with
+  | Ok r -> r
+  | Error f -> Alcotest.failf "pipeline failed at %s" f.P.stage
+
+(* ------------------------------------------------------------------ *)
+(* The paper's Fig. 2 worked example                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig2_fault_tree () = Parse.fault_tree ~name:"fig2" "x0 & x1 | x2"
+
+let fig2_lethal () = uniform_lethal 3 ~q:[| 0.4; 0.3; 0.2; 0.1 |]
+
+let fig2_config =
+  (* epsilon chosen so that M = 2 exactly as in the figure; ordering
+     v1, v2, w as in the figure *)
+  { P.default_config with P.epsilon = 0.11; P.mv_order = Scheme.Vw }
+
+let test_fig2_romdd_structure () =
+  match P.Artifacts.build ~config:fig2_config (fig2_fault_tree ()) (fig2_lethal ()) with
+  | Error _ -> Alcotest.fail "fig2 artifacts failed"
+  | Ok a ->
+      Alcotest.(check int) "M = 2" 2 a.P.Artifacts.m;
+      let mdd = a.P.Artifacts.mdd in
+      let root = a.P.Artifacts.mdd_root in
+      (* 6 nonterminals (1 v1, 2 v2, 3 w) + 2 terminals, exactly the
+         diagram of Fig. 2 *)
+      Alcotest.(check int) "size" 8 (Mdd.size mdd root);
+      (* count nodes per variable *)
+      let counts = Array.make 3 0 in
+      let seen = Hashtbl.create 16 in
+      let rec walk n =
+        if not (Hashtbl.mem seen n) then begin
+          Hashtbl.add seen n ();
+          if not (Mdd.is_terminal n) then begin
+            counts.(Mdd.level mdd n) <- counts.(Mdd.level mdd n) + 1;
+            Array.iter walk (Mdd.children mdd n)
+          end
+        end
+      in
+      walk root;
+      (* ordering is v1, v2, w: positions 0, 1, 2 *)
+      Alcotest.(check int) "one v1 node" 1 counts.(0);
+      Alcotest.(check int) "two v2 nodes" 2 counts.(1);
+      Alcotest.(check int) "three w nodes" 3 counts.(2);
+      (* root tests v1 *)
+      Alcotest.(check string) "root variable" "v1"
+        (Mdd.spec mdd (Mdd.level mdd root)).Mdd.name
+
+let test_fig2_yield_by_hand () =
+  (* Y_0 = 1, Y_1 = 2/3, Y_2 = 2/9 with uniform P' over three components:
+     Y_M = 0.4 + 0.3·(2/3) + 0.2·(2/9). *)
+  let expected = 0.4 +. (0.3 *. 2.0 /. 3.0) +. (0.2 *. 2.0 /. 9.0) in
+  let r = run_exn ~config:fig2_config (fig2_fault_tree ()) (fig2_lethal ()) in
+  check_float ~eps:1e-12 "yield lower" expected r.P.yield_lower;
+  check_float ~eps:1e-12 "upper = lower + tail" (expected +. 0.1) r.P.yield_upper;
+  check_float ~eps:1e-12 "p_unusable" (1.0 -. expected) r.P.p_unusable
+
+let test_fig2_brute_and_direct_agree () =
+  let ft = fig2_fault_tree () and lethal = fig2_lethal () in
+  let r = run_exn ~config:fig2_config ft lethal in
+  let brute_y, per_k = Brute.yield_m ft lethal ~m:2 in
+  check_float ~eps:1e-12 "brute matches" brute_y r.P.yield_lower;
+  check_float ~eps:1e-12 "Y_0" 1.0 per_k.(0);
+  check_float ~eps:1e-12 "Y_1" (2.0 /. 3.0) per_k.(1);
+  check_float ~eps:1e-12 "Y_2" (2.0 /. 9.0) per_k.(2);
+  let direct_y, m, _size = Direct.evaluate ~epsilon:0.11 ft lethal ~mv:Scheme.Vw ~bits:Scheme.Ml in
+  Alcotest.(check int) "direct M" 2 m;
+  check_float ~eps:1e-12 "direct matches" r.P.yield_lower direct_y
+
+let test_fig2_conversion_equals_direct_apply () =
+  match P.Artifacts.build ~config:fig2_config (fig2_fault_tree ()) (fig2_lethal ()) with
+  | Error _ -> Alcotest.fail "artifacts failed"
+  | Ok a ->
+      let direct_root = Direct.build_into a in
+      Alcotest.(check int) "same canonical node" a.P.Artifacts.mdd_root direct_root
+
+(* ------------------------------------------------------------------ *)
+(* Closed forms                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_series_system_yield_is_q0 () =
+  (* A series system fails on any lethal defect: Y = Q'_0. *)
+  let ft = Parse.fault_tree ~name:"series" "x0 | x1 | x2 | x3" in
+  let q = [| 0.55; 0.25; 0.12; 0.08 |] in
+  let lethal = uniform_lethal 4 ~q in
+  let config = { P.default_config with P.epsilon = 1e-9 } in
+  let r = run_exn ~config ft lethal in
+  check_float ~eps:1e-12 "series yield" q.(0) r.P.yield_lower
+
+let test_parallel_pair_closed_form () =
+  (* 2 components in parallel, victim probabilities (p, 1-p):
+     Y_k = p^k + (1-p)^k - [k = 0]. *)
+  let ft = Parse.fault_tree ~name:"parallel" "x0 & x1" in
+  let p = 0.3 in
+  let q = [| 0.5; 0.2; 0.2; 0.1 |] in
+  let lethal =
+    { Model.count = D.of_array q; component = [| p; 1.0 -. p |]; p_lethal = 0.1 }
+  in
+  let expected =
+    let y k =
+      (p ** float_of_int k) +. ((1.0 -. p) ** float_of_int k)
+      -. if k = 0 then 1.0 else 0.0
+    in
+    (q.(0) *. y 0) +. (q.(1) *. y 1) +. (q.(2) *. y 2) +. (q.(3) *. y 3)
+  in
+  let config = { P.default_config with P.epsilon = 1e-12 } in
+  let r = run_exn ~config ft lethal in
+  Alcotest.(check int) "M covers support" 3 r.P.m;
+  check_float ~eps:1e-12 "parallel yield" expected r.P.yield_lower
+
+let test_k_of_n_vs_brute () =
+  (* 2-of-4 system (fails when at least 3 of 4 components are failed)
+     with non-uniform victim probabilities. *)
+  let ft = Parse.fault_tree ~name:"koFn" "atleast(3; x0, x1, x2, x3)" in
+  let lethal =
+    {
+      Model.count = D.of_array [| 0.3; 0.25; 0.2; 0.15; 0.1 |];
+      component = [| 0.4; 0.3; 0.2; 0.1 |];
+      p_lethal = 0.2;
+    }
+  in
+  let config = { P.default_config with P.epsilon = 1e-12 } in
+  let r = run_exn ~config ft lethal in
+  let brute_y, _ = Brute.yield_m ft lethal ~m:r.P.m in
+  check_float ~eps:1e-12 "k-of-n vs brute" brute_y r.P.yield_lower
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation on assorted systems                                *)
+(* ------------------------------------------------------------------ *)
+
+let assorted_systems =
+  [
+    ("bridge-ish", "x0 & x1 | x2 & x3 | x0 & x4 & x3", 5);
+    ("mixed", "(x0 | x1) & (x2 | x3) & (x4 | x0)", 5);
+    ("noncoherent", "xor(x0, x1) | x2 & !x3", 4);
+    ("threshold", "atleast(2; x0, x1, x2) | x3 & x4", 5);
+  ]
+
+let lethal_for c =
+  let component = Array.init c (fun i -> float_of_int (i + 1)) in
+  let total = Array.fold_left ( +. ) 0.0 component in
+  {
+    Model.count = D.of_array [| 0.35; 0.3; 0.2; 0.1; 0.05 |];
+    component = Array.map (fun w -> w /. total) component;
+    p_lethal = 0.15;
+  }
+
+let test_pipeline_vs_brute_assorted () =
+  List.iter
+    (fun (name, src, c) ->
+      let ft = Parse.fault_tree ~name ~num_inputs:c src in
+      let lethal = lethal_for c in
+      let config = { P.default_config with P.epsilon = 1e-12 } in
+      let r = run_exn ~config ft lethal in
+      let brute_y, _ = Brute.yield_m ft lethal ~m:r.P.m in
+      check_float ~eps:1e-10 name brute_y r.P.yield_lower)
+    assorted_systems
+
+let test_pipeline_vs_direct_assorted () =
+  List.iter
+    (fun (name, src, c) ->
+      let ft = Parse.fault_tree ~name ~num_inputs:c src in
+      let lethal = lethal_for c in
+      let config = { P.default_config with P.epsilon = 1e-6 } in
+      let r = run_exn ~config ft lethal in
+      let direct_y, _, _ =
+        Direct.evaluate ~epsilon:1e-6 ft lethal ~mv:P.default_config.P.mv_order
+          ~bits:P.default_config.P.bit_order
+      in
+      check_float ~eps:1e-10 name direct_y r.P.yield_lower)
+    assorted_systems
+
+let test_yield_invariant_under_ordering () =
+  (* The ROMDD size varies with the ordering; the yield must not. *)
+  let ft = Parse.fault_tree ~name:"inv" ~num_inputs:4 "x0 & x1 | x2 & x3" in
+  let lethal = lethal_for 4 in
+  let reference =
+    (run_exn ~config:{ P.default_config with P.epsilon = 1e-9 } ft lethal).P.yield_lower
+  in
+  List.iter
+    (fun mv ->
+      let config = { P.default_config with P.epsilon = 1e-9; P.mv_order = mv } in
+      let r = run_exn ~config ft lethal in
+      check_float ~eps:1e-12
+        (Printf.sprintf "ordering %s" (Scheme.mv_order_name mv))
+        reference r.P.yield_lower)
+    Scheme.table2_mv_orders;
+  List.iter
+    (fun bits ->
+      let config = { P.default_config with P.epsilon = 1e-9; P.bit_order = bits; P.mv_order = Scheme.Wv } in
+      let r = run_exn ~config ft lethal in
+      check_float ~eps:1e-12 "bit order" reference r.P.yield_lower)
+    [ Scheme.Ml; Scheme.Lm ]
+
+let test_monte_carlo_brackets_pipeline () =
+  let ft = Parse.fault_tree ~name:"mc" ~num_inputs:4 "x0 & x1 | x2 & x3" in
+  let lethal = lethal_for 4 in
+  let r = run_exn ~config:{ P.default_config with P.epsilon = 1e-9 } ft lethal in
+  let mc = Montecarlo.run ~seed:7L ~trials:60_000 ft lethal in
+  Alcotest.(check bool) "CI brackets exact yield" true
+    (mc.Montecarlo.ci_low <= r.P.yield_upper
+    && mc.Montecarlo.ci_high >= r.P.yield_lower);
+  Alcotest.(check int) "trials recorded" 60_000 mc.Montecarlo.trials;
+  (* determinism *)
+  let mc2 = Montecarlo.run ~seed:7L ~trials:60_000 ft lethal in
+  check_float ~eps:0.0 "deterministic" mc.Montecarlo.estimate mc2.Montecarlo.estimate
+
+(* ------------------------------------------------------------------ *)
+(* Error control and failure path                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_epsilon_bound_honored () =
+  let ft = Parse.fault_tree ~name:"eps" ~num_inputs:3 "x0 & x1 | x2" in
+  let q = D.negative_binomial ~mean:8.0 ~alpha:2.0 in
+  let model = Model.create q [| 0.05; 0.03; 0.02 |] in
+  List.iter
+    (fun epsilon ->
+      let config = { P.default_config with P.epsilon = epsilon } in
+      match P.run ~config ft model with
+      | Error _ -> Alcotest.fail "unexpected failure"
+      | Ok r ->
+          Alcotest.(check bool) "band within epsilon" true
+            (r.P.yield_upper -. r.P.yield_lower <= epsilon +. 1e-12);
+          Alcotest.(check bool) "band positive" true
+            (r.P.yield_upper >= r.P.yield_lower))
+    [ 0.05; 1e-2; 1e-3; 1e-4 ]
+
+let test_tighter_epsilon_monotone () =
+  (* Smaller epsilon means larger M and a (weakly) larger lower bound. *)
+  let ft = Parse.fault_tree ~name:"mono" ~num_inputs:3 "x0 & x1 & x2" in
+  let q = D.negative_binomial ~mean:5.0 ~alpha:1.0 in
+  let model = Model.create q [| 0.04; 0.04; 0.02 |] in
+  let results =
+    List.map
+      (fun epsilon ->
+        match P.run ~config:{ P.default_config with P.epsilon } ft model with
+        | Ok r -> r
+        | Error _ -> Alcotest.fail "unexpected failure")
+      [ 0.1; 1e-2; 1e-3 ]
+  in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "M grows" true (b.P.m >= a.P.m);
+        Alcotest.(check bool) "lower bound grows" true
+          (b.P.yield_lower >= a.P.yield_lower -. 1e-12);
+        pairs rest
+    | _ -> ()
+  in
+  pairs results
+
+let test_node_limit_failure_reported () =
+  let row = List.nth (Socy_benchmarks.Suite.table_rows ()) 1 (* MS4, l'=1 *) in
+  let ft = row.Socy_benchmarks.Suite.instance.Socy_benchmarks.Suite.circuit in
+  let config = { P.default_config with P.node_limit = 5_000 } in
+  match P.run ~config ft (Socy_benchmarks.Suite.model row) with
+  | Ok _ -> Alcotest.fail "expected node-limit failure"
+  | Error f ->
+      Alcotest.(check string) "stage" "coded-robdd" f.P.stage;
+      Alcotest.(check bool) "peak near limit" true (f.P.peak_at_failure >= 5_000)
+
+(* ------------------------------------------------------------------ *)
+(* Report fields                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_consistency () =
+  let ft = fig2_fault_tree () in
+  let r = run_exn ~config:fig2_config ft (fig2_lethal ()) in
+  Alcotest.(check int) "groups = M+1" (r.P.m + 1) r.P.num_groups;
+  Alcotest.(check bool) "robdd >= romdd" true (r.P.robdd_size >= r.P.romdd_size);
+  Alcotest.(check bool) "peak >= final - terminals" true
+    (r.P.robdd_peak >= r.P.robdd_size - 2);
+  Alcotest.(check bool) "gate count positive" true (r.P.gate_count > 0);
+  check_float ~eps:1e-12 "p_lethal carried" 0.1 r.P.p_lethal;
+  Alcotest.(check bool) "cpu time nonnegative" true (r.P.cpu_seconds >= 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Brute force itself                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_brute_budget_guard () =
+  let ft = Parse.fault_tree ~num_inputs:30 "x0" in
+  let lethal =
+    {
+      Model.count = D.of_array [| 0.5; 0.5 |];
+      component = Array.make 30 (1.0 /. 30.0);
+      p_lethal = 0.1;
+    }
+  in
+  Alcotest.check_raises "budget"
+    (Invalid_argument "Brute.yield_m: instance too large for exhaustive enumeration")
+    (fun () -> ignore (Brute.yield_m ~budget:10 ft lethal ~m:8))
+
+let test_brute_conditional_yields_are_probabilities () =
+  let ft = Parse.fault_tree ~num_inputs:3 "x0 & x1 | x2" in
+  let lethal = uniform_lethal 3 ~q:[| 0.4; 0.3; 0.2; 0.1 |] in
+  let _, per_k = Brute.yield_m ft lethal ~m:3 in
+  Array.iteri
+    (fun k y ->
+      Alcotest.(check bool) (Printf.sprintf "Y_%d in [0,1]" k) true (y >= 0.0 && y <= 1.0))
+    per_k;
+  (* Y_k is nonincreasing for a coherent system *)
+  for k = 1 to 3 do
+    Alcotest.(check bool) "monotone" true (per_k.(k) <= per_k.(k - 1) +. 1e-12)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Property: pipeline == brute on random small systems                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop_pipeline_equals_brute =
+  QCheck.Test.make ~name:"pipeline equals brute force on random fault trees" ~count:40
+    (QCheck.oneofl
+       [
+         "x0 | x1 & x2";
+         "x0 & x1 & x2";
+         "atleast(2; x0, x1, x2)";
+         "xor(x0, x1) | x2";
+         "!x0 & x1 | x0 & x2";
+         "x0";
+       ])
+    (fun src ->
+      let ft = Parse.fault_tree ~num_inputs:3 src in
+      let lethal = uniform_lethal 3 ~q:[| 0.3; 0.3; 0.2; 0.15; 0.05 |] in
+      let config = { P.default_config with P.epsilon = 1e-12 } in
+      match P.run_lethal ~config ft lethal with
+      | Error _ -> false
+      | Ok r ->
+          let brute_y, _ = Brute.yield_m ft lethal ~m:r.P.m in
+          abs_float (brute_y -. r.P.yield_lower) < 1e-10)
+
+(* ------------------------------------------------------------------ *)
+(* Importance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_importance_series () =
+  (* Series system: hardening the component with the largest P_i gains the
+     most; gains are positive. *)
+  let ft = Parse.fault_tree ~name:"series3" "x0 | x1 | x2" in
+  let model =
+    Model.create (D.negative_binomial ~mean:6.0 ~alpha:4.0) [| 0.05; 0.02; 0.01 |]
+  in
+  let entries = Socy_core.Importance.yield_gain ~names:[| "a"; "b"; "c" |] ft model in
+  Alcotest.(check int) "one entry per component" 3 (List.length entries);
+  (match entries with
+  | first :: _ ->
+      Alcotest.(check string) "largest P_i first" "a" first.Socy_core.Importance.name
+  | [] -> Alcotest.fail "no entries");
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "gain positive" true (e.Socy_core.Importance.gain > 0.0);
+      check_float ~eps:1e-9 "hardened = base + gain"
+        e.Socy_core.Importance.hardened_yield
+        (e.Socy_core.Importance.base_yield +. e.Socy_core.Importance.gain))
+    entries
+
+let test_importance_irrelevant_component () =
+  (* A component the fault tree ignores still absorbs lethal defects; making
+     it immune removes those defects entirely, so the gain is positive; but
+     hardening it can never hurt. The component that IS the system dominates. *)
+  let ft = Parse.fault_tree ~num_inputs:2 "x0" in
+  let model =
+    Model.create (D.negative_binomial ~mean:6.0 ~alpha:4.0) [| 0.04; 0.04 |]
+  in
+  (* Thinning invariance: removing an irrelevant component's P_i does not
+     change the true yield (the lethal hits on component 0 keep rate
+     lambda*P_0), but the two runs truncate at different M, so the measured
+     gain is only zero up to the error bound — hence the tight epsilon. *)
+  let config = { P.default_config with P.epsilon = 1e-9 } in
+  match Socy_core.Importance.yield_gain ~config ft model with
+  | [ first; second ] ->
+      Alcotest.(check int) "critical component first" 0
+        first.Socy_core.Importance.component;
+      Alcotest.(check bool) "critical gain dominates" true
+        (first.Socy_core.Importance.gain > second.Socy_core.Importance.gain);
+      Alcotest.(check bool) "irrelevant component gain ~ 0" true
+        (abs_float second.Socy_core.Importance.gain < 1e-8)
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_conditional_yields_match_brute () =
+  let ft = fig2_fault_tree () and lethal = fig2_lethal () in
+  match P.Artifacts.build ~config:fig2_config ft lethal with
+  | Error _ -> Alcotest.fail "artifacts failed"
+  | Ok a ->
+      let ys = P.Artifacts.conditional_yields a in
+      Alcotest.(check int) "M+1 entries" 3 (Array.length ys);
+      check_float ~eps:1e-12 "Y_0" 1.0 ys.(0);
+      check_float ~eps:1e-12 "Y_1" (2.0 /. 3.0) ys.(1);
+      check_float ~eps:1e-12 "Y_2" (2.0 /. 9.0) ys.(2);
+      (* Y_M must reassemble from the conditional yields *)
+      let w = Model.w_pmf lethal ~m:2 in
+      let reassembled = (w.(0) *. ys.(0)) +. (w.(1) *. ys.(1)) +. (w.(2) *. ys.(2)) in
+      let r = P.Artifacts.report a ~cpu_seconds:0.0 in
+      check_float ~eps:1e-12 "reassembled Y_M" r.P.yield_lower reassembled
+
+let test_victim_sensitivities_finite_difference () =
+  let ft = Parse.fault_tree ~name:"sens" ~num_inputs:4 "x0 & x1 | x2 & x3" in
+  let lethal = lethal_for 4 in
+  let config = { P.default_config with P.epsilon = 1e-6 } in
+  match P.Artifacts.build ~config ft lethal with
+  | Error _ -> Alcotest.fail "artifacts failed"
+  | Ok a ->
+      let grad = P.Artifacts.victim_sensitivities a in
+      Alcotest.(check int) "one entry per component" 4 (Array.length grad);
+      let base = (P.Artifacts.report a ~cpu_seconds:0.0).P.yield_lower in
+      let h = 1e-6 in
+      Array.iteri
+        (fun i g ->
+          let bumped = Array.copy lethal.Model.component in
+          bumped.(i) <- bumped.(i) +. h;
+          let lethal' = { lethal with Model.component = bumped } in
+          match P.Artifacts.build ~config ft lethal' with
+          | Error _ -> Alcotest.fail "bumped artifacts failed"
+          | Ok a' ->
+              let y' = (P.Artifacts.report a' ~cpu_seconds:0.0).P.yield_lower in
+              check_float ~eps:1e-4
+                (Printf.sprintf "dY/dP'_%d" i)
+                ((y' -. base) /. h)
+                g)
+        grad;
+      (* more lethality on any component can only hurt: gradient <= 0 *)
+      Array.iter
+        (fun g -> Alcotest.(check bool) "nonpositive" true (g <= 1e-12))
+        grad
+
+(* ------------------------------------------------------------------ *)
+(* Operational reliability (future-work extension)                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_reliability_series_closed_form () =
+  (* Series system: yield = Q'_0, survival = Q'_0 Π(1-p_i),
+     reliability = Π(1-p_i). *)
+  let ft = Parse.fault_tree ~name:"series" "x0 | x1 | x2" in
+  let q = [| 0.6; 0.25; 0.1; 0.05 |] in
+  let lethal = uniform_lethal 3 ~q in
+  let p_field = [| 0.1; 0.2; 0.05 |] in
+  let r = Socy_core.Reliability.evaluate ~epsilon:1e-12 ft lethal ~p_field in
+  let survive_field = 0.9 *. 0.8 *. 0.95 in
+  check_float ~eps:1e-12 "yield" q.(0) r.Socy_core.Reliability.yield;
+  check_float ~eps:1e-12 "survival" (q.(0) *. survive_field)
+    r.Socy_core.Reliability.survival;
+  check_float ~eps:1e-12 "reliability" survive_field
+    r.Socy_core.Reliability.reliability
+
+let test_reliability_no_field_failures () =
+  (* p_field = 0 everywhere: survival = yield, reliability = 1; and the
+     yield must agree with the pipeline. *)
+  let ft = fig2_fault_tree () in
+  let lethal = fig2_lethal () in
+  let r =
+    Socy_core.Reliability.evaluate ~epsilon:0.11 ft lethal
+      ~p_field:(Array.make 3 0.0)
+  in
+  check_float ~eps:1e-12 "reliability 1" 1.0 r.Socy_core.Reliability.reliability;
+  let pipeline = run_exn ~config:fig2_config ft lethal in
+  check_float ~eps:1e-12 "yield matches pipeline" pipeline.P.yield_lower
+    r.Socy_core.Reliability.yield
+
+let test_reliability_monte_carlo () =
+  (* Cross-check survival against simulation on a redundant system. *)
+  let ft = Parse.fault_tree ~name:"mixed" ~num_inputs:4 "x0 & x1 | x2 & x3" in
+  let lethal = lethal_for 4 in
+  let p_field = [| 0.15; 0.1; 0.05; 0.2 |] in
+  let r = Socy_core.Reliability.evaluate ~epsilon:1e-10 ft lethal ~p_field in
+  (* simulate: sample defects like Montecarlo, add field failures *)
+  let rng = Socy_util.Prng.create 11L in
+  let k_cdf = Socy_defects.Distribution.sampler lethal.Model.count ~max_k:60 in
+  let c_cdf =
+    let acc = ref 0.0 in
+    Array.map
+      (fun p ->
+        acc := !acc +. p;
+        !acc)
+      lethal.Model.component
+  in
+  let trials = 80_000 in
+  let ok0 = ref 0 and ok_both = ref 0 in
+  for _ = 1 to trials do
+    let failed = Array.make 4 false in
+    let k = Socy_util.Prng.categorical rng ~cdf:k_cdf in
+    for _ = 1 to k do
+      failed.(Socy_util.Prng.categorical rng ~cdf:c_cdf) <- true
+    done;
+    let works0 = not (Parse.fault_tree ~num_inputs:4 "x0 & x1 | x2 & x3" |> fun c -> Socy_logic.Circuit.eval c (fun i -> failed.(i))) in
+    if works0 then incr ok0;
+    for i = 0 to 3 do
+      if Socy_util.Prng.float rng < p_field.(i) then failed.(i) <- true
+    done;
+    let works_t = not (Socy_logic.Circuit.eval ft (fun i -> failed.(i))) in
+    if works0 && works_t then incr ok_both
+  done;
+  let sim_survival = float_of_int !ok_both /. float_of_int trials in
+  Alcotest.(check bool) "simulated survival within 1.5%" true
+    (abs_float (sim_survival -. r.Socy_core.Reliability.survival) < 0.015);
+  Alcotest.(check bool) "reliability in (0,1]" true
+    (r.Socy_core.Reliability.reliability > 0.0
+    && r.Socy_core.Reliability.reliability <= 1.0)
+
+let test_reliability_clustering_effect () =
+  (* With clustered defects, shipping is good news: the truncated defect
+     model must make P(defect-failure | shipped) consistent — here we just
+     check monotonicity: higher field failure probabilities lower both
+     survival and reliability. *)
+  let ft = Parse.fault_tree ~name:"par" "x0 & x1" in
+  let lethal = uniform_lethal 2 ~q:[| 0.5; 0.3; 0.2 |] in
+  let r1 = Socy_core.Reliability.evaluate ft lethal ~p_field:[| 0.05; 0.05 |] in
+  let r2 = Socy_core.Reliability.evaluate ft lethal ~p_field:[| 0.3; 0.3 |] in
+  Alcotest.(check bool) "survival decreases" true
+    (r2.Socy_core.Reliability.survival < r1.Socy_core.Reliability.survival);
+  Alcotest.(check bool) "reliability decreases" true
+    (r2.Socy_core.Reliability.reliability < r1.Socy_core.Reliability.reliability);
+  check_float ~eps:1e-12 "same yield" r1.Socy_core.Reliability.yield
+    r2.Socy_core.Reliability.yield
+
+let test_reliability_validation () =
+  let ft = Parse.fault_tree ~num_inputs:2 "x0 & x1" in
+  let lethal = uniform_lethal 2 ~q:[| 1.0 |] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Reliability.evaluate: p_field arity mismatch") (fun () ->
+      ignore (Socy_core.Reliability.evaluate ft lethal ~p_field:[| 0.1 |]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Reliability.evaluate: p_field entries must be in [0, 1]")
+    (fun () -> ignore (Socy_core.Reliability.evaluate ft lethal ~p_field:[| 0.1; 1.5 |]))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "socy_core"
+    [
+      ( "fig2",
+        [
+          Alcotest.test_case "romdd structure" `Quick test_fig2_romdd_structure;
+          Alcotest.test_case "yield by hand" `Quick test_fig2_yield_by_hand;
+          Alcotest.test_case "brute and direct agree" `Quick test_fig2_brute_and_direct_agree;
+          Alcotest.test_case "conversion = direct apply" `Quick
+            test_fig2_conversion_equals_direct_apply;
+        ] );
+      ( "closed-forms",
+        [
+          Alcotest.test_case "series = Q'_0" `Quick test_series_system_yield_is_q0;
+          Alcotest.test_case "parallel pair" `Quick test_parallel_pair_closed_form;
+          Alcotest.test_case "k-of-n vs brute" `Quick test_k_of_n_vs_brute;
+        ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "vs brute (assorted)" `Quick test_pipeline_vs_brute_assorted;
+          Alcotest.test_case "vs direct (assorted)" `Quick test_pipeline_vs_direct_assorted;
+          Alcotest.test_case "yield ordering-invariant" `Quick
+            test_yield_invariant_under_ordering;
+          Alcotest.test_case "monte carlo brackets" `Quick test_monte_carlo_brackets_pipeline;
+        ] );
+      ( "error-control",
+        [
+          Alcotest.test_case "epsilon honored" `Quick test_epsilon_bound_honored;
+          Alcotest.test_case "epsilon monotone" `Quick test_tighter_epsilon_monotone;
+          Alcotest.test_case "node-limit failure" `Quick test_node_limit_failure_reported;
+        ] );
+      ("report", [ Alcotest.test_case "consistency" `Quick test_report_consistency ]);
+      ( "brute",
+        [
+          Alcotest.test_case "budget guard" `Quick test_brute_budget_guard;
+          Alcotest.test_case "conditional yields" `Quick
+            test_brute_conditional_yields_are_probabilities;
+        ] );
+      ( "importance",
+        [
+          Alcotest.test_case "series ranking" `Quick test_importance_series;
+          Alcotest.test_case "irrelevant component" `Quick
+            test_importance_irrelevant_component;
+          Alcotest.test_case "victim sensitivities" `Quick
+            test_victim_sensitivities_finite_difference;
+          Alcotest.test_case "conditional yields" `Quick
+            test_conditional_yields_match_brute;
+        ] );
+      ( "reliability",
+        [
+          Alcotest.test_case "series closed form" `Quick
+            test_reliability_series_closed_form;
+          Alcotest.test_case "no field failures" `Quick test_reliability_no_field_failures;
+          Alcotest.test_case "monte carlo" `Quick test_reliability_monte_carlo;
+          Alcotest.test_case "clustering/monotonicity" `Quick
+            test_reliability_clustering_effect;
+          Alcotest.test_case "validation" `Quick test_reliability_validation;
+        ] );
+      qsuite "props" [ prop_pipeline_equals_brute ];
+    ]

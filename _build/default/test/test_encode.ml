@@ -1,0 +1,197 @@
+(* Tests for Socy_encode: minimal binary encodings, input layout, and the
+   semantics of the generalized fault tree G(w, v_1 … v_M) built in binary
+   logic (filter gates + substitution, the paper's Fig. 1). *)
+
+module C = Socy_logic.Circuit
+module Parse = Socy_logic.Parse
+module P = Socy_encode.Problem
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* ceil_log2 and layout                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ceil_log2 () =
+  List.iter
+    (fun (n, expected) -> check_int (Printf.sprintf "ceil_log2 %d" n) expected (P.ceil_log2 n))
+    [ (1, 1); (2, 1); (3, 2); (4, 2); (5, 3); (8, 3); (9, 4); (1024, 10) ];
+  Alcotest.check_raises "n = 0" (Invalid_argument "Problem.ceil_log2: need n >= 1")
+    (fun () -> ignore (P.ceil_log2 0))
+
+let small_problem () =
+  (* F = x0&x1 | x2 over 3 components, M = 2: w has 2 bits (domain 4),
+     each v has 2 bits (domain 3). *)
+  P.build (Parse.fault_tree ~num_inputs:3 "x0 & x1 | x2") ~m:2
+
+let test_layout () =
+  let p = small_problem () in
+  check_int "w_bits" 2 p.P.w_bits;
+  check_int "v_bits" 2 p.P.v_bits;
+  check_int "num_groups" 3 (P.num_groups p);
+  check_int "num_binary_vars" 6 (P.num_binary_vars p);
+  check_int "domain w" 4 (P.domain p 0);
+  check_int "domain v" 3 (P.domain p 1);
+  Alcotest.(check string) "group names" "w v1 v2"
+    (String.concat " " (List.init 3 (P.group_name p)));
+  (* input ids: w bits 0-1, v1 bits 2-3, v2 bits 4-5 *)
+  check_int "w bit 0" 0 (P.input_id p ~group:0 ~bit:0);
+  check_int "v1 bit 1" 3 (P.input_id p ~group:1 ~bit:1);
+  check_int "v2 bit 0" 4 (P.input_id p ~group:2 ~bit:0);
+  (* inverses *)
+  for i = 0 to P.num_binary_vars p - 1 do
+    let g = P.group_of_input p i and b = P.bit_of_input p i in
+    check_int (Printf.sprintf "roundtrip %d" i) i (P.input_id p ~group:g ~bit:b)
+  done
+
+let test_codewords () =
+  let p = small_problem () in
+  Alcotest.(check (array bool)) "w = 3" [| true; true |] (P.codeword p ~group:0 ~value:3);
+  Alcotest.(check (array bool)) "w = 1" [| false; true |] (P.codeword p ~group:0 ~value:1);
+  Alcotest.(check (array bool)) "v = 2" [| true; false |] (P.codeword p ~group:1 ~value:2);
+  Alcotest.check_raises "value outside domain"
+    (Invalid_argument "Problem.codeword: value outside domain") (fun () ->
+      ignore (P.codeword p ~group:1 ~value:3))
+
+let test_build_validation () =
+  Alcotest.check_raises "negative M" (Invalid_argument "Problem.build: negative M")
+    (fun () -> ignore (P.build (Parse.fault_tree ~num_inputs:1 "x0") ~m:(-1)))
+
+(* ------------------------------------------------------------------ *)
+(* G semantics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference semantics of G (Section 2, Eq. 3): G = 1 iff w = M+1, or F on
+   the failed-set induced by the first w lethal defects. *)
+let reference_g fault_tree ~m ~w ~victims =
+  if w = m + 1 then true
+  else begin
+    let c = fault_tree.C.num_inputs in
+    let failed = Array.make c false in
+    for l = 0 to w - 1 do
+      failed.(victims.(l)) <- true
+    done;
+    C.eval fault_tree (fun i -> failed.(i))
+  end
+
+(* Evaluate the binary circuit of G under the encoding of (w, victims). *)
+let eval_g p ~w ~victims =
+  let assignment = Array.make (P.num_binary_vars p) false in
+  let put ~group ~value =
+    let bits = P.codeword p ~group ~value in
+    Array.iteri (fun bit b -> assignment.(P.input_id p ~group ~bit) <- b) bits
+  in
+  put ~group:0 ~value:w;
+  for l = 1 to p.P.m do
+    put ~group:l ~value:victims.(l - 1)
+  done;
+  C.eval p.P.circuit (fun i -> assignment.(i))
+
+let forall_mv_assignments p f =
+  let m = p.P.m and c = p.P.num_components in
+  let victims = Array.make (max m 1) 0 in
+  let rec go l =
+    if l = m then
+      for w = 0 to m + 1 do
+        f ~w ~victims
+      done
+    else
+      for v = 0 to c - 1 do
+        victims.(l) <- v;
+        go (l + 1)
+      done
+  in
+  go 0
+
+let test_g_semantics_exhaustive () =
+  let fault_tree = Parse.fault_tree ~num_inputs:3 "x0 & x1 | x2" in
+  let p = P.build fault_tree ~m:2 in
+  forall_mv_assignments p (fun ~w ~victims ->
+      Alcotest.(check bool)
+        (Printf.sprintf "w=%d victims=%d,%d" w victims.(0) victims.(1))
+        (reference_g fault_tree ~m:2 ~w ~victims)
+        (eval_g p ~w ~victims))
+
+let test_g_semantics_m0 () =
+  (* M = 0: G is I_1(w) (any lethal defect kills the bound) OR F(0,…,0). *)
+  let fault_tree = Parse.fault_tree ~num_inputs:2 "x0 | x1" in
+  let p = P.build fault_tree ~m:0 in
+  check_int "one group" 1 (P.num_groups p);
+  forall_mv_assignments p (fun ~w ~victims ->
+      Alcotest.(check bool)
+        (Printf.sprintf "w=%d" w)
+        (reference_g fault_tree ~m:0 ~w ~victims)
+        (eval_g p ~w ~victims))
+
+let test_g_semantics_nonmonotone_fault_tree () =
+  (* The method puts no restriction on F — use a non-coherent one. *)
+  let fault_tree = Parse.fault_tree ~num_inputs:3 "xor(x0, x1) & !x2 | x0 & x2" in
+  let p = P.build fault_tree ~m:2 in
+  forall_mv_assignments p (fun ~w ~victims ->
+      Alcotest.(check bool)
+        (Printf.sprintf "w=%d victims=%d,%d" w victims.(0) victims.(1))
+        (reference_g fault_tree ~m:2 ~w ~victims)
+        (eval_g p ~w ~victims))
+
+let test_g_single_component () =
+  (* C = 1 exercises the v_bits >= 1 floor. *)
+  let fault_tree = Parse.fault_tree ~num_inputs:1 "x0" in
+  let p = P.build fault_tree ~m:1 in
+  check_int "v_bits floor" 1 p.P.v_bits;
+  forall_mv_assignments p (fun ~w ~victims ->
+      Alcotest.(check bool)
+        (Printf.sprintf "w=%d" w)
+        (reference_g fault_tree ~m:1 ~w ~victims)
+        (eval_g p ~w ~victims))
+
+(* Property: random fault trees over 4 components, random sampled
+   multi-valued assignments. *)
+let prop_g_matches_reference =
+  QCheck.Test.make ~name:"G circuit equals its defining semantics" ~count:60
+    QCheck.(
+      pair
+        (oneofl
+           [
+             "x0 & x1 | x2 & x3";
+             "atleast(2; x0, x1, x2, x3)";
+             "x0 | x1 | x2 | x3";
+             "(x0 | x1) & (x2 | x3)";
+             "xor(x0, x1, x2) | x3";
+             "!x0 & x1 | x2";
+           ])
+        (int_bound 10_000))
+    (fun (src, seed) ->
+      let fault_tree = Parse.fault_tree ~num_inputs:4 src in
+      let m = 3 in
+      let p = P.build fault_tree ~m in
+      let rng = Socy_util.Prng.create (Int64.of_int (seed + 1)) in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let w = Socy_util.Prng.int rng (m + 2) in
+        let victims = Array.init m (fun _ -> Socy_util.Prng.int rng 4) in
+        if reference_g fault_tree ~m ~w ~victims <> eval_g p ~w ~victims then
+          ok := false
+      done;
+      !ok)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "socy_encode"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "ceil_log2" `Quick test_ceil_log2;
+          Alcotest.test_case "bit layout" `Quick test_layout;
+          Alcotest.test_case "codewords" `Quick test_codewords;
+          Alcotest.test_case "validation" `Quick test_build_validation;
+        ] );
+      ( "g-semantics",
+        [
+          Alcotest.test_case "exhaustive small" `Quick test_g_semantics_exhaustive;
+          Alcotest.test_case "M = 0" `Quick test_g_semantics_m0;
+          Alcotest.test_case "non-monotone F" `Quick test_g_semantics_nonmonotone_fault_tree;
+          Alcotest.test_case "single component" `Quick test_g_single_component;
+        ] );
+      qsuite "props" [ prop_g_matches_reference ];
+    ]

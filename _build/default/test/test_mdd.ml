@@ -1,0 +1,490 @@
+(* Tests for Socy_mdd: ROMDD reduction rules, APPLY, probability
+   evaluation, and the coded-ROBDD -> ROMDD conversion (the paper's layer
+   algorithm, including a Fig. 3-style partial-code case). *)
+
+module Mdd = Socy_mdd.Mdd
+module Conversion = Socy_mdd.Conversion
+module B = Socy_bdd.Manager
+
+let spec name domain = { Mdd.name; domain }
+
+(* ------------------------------------------------------------------ *)
+(* Reduction rules and structure                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_mk_elimination () =
+  let t = Mdd.create [| spec "a" 3 |] in
+  Alcotest.(check int) "all-equal children collapse"
+    Mdd.one
+    (Mdd.mk t 0 [| Mdd.one; Mdd.one; Mdd.one |]);
+  let n = Mdd.mk t 0 [| Mdd.zero; Mdd.one; Mdd.zero |] in
+  Alcotest.(check bool) "distinct children create a node" true (not (Mdd.is_terminal n));
+  Alcotest.(check int) "level" 0 (Mdd.level t n)
+
+let test_mk_hash_consing () =
+  let t = Mdd.create [| spec "a" 3 |] in
+  let n1 = Mdd.mk t 0 [| Mdd.zero; Mdd.one; Mdd.zero |] in
+  let n2 = Mdd.mk t 0 [| Mdd.zero; Mdd.one; Mdd.zero |] in
+  Alcotest.(check int) "hash consed" n1 n2;
+  let n3 = Mdd.mk t 0 [| Mdd.one; Mdd.zero; Mdd.zero |] in
+  Alcotest.(check bool) "different children differ" true (n1 <> n3)
+
+let test_mk_arity_check () =
+  let t = Mdd.create [| spec "a" 3 |] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Mdd.mk: children arity must match the variable domain")
+    (fun () -> ignore (Mdd.mk t 0 [| Mdd.zero; Mdd.one |]))
+
+let test_literal () =
+  let t = Mdd.create [| spec "a" 4 |] in
+  let l = Mdd.literal t 0 ~values:[ 1; 3 ] in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "value %d" v)
+        (v = 1 || v = 3)
+        (Mdd.eval t l (fun _ -> v)))
+    [ 0; 1; 2; 3 ];
+  Alcotest.(check int) "empty literal" Mdd.zero (Mdd.literal t 0 ~values:[]);
+  Alcotest.(check int) "full literal" Mdd.one (Mdd.literal t 0 ~values:[ 0; 1; 2; 3 ])
+
+let test_children_borrowed () =
+  let t = Mdd.create [| spec "a" 2; spec "b" 2 |] in
+  let inner = Mdd.literal t 1 ~values:[ 1 ] in
+  let n = Mdd.mk t 0 [| Mdd.zero; inner |] in
+  let kids = Mdd.children t n in
+  Alcotest.(check int) "child 0" Mdd.zero kids.(0);
+  Alcotest.(check int) "child 1" inner kids.(1)
+
+(* ------------------------------------------------------------------ *)
+(* APPLY                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Exhaustive evaluation over all assignments of the manager's variables. *)
+let forall_assignments t f =
+  let n = Mdd.num_mvars t in
+  let domains = Array.init n (fun v -> (Mdd.spec t v).Mdd.domain) in
+  let assignment = Array.make n 0 in
+  let rec go v =
+    if v = n then f (fun i -> assignment.(i))
+    else
+      for j = 0 to domains.(v) - 1 do
+        assignment.(v) <- j;
+        go (v + 1)
+      done
+  in
+  go 0
+
+let test_apply_semantics () =
+  let t = Mdd.create [| spec "a" 3; spec "b" 2 |] in
+  let la = Mdd.literal t 0 ~values:[ 0; 2 ] in
+  let lb = Mdd.literal t 1 ~values:[ 1 ] in
+  let conj = Mdd.apply_and t la lb in
+  let disj = Mdd.apply_or t la lb in
+  let xor = Mdd.apply_xor t la lb in
+  let neg = Mdd.not_ t la in
+  forall_assignments t (fun env ->
+      let a = env 0 = 0 || env 0 = 2 in
+      let b = env 1 = 1 in
+      Alcotest.(check bool) "and" (a && b) (Mdd.eval t conj env);
+      Alcotest.(check bool) "or" (a || b) (Mdd.eval t disj env);
+      Alcotest.(check bool) "xor" (a <> b) (Mdd.eval t xor env);
+      Alcotest.(check bool) "not" (not a) (Mdd.eval t neg env))
+
+let test_apply_canonicity () =
+  let t = Mdd.create [| spec "a" 3; spec "b" 3 |] in
+  let la = Mdd.literal t 0 ~values:[ 1 ] in
+  let lb = Mdd.literal t 1 ~values:[ 2 ] in
+  Alcotest.(check int) "and commutes" (Mdd.apply_and t la lb) (Mdd.apply_and t lb la);
+  (* De Morgan *)
+  let lhs = Mdd.not_ t (Mdd.apply_and t la lb) in
+  let rhs = Mdd.apply_or t (Mdd.not_ t la) (Mdd.not_ t lb) in
+  Alcotest.(check int) "de morgan" lhs rhs;
+  Alcotest.(check int) "double negation" la (Mdd.not_ t (Mdd.not_ t la))
+
+let test_probability () =
+  let t = Mdd.create [| spec "a" 3; spec "b" 2 |] in
+  let pa = [| 0.5; 0.3; 0.2 |] and pb = [| 0.6; 0.4 |] in
+  let p lv v = if lv = 0 then pa.(v) else pb.(v) in
+  let la = Mdd.literal t 0 ~values:[ 0; 2 ] in
+  let lb = Mdd.literal t 1 ~values:[ 1 ] in
+  Alcotest.(check (float 1e-12)) "literal prob" 0.7 (Mdd.probability t la ~p);
+  let conj = Mdd.apply_and t la lb in
+  Alcotest.(check (float 1e-12)) "and prob" (0.7 *. 0.4) (Mdd.probability t conj ~p);
+  Alcotest.(check (float 1e-12)) "one" 1.0 (Mdd.probability t Mdd.one ~p);
+  Alcotest.(check (float 1e-12)) "zero" 0.0 (Mdd.probability t Mdd.zero ~p)
+
+let test_size_support () =
+  let t = Mdd.create [| spec "a" 2; spec "b" 2; spec "c" 2 |] in
+  let la = Mdd.literal t 0 ~values:[ 1 ] in
+  let lc = Mdd.literal t 2 ~values:[ 1 ] in
+  let f = Mdd.apply_and t la lc in
+  Alcotest.(check (list int)) "support skips b" [ 0; 2 ] (Mdd.support t f);
+  Alcotest.(check int) "size" 4 (Mdd.size t f)
+
+(* ------------------------------------------------------------------ *)
+(* The paper's Fig. 2 diagram, built by hand                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig2_hand_built () =
+  (* Order v1, v2, w; domains 3, 3, 4 (components 1..3 are 0-based 0..2;
+     w in 0..3 with M = 2). F = x1·x2 + x3.
+     The diagram of Fig. 2 has 7 nonterminal nodes. *)
+  let t = Mdd.create [| spec "v1" 3; spec "v2" 3; spec "w" 4 |] in
+  (* bottom: w-nodes *)
+  let n5 = Mdd.literal t 2 ~values:[ 2; 3 ] in
+  (* "w >= 2" *)
+  let n6 = Mdd.literal t 2 ~values:[ 1; 2; 3 ] in
+  (* "w >= 1" *)
+  let n7 = Mdd.literal t 2 ~values:[ 3 ] in
+  (* "w = 3" (overflow) *)
+  (* middle: v2 nodes; top: the v1 node *)
+  let n3 = Mdd.mk t 1 [| n5; n5; n6 |] in
+  let n4 = Mdd.mk t 1 [| n6; n5; n6 |] in
+  let n2 = Mdd.mk t 0 [| n3; n4; n6 |] in
+  Alcotest.(check bool) "nodes distinct" true (n2 <> n3 && n3 <> n4 && n5 <> n6);
+  Alcotest.(check bool) "overflow filter is a node" true (not (Mdd.is_terminal n7));
+  (* the hand-built diagram: 1 v1 + 2 v2 + 2 w reachable + 2 terminals *)
+  Alcotest.(check int) "hand-built size" 7 (Mdd.size t n2);
+  (* its evaluation agrees with a direct reading of the diagram *)
+  let p lv v =
+    if lv = 2 then [| 0.4; 0.3; 0.2; 0.1 |].(v) else 1.0 /. 3.0
+  in
+  Alcotest.(check bool) "probability in (0,1)" true
+    (let x = Mdd.probability t n2 ~p in
+     x > 0.0 && x < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Conversion: hand-built coded ROBDDs                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Case 1: one 3-valued variable x encoded on two bits (codes 00, 01, 10 —
+   value 3 = code 11 unused), like the paper's Fig. 3 layer. Function:
+   "x = 1" (value 1 of the domain). *)
+let test_conversion_single_group () =
+  let bdd = B.create ~num_vars:2 () in
+  (* bits: level 0 = msb, level 1 = lsb; f = ¬b0 ∧ b1 *)
+  let b0 = B.var bdd 0 and b1 = B.var bdd 1 in
+  let f = B.and_ bdd (B.not_ bdd b0) b1 in
+  let mdd = Mdd.create [| spec "x" 3 |] in
+  let layout =
+    {
+      Conversion.group_of_level = [| 0; 0 |];
+      levels_of_group = [| [| 0; 1 |] |];
+      codeword =
+        (fun _ v ->
+          match v with
+          | 0 -> [| false; false |]
+          | 1 -> [| false; true |]
+          | _ -> [| true; false |]);
+    }
+  in
+  let root = Conversion.run bdd f mdd layout in
+  Alcotest.(check int) "conversion = literal" (Mdd.literal mdd 0 ~values:[ 1 ]) root
+
+(* Case 2: two groups; the function depends only on the second group, so
+   the first layer must be skipped via the elimination rule. *)
+let test_conversion_skipped_group () =
+  let bdd = B.create ~num_vars:3 () in
+  (* group 0: levels 0-1 (3-valued), group 1: level 2 (2-valued) *)
+  let f = B.var bdd 2 in
+  let mdd = Mdd.create [| spec "x" 3; spec "y" 2 |] in
+  let layout =
+    {
+      Conversion.group_of_level = [| 0; 0; 1 |];
+      levels_of_group = [| [| 0; 1 |]; [| 2 |] |];
+      codeword =
+        (fun g v ->
+          if g = 0 then
+            match v with
+            | 0 -> [| false; false |]
+            | 1 -> [| false; true |]
+            | _ -> [| true; false |]
+          else [| v = 1 |]);
+    }
+  in
+  let root = Conversion.run bdd f mdd layout in
+  Alcotest.(check int) "skips eliminated layer" (Mdd.literal mdd 1 ~values:[ 1 ]) root
+
+(* Case 3: invalid codewords route to junk. The function is true exactly on
+   code 11 of the first group, which encodes no domain value: the ROMDD
+   must be the constant 0 even though the BDD is not. *)
+let test_conversion_invalid_code_unreachable () =
+  let bdd = B.create ~num_vars:2 () in
+  let f = B.and_ bdd (B.var bdd 0) (B.var bdd 1) in
+  let mdd = Mdd.create [| spec "x" 3 |] in
+  let layout =
+    {
+      Conversion.group_of_level = [| 0; 0 |];
+      levels_of_group = [| [| 0; 1 |] |];
+      codeword =
+        (fun _ v ->
+          match v with
+          | 0 -> [| false; false |]
+          | 1 -> [| false; true |]
+          | _ -> [| true; false |]);
+    }
+  in
+  let root = Conversion.run bdd f mdd layout in
+  Alcotest.(check int) "constant zero" Mdd.zero root
+
+(* Case 4: terminal root. *)
+let test_conversion_terminal_root () =
+  let bdd = B.create ~num_vars:2 () in
+  let mdd = Mdd.create [| spec "x" 3 |] in
+  let layout =
+    {
+      Conversion.group_of_level = [| 0; 0 |];
+      levels_of_group = [| [| 0; 1 |] |];
+      codeword = (fun _ _ -> [| false; false |]);
+    }
+  in
+  Alcotest.(check int) "one" Mdd.one (Conversion.run bdd B.one mdd layout);
+  Alcotest.(check int) "zero" Mdd.zero (Conversion.run bdd B.zero mdd layout)
+
+(* ------------------------------------------------------------------ *)
+(* Conversion vs direct APPLY on random multi-valued functions          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random functions over three multi-valued variables with domains 3, 4, 2,
+   binary-encoded on 2+2+1 levels. We build the function as a random
+   combination of value literals, construct it both (a) directly in the
+   MDD manager and (b) as a coded ROBDD then converted, and require the
+   same hash-consed root. *)
+
+type mexpr =
+  | MLit of int * int (* variable, value *)
+  | MAnd of mexpr * mexpr
+  | MOr of mexpr * mexpr
+  | MNot of mexpr
+
+let domains = [| 3; 4; 2 |]
+let bits = [| 2; 2; 1 |]
+let level_base = [| 0; 2; 4 |]
+
+let rec mexpr_print = function
+  | MLit (v, j) -> Printf.sprintf "m%d=%d" v j
+  | MAnd (a, b) -> Printf.sprintf "(%s&%s)" (mexpr_print a) (mexpr_print b)
+  | MOr (a, b) -> Printf.sprintf "(%s|%s)" (mexpr_print a) (mexpr_print b)
+  | MNot a -> Printf.sprintf "!(%s)" (mexpr_print a)
+
+let gen_mexpr =
+  QCheck.Gen.(
+    let lit =
+      int_bound 2 >>= fun v ->
+      map (fun j -> MLit (v, j)) (int_bound (domains.(v) - 1))
+    in
+    sized_size (int_bound 6)
+    @@ fix (fun self size ->
+           if size <= 0 then lit
+           else
+             frequency
+               [
+                 (1, lit);
+                 (2, map2 (fun a b -> MAnd (a, b)) (self (size / 2)) (self (size / 2)));
+                 (2, map2 (fun a b -> MOr (a, b)) (self (size / 2)) (self (size / 2)));
+                 (1, map (fun a -> MNot a) (self (size - 1)));
+               ]))
+
+let arb_mexpr = QCheck.make ~print:mexpr_print gen_mexpr
+
+let rec mexpr_eval env = function
+  | MLit (v, j) -> env v = j
+  | MAnd (a, b) -> mexpr_eval env a && mexpr_eval env b
+  | MOr (a, b) -> mexpr_eval env a || mexpr_eval env b
+  | MNot a -> not (mexpr_eval env a)
+
+let rec mexpr_mdd t = function
+  | MLit (v, j) -> Mdd.literal t v ~values:[ j ]
+  | MAnd (a, b) -> Mdd.apply_and t (mexpr_mdd t a) (mexpr_mdd t b)
+  | MOr (a, b) -> Mdd.apply_or t (mexpr_mdd t a) (mexpr_mdd t b)
+  | MNot a -> Mdd.not_ t (mexpr_mdd t a)
+
+(* Coded ROBDD: variable v's value j is the minterm of its bits,
+   msb-first, on levels level_base.(v) .. level_base.(v)+bits.(v)-1. *)
+let rec mexpr_bdd m = function
+  | MLit (v, j) ->
+      let acc = ref B.one in
+      for bit = 0 to bits.(v) - 1 do
+        let set = j land (1 lsl (bits.(v) - 1 - bit)) <> 0 in
+        let lv = level_base.(v) + bit in
+        let l = if set then B.var m lv else B.nvar m lv in
+        acc := B.and_ m !acc l
+      done;
+      !acc
+  | MAnd (a, b) -> B.and_ m (mexpr_bdd m a) (mexpr_bdd m b)
+  | MOr (a, b) -> B.or_ m (mexpr_bdd m a) (mexpr_bdd m b)
+  | MNot a -> B.not_ m (mexpr_bdd m a)
+
+let the_layout =
+  {
+    Conversion.group_of_level = [| 0; 0; 1; 1; 2 |];
+    levels_of_group = [| [| 0; 1 |]; [| 2; 3 |]; [| 4 |] |];
+    codeword =
+      (fun g v ->
+        Array.init bits.(g) (fun bit -> v land (1 lsl (bits.(g) - 1 - bit)) <> 0));
+  }
+
+let specs_for_props = Array.init 3 (fun v -> spec (Printf.sprintf "m%d" v) domains.(v))
+
+let prop_conversion_equals_direct =
+  QCheck.Test.make ~name:"coded-ROBDD conversion = direct APPLY (canonical)" ~count:300
+    arb_mexpr
+    (fun e ->
+      let bdd = B.create ~num_vars:5 () in
+      let root_bdd = mexpr_bdd bdd e in
+      let mdd = Mdd.create specs_for_props in
+      let converted = Conversion.run bdd root_bdd mdd the_layout in
+      let direct = mexpr_mdd mdd e in
+      converted = direct)
+
+let prop_conversion_semantics =
+  QCheck.Test.make ~name:"converted ROMDD evaluates like the expression" ~count:300
+    arb_mexpr
+    (fun e ->
+      let bdd = B.create ~num_vars:5 () in
+      let root_bdd = mexpr_bdd bdd e in
+      let mdd = Mdd.create specs_for_props in
+      let converted = Conversion.run bdd root_bdd mdd the_layout in
+      let ok = ref true in
+      for a = 0 to domains.(0) - 1 do
+        for b = 0 to domains.(1) - 1 do
+          for c = 0 to domains.(2) - 1 do
+            let env v = match v with 0 -> a | 1 -> b | _ -> c in
+            if mexpr_eval env e <> Mdd.eval mdd converted env then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let prop_probability_sums_to_one_partition =
+  QCheck.Test.make ~name:"P(f) + P(¬f) = 1" ~count:200 arb_mexpr (fun e ->
+      let mdd = Mdd.create specs_for_props in
+      let f = mexpr_mdd mdd e in
+      let nf = Mdd.not_ mdd f in
+      let p v j = 1.0 /. float_of_int domains.(v) *. float_of_int ((j mod 2) + 1)
+      in
+      (* an arbitrary, not-uniform pmf; normalize per variable *)
+      let norm = Array.init 3 (fun v ->
+          let s = ref 0.0 in
+          for j = 0 to domains.(v) - 1 do s := !s +. p v j done;
+          !s)
+      in
+      let p v j = p v j /. norm.(v) in
+      abs_float (Mdd.probability mdd f ~p +. Mdd.probability mdd nf ~p -. 1.0) < 1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Sensitivities                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let base_pmf v j = (1.0 +. float_of_int ((j + v) mod 2)) /. float_of_int (domains.(v) + (domains.(v) mod 2))
+
+(* a valid pmf per variable: weights 1 or 2 normalized *)
+let pmf_for v =
+  let w = Array.init domains.(v) (fun j -> 1.0 +. float_of_int ((j + v) mod 2)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  Array.map (fun x -> x /. total) w
+
+let test_sensitivities_literal () =
+  let t = Mdd.create specs_for_props in
+  let f = Mdd.literal t 0 ~values:[ 1 ] in
+  let pmfs = Array.init 3 pmf_for in
+  let p v j = pmfs.(v).(j) in
+  let total, sens = Mdd.probability_with_sensitivities t f ~p in
+  Alcotest.(check (float 1e-12)) "P = p(0,1)" pmfs.(0).(1) total;
+  Alcotest.(check (float 1e-12)) "d/dp(0,1) = 1" 1.0 sens.(0).(1);
+  Alcotest.(check (float 1e-12)) "d/dp(0,0) = 0" 0.0 sens.(0).(0);
+  Alcotest.(check (float 1e-12)) "other variable flat" 0.0 sens.(1).(2)
+
+let prop_sensitivities_match_finite_differences =
+  QCheck.Test.make ~name:"sensitivities equal finite differences" ~count:100 arb_mexpr
+    (fun e ->
+      let t = Mdd.create specs_for_props in
+      let f = mexpr_mdd t e in
+      let pmfs = Array.init 3 pmf_for in
+      let p v j = pmfs.(v).(j) in
+      let total, sens = Mdd.probability_with_sensitivities t f ~p in
+      ignore base_pmf;
+      (* consistency with the plain evaluation *)
+      abs_float (total -. Mdd.probability t f ~p) < 1e-12
+      &&
+      let h = 1e-6 in
+      let ok = ref true in
+      for v = 0 to 2 do
+        for j = 0 to domains.(v) - 1 do
+          let p' v' j' = if v' = v && j' = j then pmfs.(v).(j) +. h else pmfs.(v').(j') in
+          let bumped = Mdd.probability t f ~p:p' in
+          let fd = (bumped -. total) /. h in
+          if abs_float (fd -. sens.(v).(j)) > 1e-5 then ok := false
+        done
+      done;
+      !ok)
+
+let prop_sensitivities_decomposition =
+  (* Sensitivities in this parametrization are reach × child-value sums, so
+     they are always nonnegative, and Σ_j p(v,j) · ∂P/∂p(v,j) is exactly the
+     probability mass of 1-paths passing through an explicit v-node — at
+     most P (paths may skip v through the elimination rule). *)
+  QCheck.Test.make ~name:"per-variable mass decomposition" ~count:100 arb_mexpr
+    (fun e ->
+      let t = Mdd.create specs_for_props in
+      let f = mexpr_mdd t e in
+      let pmfs = Array.init 3 pmf_for in
+      let p v j = pmfs.(v).(j) in
+      let total, sens = Mdd.probability_with_sensitivities t f ~p in
+      let ok = ref true in
+      for v = 0 to 2 do
+        let acc = ref 0.0 in
+        for j = 0 to domains.(v) - 1 do
+          if sens.(v).(j) < 0.0 then ok := false;
+          acc := !acc +. (pmfs.(v).(j) *. sens.(v).(j))
+        done;
+        if !acc > total +. 1e-10 then ok := false;
+        (* variables outside the support have identically zero sensitivity *)
+        if not (List.mem v (Mdd.support t f)) && !acc <> 0.0 then ok := false
+      done;
+      !ok)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "socy_mdd"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "elimination rule" `Quick test_mk_elimination;
+          Alcotest.test_case "hash consing" `Quick test_mk_hash_consing;
+          Alcotest.test_case "arity check" `Quick test_mk_arity_check;
+          Alcotest.test_case "literal" `Quick test_literal;
+          Alcotest.test_case "children" `Quick test_children_borrowed;
+        ] );
+      ( "apply",
+        [
+          Alcotest.test_case "semantics" `Quick test_apply_semantics;
+          Alcotest.test_case "canonicity" `Quick test_apply_canonicity;
+          Alcotest.test_case "probability" `Quick test_probability;
+          Alcotest.test_case "size/support" `Quick test_size_support;
+          Alcotest.test_case "fig2 hand built" `Quick test_fig2_hand_built;
+        ] );
+      ( "conversion",
+        [
+          Alcotest.test_case "single group" `Quick test_conversion_single_group;
+          Alcotest.test_case "skipped group" `Quick test_conversion_skipped_group;
+          Alcotest.test_case "invalid codes unreachable" `Quick
+            test_conversion_invalid_code_unreachable;
+          Alcotest.test_case "terminal root" `Quick test_conversion_terminal_root;
+        ] );
+      qsuite "props"
+        [
+          prop_conversion_equals_direct;
+          prop_conversion_semantics;
+          prop_probability_sums_to_one_partition;
+        ];
+      ( "sensitivities",
+        [ Alcotest.test_case "literal" `Quick test_sensitivities_literal ] );
+      qsuite "sensitivity-props"
+        [
+          prop_sensitivities_match_finite_differences;
+          prop_sensitivities_decomposition;
+        ];
+    ]
