@@ -21,8 +21,56 @@ module H = Socy_order.Heuristics
 module Mdd = Socy_mdd.Mdd
 module Model = Socy_defects.Model
 module Text_table = Socy_util.Text_table
+module Json = Socy_obs.Json
 
 let pf = Printf.printf
+
+(* ------------------------------------------------------------------ *)
+(* JSON record sink: per-row performance records, written as           *)
+(* BENCH_<mode>.json (or --json=FILE) so the perf trajectory across    *)
+(* commits can be diffed mechanically. --no-json disables it.          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_records : Json.t list ref = ref []
+
+let record ~section ~label fields =
+  bench_records :=
+    Json.Obj (("section", Json.String section) :: ("row", Json.String label) :: fields)
+    :: !bench_records
+
+let record_report ~section ~label (r : P.report) =
+  let ite_calls = r.P.ite_cache_hits + r.P.ite_cache_misses in
+  record ~section ~label
+    [
+      ("m", Json.Int r.P.m);
+      ("cpu_s", Json.Float r.P.cpu_seconds);
+      ("robdd_peak", Json.Int r.P.robdd_peak);
+      ("robdd_size", Json.Int r.P.robdd_size);
+      ("romdd_size", Json.Int r.P.romdd_size);
+      ("yield_lower", Json.Float r.P.yield_lower);
+      ( "stage_times_s",
+        Json.Obj (List.map (fun (k, s) -> (k, Json.Float s)) r.P.stage_times) );
+      ( "ite_cache_hit_rate",
+        Json.Float
+          (if ite_calls = 0 then 0.0
+           else float_of_int r.P.ite_cache_hits /. float_of_int ite_calls) );
+      ("gc_runs", Json.Int r.P.gc_runs);
+    ]
+
+let write_records ~path ~mode ~wall_s =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "socyield-bench/1");
+        ("mode", Json.String mode);
+        ("total_wall_s", Json.Float wall_s);
+        ("records", Json.List (List.rev !bench_records));
+      ]
+  in
+  let oc = open_out path in
+  Json.to_channel oc doc;
+  close_out oc;
+  pf "wrote %d bench records to %s\n" (List.length !bench_records) path
 
 type weight_class = Light | Medium | Heavy
 
@@ -213,6 +261,7 @@ let table4 mode =
       let fmt_f fmt = function Some f -> Printf.sprintf fmt f | None -> "-" in
       (match P.run ~config:(config_for ()) row.S.instance.S.circuit (S.model row) with
       | Ok r ->
+          record_report ~section:"table4" ~label r;
           Text_table.add_row t
             [
               label;
@@ -391,7 +440,9 @@ let micro _mode =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> pf "%-40s %14.0f ns/run\n" name est
+          | Some [ est ] ->
+              record ~section:"micro" ~label:name [ ("ns_per_run", Json.Float est) ];
+              pf "%-40s %14.0f ns/run\n" name est
           | Some _ | None -> pf "%-40s (no estimate)\n" name)
         analyzed)
     tests;
@@ -420,6 +471,23 @@ let () =
     else if List.mem "--full" args then Full
     else Default
   in
+  let mode_name =
+    match mode with Quick -> "quick" | Default -> "default" | Full -> "full"
+  in
+  let json_path =
+    if List.mem "--no-json" args then None
+    else
+      match
+        List.find_map
+          (fun a ->
+            if String.length a > 7 && String.sub a 0 7 = "--json=" then
+              Some (String.sub a 7 (String.length a - 7))
+            else None)
+          args
+      with
+      | Some path -> Some path
+      | None -> Some ("BENCH_" ^ mode_name ^ ".json")
+  in
   let wanted =
     List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
   in
@@ -434,4 +502,6 @@ let () =
             (String.concat ", " (List.map fst sections));
           exit 1)
     wanted;
-  pf "total wall time: %.1f s\n" (wall () -. t0)
+  let total = wall () -. t0 in
+  Option.iter (fun path -> write_records ~path ~mode:mode_name ~wall_s:total) json_path;
+  pf "total wall time: %.1f s\n" total

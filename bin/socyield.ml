@@ -17,6 +17,9 @@ module D = Socy_defects.Distribution
 module Model = Socy_defects.Model
 module Mdd = Socy_mdd.Mdd
 module Text_table = Socy_util.Text_table
+module Obs = Socy_obs.Obs
+module Sink = Socy_obs.Sink
+module Json = Socy_obs.Json
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -91,6 +94,23 @@ let bit_order_arg =
   let doc = "Bit ordering inside each group: ml, lm, t, w, h." in
   Arg.(value & opt bit_order_conv Scheme.Ml & info [ "bit-order" ] ~docv:"ORD" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Emit a run report with per-stage wall times and decision-diagram engine \
+     metrics: 'json' (machine-readable) or 'pretty' (human-readable). \
+     Enables the observability layer for the run."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("json", `Json); ("pretty", `Pretty) ])) None
+    & info [ "metrics" ] ~docv:"FORMAT" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write the --metrics report to $(docv) instead of standard output."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
 (* Resolve the (fault tree, model) pair from the arguments. *)
 let resolve ~fault_tree ~benchmark ~lambda ~alpha ~p_lethal =
   match (fault_tree, benchmark) with
@@ -115,16 +135,80 @@ let resolve ~fault_tree ~benchmark ~lambda ~alpha ~p_lethal =
               Model.create (D.negative_binomial ~mean:lambda ~alpha) instance.S.affect ))
 
 (* ------------------------------------------------------------------ *)
+(* Run reports (--metrics)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let report_json ~source ~epsilon ~mv ~bits (r : P.report) =
+  let ite_calls = r.P.ite_cache_hits + r.P.ite_cache_misses in
+  let hit_rate =
+    if ite_calls = 0 then 0.0
+    else float_of_int r.P.ite_cache_hits /. float_of_int ite_calls
+  in
+  Json.Obj
+    [
+      ("schema", Json.String "socyield-report/1");
+      ("source", Json.String source);
+      ( "config",
+        Json.Obj
+          [
+            ("epsilon", Json.Float epsilon);
+            ("mv_order", Json.String (Scheme.mv_order_name mv));
+            ("bit_order", Json.String (Scheme.bit_order_name bits));
+          ] );
+      ( "report",
+        Json.Obj
+          [
+            ("yield_lower", Json.Float r.P.yield_lower);
+            ("yield_upper", Json.Float r.P.yield_upper);
+            ("p_unusable", Json.Float r.P.p_unusable);
+            ("m", Json.Int r.P.m);
+            ("p_lethal", Json.Float r.P.p_lethal);
+            ("cpu_seconds", Json.Float r.P.cpu_seconds);
+            ("robdd_peak", Json.Int r.P.robdd_peak);
+            ("robdd_size", Json.Int r.P.robdd_size);
+            ("romdd_size", Json.Int r.P.romdd_size);
+            ("num_binary_vars", Json.Int r.P.num_binary_vars);
+            ("num_groups", Json.Int r.P.num_groups);
+            ("gate_count", Json.Int r.P.gate_count);
+          ] );
+      ( "stage_times_s",
+        Json.Obj (List.map (fun (k, s) -> (k, Json.Float s)) r.P.stage_times) );
+      ( "engine",
+        Json.Obj
+          [
+            ("unique_table_hits", Json.Int r.P.unique_hits);
+            ("ite_cache_hits", Json.Int r.P.ite_cache_hits);
+            ("ite_cache_misses", Json.Int r.P.ite_cache_misses);
+            ("ite_cache_hit_rate", Json.Float hit_rate);
+            ("gc_runs", Json.Int r.P.gc_runs);
+            ("gc_reclaimed", Json.Int r.P.gc_reclaimed);
+          ] );
+      ("metrics", Sink.snapshot_to_json (Obs.snapshot ()));
+    ]
+
+let with_metrics_channel out f =
+  match out with
+  | None -> f stdout
+  | Some path -> (
+      match open_out path with
+      | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+      | exception Sys_error msg ->
+          Printf.eprintf "socyield: cannot write metrics: %s\n" msg;
+          exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* eval                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let eval_cmd =
-  let run fault_tree benchmark lambda alpha p_lethal epsilon node_limit mv bits =
+  let run fault_tree benchmark lambda alpha p_lethal epsilon node_limit mv bits
+      metrics metrics_out =
     match resolve ~fault_tree ~benchmark ~lambda ~alpha ~p_lethal with
     | Error msg ->
         prerr_endline msg;
         exit 2
     | Ok (circuit, model) -> (
+        if metrics <> None then Obs.set_enabled true;
         let config =
           {
             P.default_config with
@@ -134,33 +218,69 @@ let eval_cmd =
             bit_order = bits;
           }
         in
+        let source =
+          match (benchmark, fault_tree) with
+          | Some b, _ -> b
+          | None, Some expr -> expr
+          | None, None -> assert false
+        in
         match P.run ~config circuit model with
         | Error f ->
-            Printf.printf
+            (match metrics with
+            | Some `Json ->
+                with_metrics_channel metrics_out (fun oc ->
+                    Json.to_channel oc
+                      (Json.Obj
+                         [
+                           ("schema", Json.String "socyield-report/1");
+                           ("source", Json.String source);
+                           ("error", Json.String "node budget exhausted");
+                           ("stage", Json.String f.P.stage);
+                           ("peak_at_failure", Json.Int f.P.peak_at_failure);
+                         ]))
+            | Some `Pretty | None -> ());
+            Printf.eprintf
               "FAILED at stage %s: node budget exhausted (peak %s nodes)\n"
               f.P.stage
               (Text_table.group_thousands f.P.peak_at_failure);
             exit 1
         | Ok r ->
-            Printf.printf "yield           in [%.6f, %.6f]  (error bound %.2g)\n"
-              r.P.yield_lower r.P.yield_upper epsilon;
-            Printf.printf "P(not usable)   %.6f\n" r.P.p_unusable;
-            Printf.printf "truncation M    %d lethal defects analyzed\n" r.P.m;
-            Printf.printf "P_lethal        %.4f\n" r.P.p_lethal;
-            Printf.printf "binary vars     %d (%d multiple-valued variables)\n"
-              r.P.num_binary_vars r.P.num_groups;
-            Printf.printf "G gates         %d\n" r.P.gate_count;
-            Printf.printf "coded ROBDD     %s nodes (peak %s)\n"
-              (Text_table.group_thousands r.P.robdd_size)
-              (Text_table.group_thousands r.P.robdd_peak);
-            Printf.printf "ROMDD           %s nodes\n"
-              (Text_table.group_thousands r.P.romdd_size);
-            Printf.printf "CPU time        %.2f s\n" r.P.cpu_seconds)
+            (* In JSON-to-stdout mode the document must be the only output. *)
+            let json_on_stdout = metrics = Some `Json && metrics_out = None in
+            if not json_on_stdout then begin
+              Printf.printf "yield           in [%.6f, %.6f]  (error bound %.2g)\n"
+                r.P.yield_lower r.P.yield_upper epsilon;
+              Printf.printf "P(not usable)   %.6f\n" r.P.p_unusable;
+              Printf.printf "truncation M    %d lethal defects analyzed\n" r.P.m;
+              Printf.printf "P_lethal        %.4f\n" r.P.p_lethal;
+              Printf.printf "binary vars     %d (%d multiple-valued variables)\n"
+                r.P.num_binary_vars r.P.num_groups;
+              Printf.printf "G gates         %d\n" r.P.gate_count;
+              Printf.printf "coded ROBDD     %s nodes (peak %s)\n"
+                (Text_table.group_thousands r.P.robdd_size)
+                (Text_table.group_thousands r.P.robdd_peak);
+              Printf.printf "ROMDD           %s nodes\n"
+                (Text_table.group_thousands r.P.romdd_size);
+              Printf.printf "CPU time        %.2f s\n" r.P.cpu_seconds
+            end;
+            (match metrics with
+            | None -> ()
+            | Some `Json ->
+                with_metrics_channel metrics_out (fun oc ->
+                    Json.to_channel oc (report_json ~source ~epsilon ~mv ~bits r))
+            | Some `Pretty ->
+                with_metrics_channel metrics_out (fun oc ->
+                    Printf.fprintf oc "\nstage times:\n";
+                    List.iter
+                      (fun (k, s) -> Printf.fprintf oc "  %-14s %9.4f s\n" k s)
+                      r.P.stage_times;
+                    (Sink.pretty oc).Sink.emit ~label:source (Obs.snapshot ()))))
   in
   let term =
     Term.(
       const run $ fault_tree_arg $ benchmark_arg $ lambda_arg $ alpha_arg
-      $ p_lethal_arg $ epsilon_arg $ node_limit_arg $ mv_order_arg $ bit_order_arg)
+      $ p_lethal_arg $ epsilon_arg $ node_limit_arg $ mv_order_arg $ bit_order_arg
+      $ metrics_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate the yield of a fault-tolerant system-on-chip")

@@ -1,4 +1,5 @@
 module C = Socy_logic.Circuit
+module Obs = Socy_obs.Obs
 
 type stats = {
   peak_nodes : int;
@@ -57,21 +58,36 @@ let of_circuit ?(gc_threshold = 500_000) m circuit ~var_of_input =
     | C.Nor -> negate (fold_op Manager.or_ args)
     | C.Xnor -> negate (fold_op Manager.xor_ args)
   in
-  List.iter
-    (fun (n : C.node) ->
-      let bdd =
-        match n.C.desc with
-        | C.Input i -> Manager.var m (var_of_input i)
-        | C.Const false -> Manager.zero
-        | C.Const true -> Manager.one
-        | C.Gate (kind, args) ->
-            let bdd = compile_gate kind args in
-            Array.iter consume args;
-            bdd
-      in
-      Hashtbl.replace bdd_of n.C.id bdd;
-      if Manager.dead m >= gc_threshold then Manager.collect m)
-    order;
+  (* Static span names: per-gate tracing must not allocate per gate. *)
+  let gate_span = function
+    | C.And -> "gate.and"
+    | C.Or -> "gate.or"
+    | C.Xor -> "gate.xor"
+    | C.Not -> "gate.not"
+    | C.Nand -> "gate.nand"
+    | C.Nor -> "gate.nor"
+    | C.Xnor -> "gate.xnor"
+  in
+  let gates_counter = Obs.counter "bdd.compile.gates" in
+  Obs.with_span "bdd.compile" (fun () ->
+      List.iter
+        (fun (n : C.node) ->
+          let bdd =
+            match n.C.desc with
+            | C.Input i -> Manager.var m (var_of_input i)
+            | C.Const false -> Manager.zero
+            | C.Const true -> Manager.one
+            | C.Gate (kind, args) ->
+                let bdd =
+                  Obs.with_span (gate_span kind) (fun () -> compile_gate kind args)
+                in
+                Obs.incr gates_counter;
+                Array.iter consume args;
+                bdd
+          in
+          Hashtbl.replace bdd_of n.C.id bdd;
+          if Manager.dead m >= gc_threshold then Manager.collect m)
+        order);
   let root = lookup circuit.C.output in
   let stats =
     {

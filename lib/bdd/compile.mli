@@ -20,6 +20,10 @@ type stats = {
     [gc_threshold] (default [500_000]): a garbage collection runs between
     gates whenever at least that many dead nodes have accumulated.
 
+    When {!Socy_obs.Obs} is enabled, the build runs inside a [bdd.compile]
+    span with one nested span per gate kind ([gate.and], [gate.or], …) and
+    counts processed gates in [bdd.compile.gates].
+
     Raises {!Manager.Node_limit_exceeded} when the manager's node limit is
     hit. *)
 val of_circuit :

@@ -33,6 +33,10 @@ type t = {
   mutable peak : int;
   mutable created : int;
   mutable gc_runs : int;
+  mutable reclaimed : int;
+  mutable unique_hits : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 let zero = 0
@@ -72,6 +76,10 @@ let create ?(node_limit = max_int) ?cpu_limit ?(cache_bits = 18) ~num_vars () =
       peak = 0;
       created = 0;
       gc_runs = 0;
+      reclaimed = 0;
+      unique_hits = 0;
+      cache_hits = 0;
+      cache_misses = 0;
     }
   in
   (* Terminals: level below every variable, self-children, immortal. *)
@@ -94,6 +102,26 @@ let low m n =
 let high m n =
   if is_terminal n then invalid_arg "Manager.high: terminal node";
   m.high.(n)
+
+(* --- observability ------------------------------------------------------ *)
+
+module Obs = Socy_obs.Obs
+
+(* Gauges are process-wide; with several managers alive they interleave
+   samples, which is the (documented) intended reading: total engine load. *)
+let live_gauge = Obs.gauge "bdd.live_nodes"
+let peak_gauge = Obs.gauge "bdd.peak_nodes"
+
+let sample_gauges m =
+  Obs.set live_gauge (float_of_int m.alive_count);
+  Obs.set peak_gauge (float_of_int m.peak)
+
+let obs_created = Obs.counter "bdd.created"
+let obs_unique_hits = Obs.counter "bdd.unique_hits"
+let obs_cache_hits = Obs.counter "bdd.ite_cache_hits"
+let obs_cache_misses = Obs.counter "bdd.ite_cache_misses"
+let obs_gc_runs = Obs.counter "bdd.gc_runs"
+let obs_reclaimed = Obs.counter "bdd.gc_reclaimed"
 
 (* --- reference counting ------------------------------------------------ *)
 
@@ -188,6 +216,7 @@ let mk m lv lo hi =
     in
     let existing = find m.buckets.(b) in
     if existing >= 0 then begin
+      m.unique_hits <- m.unique_hits + 1;
       ref_ m existing;
       existing
     end
@@ -196,7 +225,10 @@ let mk m lv lo hi =
       m.creations_until_clock_check <- m.creations_until_clock_check - 1;
       if m.creations_until_clock_check <= 0 then begin
         m.creations_until_clock_check <- 65536;
-        if Sys.time () > m.cpu_deadline then raise Cpu_limit_exceeded
+        if Sys.time () > m.cpu_deadline then raise Cpu_limit_exceeded;
+        (* Piggyback the periodic sampling of the live/peak gauges on the
+           clock check so the hot path gains no extra test. *)
+        if Socy_obs.Obs.enabled () then sample_gauges m
       end;
       let slot = alloc_slot m in
       m.level.(slot) <- lv;
@@ -267,10 +299,12 @@ let rec ite m f g h =
     in
     let cached = cache_lookup m f g h in
     if cached >= 0 then begin
+      m.cache_hits <- m.cache_hits + 1;
       ref_ m cached;
       cached
     end
     else begin
+      m.cache_misses <- m.cache_misses + 1;
       let lf = m.level.(f) and lg = m.level.(g) and lh = m.level.(h) in
       let lv = min lf (min lg lh) in
       let cof x lx = if lx = lv then (m.low.(x), m.high.(x)) else (x, x) in
@@ -476,12 +510,14 @@ let collect m =
       else begin
         m.level.(i) <- -1;
         m.next.(i) <- m.free_head;
-        m.free_head <- i
+        m.free_head <- i;
+        m.reclaimed <- m.reclaimed + 1
       end
   done;
   m.dead_count <- 0;
   Array.fill m.cache_f 0 (Array.length m.cache_f) (-1);
-  m.gc_runs <- m.gc_runs + 1
+  m.gc_runs <- m.gc_runs + 1;
+  if Obs.enabled () then sample_gauges m
 
 let alive m = m.alive_count
 let peak_alive m = m.peak
@@ -489,6 +525,42 @@ let dead m = m.dead_count
 let created_total m = m.created
 let gc_count m = m.gc_runs
 let reset_peak m = m.peak <- m.alive_count
+
+type stats = {
+  alive : int;
+  peak : int;
+  dead : int;
+  created : int;
+  gc_runs : int;
+  reclaimed : int;
+  unique_hits : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let stats (m : t) =
+  {
+    alive = m.alive_count;
+    peak = m.peak;
+    dead = m.dead_count;
+    created = m.created;
+    gc_runs = m.gc_runs;
+    reclaimed = m.reclaimed;
+    unique_hits = m.unique_hits;
+    cache_hits = m.cache_hits;
+    cache_misses = m.cache_misses;
+  }
+
+let publish_obs (m : t) =
+  if Obs.enabled () then begin
+    Obs.add obs_created m.created;
+    Obs.add obs_unique_hits m.unique_hits;
+    Obs.add obs_cache_hits m.cache_hits;
+    Obs.add obs_cache_misses m.cache_misses;
+    Obs.add obs_gc_runs m.gc_runs;
+    Obs.add obs_reclaimed m.reclaimed;
+    sample_gauges m
+  end
 
 let to_dot m n =
   let buf = Buffer.create 256 in

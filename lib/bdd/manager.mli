@@ -160,6 +160,37 @@ val gc_count : t -> int
 (** Reset the peak statistic to the current live count. *)
 val reset_peak : t -> unit
 
+(** A consistent copy of every engine statistic. The table/cache hit
+    counters pin down {e why} time goes where the paper's Table 4 says it
+    does: [unique_hits] counts [mk] calls answered from the unique table,
+    [cache_hits] / [cache_misses] the ITE computed-cache behavior (each
+    nontrivial ITE call is exactly one of the two), [reclaimed] the nodes
+    freed by GC over the manager's lifetime. *)
+type stats = {
+  alive : int;  (** current live nonterminal nodes *)
+  peak : int;  (** high-water mark of [alive] — the paper's "ROBDD peak" *)
+  dead : int;  (** dead-but-resurrectable nodes in the table *)
+  created : int;  (** total node creations (work measure) *)
+  gc_runs : int;  (** number of {!collect} runs *)
+  reclaimed : int;  (** nodes reclaimed by all {!collect} runs *)
+  unique_hits : int;  (** [mk] calls answered by an existing node *)
+  cache_hits : int;  (** ITE computed-cache hits *)
+  cache_misses : int;  (** ITE computed-cache misses *)
+}
+
+val stats : t -> stats
+
+(** [publish_obs m] pushes the manager's statistics into the {!Socy_obs}
+    registry (counters [bdd.created], [bdd.unique_hits], [bdd.ite_cache_*],
+    [bdd.gc_*]; gauges [bdd.live_nodes] / [bdd.peak_nodes]). Counters are
+    cumulative across managers — call this {e once} per manager, when its
+    work is done. A no-op while observability is disabled.
+
+    The gauges are also sampled automatically during operation: every 64k
+    node creations (piggybacked on the CPU-budget clock check, so the hot
+    path gains nothing) and after every GC. *)
+val publish_obs : t -> unit
+
 (** {1 Export} *)
 
 (** Graphviz rendering of the cone of [n] (for small diagrams/tests). *)

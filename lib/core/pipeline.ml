@@ -7,6 +7,7 @@ module Problem = Socy_encode.Problem
 module Scheme = Socy_order.Scheme
 module Model = Socy_defects.Model
 module Distribution = Socy_defects.Distribution
+module Obs = Socy_obs.Obs
 
 type config = {
   epsilon : float;
@@ -42,6 +43,12 @@ type report = {
   num_binary_vars : int;
   num_groups : int;
   gate_count : int;
+  stage_times : (string * float) list;
+  unique_hits : int;
+  ite_cache_hits : int;
+  ite_cache_misses : int;
+  gc_runs : int;
+  gc_reclaimed : int;
 }
 
 type failure = { stage : string; peak_at_failure : int }
@@ -98,12 +105,28 @@ module Artifacts = struct
     mdd_root : Mdd.node;
     lethal : Model.lethal;
     m : int;
+    stage_seconds : (string * float) list;
   }
 
+  (* Wall-clock a pipeline phase: always feeds [stage_seconds] (cheap — one
+     phase, two clock reads), and doubles as an Obs span for the trace. *)
+  let staged stages name f =
+    let t0 = Obs.now () in
+    let r = Obs.with_span name f in
+    stages := (name, Obs.now () -. t0) :: !stages;
+    r
+
   let build ?(config = default_config) fault_tree lethal =
-    let m = Model.truncation lethal ~epsilon:config.epsilon in
-    let problem = Problem.build fault_tree ~m in
-    let scheme = Scheme.make problem ~mv:config.mv_order ~bits:config.bit_order in
+    let stages = ref [] in
+    let m =
+      staged stages "truncate" (fun () ->
+          Model.truncation lethal ~epsilon:config.epsilon)
+    in
+    let problem = staged stages "encode" (fun () -> Problem.build fault_tree ~m) in
+    let scheme =
+      staged stages "order" (fun () ->
+          Scheme.make problem ~mv:config.mv_order ~bits:config.bit_order)
+    in
     let bdd =
       B.create ~node_limit:config.node_limit ?cpu_limit:config.cpu_limit
         ~cache_bits:config.cache_bits
@@ -111,8 +134,10 @@ module Artifacts = struct
         ()
     in
     match
-      Compile.of_circuit ~gc_threshold:config.gc_threshold bdd problem.Problem.circuit
-        ~var_of_input:(fun i -> scheme.Scheme.level_of_input.(i))
+      staged stages "robdd-build" (fun () ->
+          Compile.of_circuit ~gc_threshold:config.gc_threshold bdd
+            problem.Problem.circuit
+            ~var_of_input:(fun i -> scheme.Scheme.level_of_input.(i)))
     with
     | exception B.Node_limit_exceeded ->
         Error { stage = "coded-robdd"; peak_at_failure = B.peak_alive bdd }
@@ -121,9 +146,23 @@ module Artifacts = struct
     | bdd_root, bdd_stats ->
         let mdd = Mdd.create (mdd_specs problem scheme) in
         let mdd_root =
-          Conversion.run bdd bdd_root mdd (layout_of_scheme problem scheme)
+          staged stages "romdd-convert" (fun () ->
+              Conversion.run bdd bdd_root mdd (layout_of_scheme problem scheme))
         in
-        Ok { problem; scheme; bdd; bdd_root; bdd_stats; mdd; mdd_root; lethal; m }
+        B.publish_obs bdd;
+        Ok
+          {
+            problem;
+            scheme;
+            bdd;
+            bdd_root;
+            bdd_stats;
+            mdd;
+            mdd_root;
+            lethal;
+            m;
+            stage_seconds = List.rev !stages;
+          }
 
   let probability_of_level t =
     let w = Model.w_pmf t.lethal ~m:t.m in
@@ -161,9 +200,15 @@ module Artifacts = struct
         1.0 -. Mdd.probability t.mdd t.mdd_root ~p)
 
   let report t ~cpu_seconds =
-    let p_unusable = Mdd.probability t.mdd t.mdd_root ~p:(probability_of_level t) in
+    let t0 = Obs.now () in
+    let p_unusable =
+      Obs.with_span "traversal" (fun () ->
+          Mdd.probability t.mdd t.mdd_root ~p:(probability_of_level t))
+    in
+    let traversal_s = Obs.now () -. t0 in
     let yield_lower = 1.0 -. p_unusable in
     let tail = (Model.w_pmf t.lethal ~m:t.m).(t.m + 1) in
+    let engine = B.stats t.bdd in
     {
       yield_lower;
       yield_upper = yield_lower +. tail;
@@ -177,14 +222,27 @@ module Artifacts = struct
       num_binary_vars = Problem.num_binary_vars t.problem;
       num_groups = Problem.num_groups t.problem;
       gate_count = C.gate_count t.problem.Problem.circuit;
+      stage_times = t.stage_seconds @ [ ("traversal", traversal_s) ];
+      unique_hits = engine.B.unique_hits;
+      ite_cache_hits = engine.B.cache_hits;
+      ite_cache_misses = engine.B.cache_misses;
+      gc_runs = engine.B.gc_runs;
+      gc_reclaimed = engine.B.reclaimed;
     }
 end
 
 let run_lethal ?(config = default_config) fault_tree lethal =
   let t0 = Sys.time () in
-  match Artifacts.build ~config fault_tree lethal with
-  | Error f -> Error f
-  | Ok artifacts -> Ok (Artifacts.report artifacts ~cpu_seconds:(Sys.time () -. t0))
+  Obs.with_span "pipeline" (fun () ->
+      match Artifacts.build ~config fault_tree lethal with
+      | Error f -> Error f
+      | Ok artifacts ->
+          Ok (Artifacts.report artifacts ~cpu_seconds:(Sys.time () -. t0)))
 
 let run ?(config = default_config) fault_tree model =
-  run_lethal ~config fault_tree (Model.to_lethal model)
+  let t0 = Obs.now () in
+  let lethal = Obs.with_span "lethal-map" (fun () -> Model.to_lethal model) in
+  let lethal_s = Obs.now () -. t0 in
+  Result.map
+    (fun r -> { r with stage_times = ("lethal-map", lethal_s) :: r.stage_times })
+    (run_lethal ~config fault_tree lethal)

@@ -14,8 +14,14 @@
     + evaluate P(G = 1) on the ROMDD by the probability traversal and
       report the yield band [Y_M, Y_M + ε].
 
-    The report carries the statistics of the paper's Table 4: CPU time,
-    ROBDD peak, final coded-ROBDD size, ROMDD size, yield. *)
+    The report carries the statistics of the paper's Table 4 — CPU time,
+    ROBDD peak, final coded-ROBDD size, ROMDD size, yield — plus the
+    observability extensions: per-stage wall times and the decision-diagram
+    engine's table/cache/GC counters. When {!Socy_obs.Obs} is enabled the
+    run is additionally traced (spans [pipeline/truncate] …
+    [pipeline/traversal], nested engine spans, and the [bdd.*] counters and
+    gauges); the report fields themselves are always populated and cost a
+    handful of clock reads per run. *)
 
 type config = {
   epsilon : float;  (** absolute yield error bound ε (default 1e-3) *)
@@ -44,6 +50,16 @@ type report = {
   num_binary_vars : int;
   num_groups : int;  (** M + 1 multiple-valued variables *)
   gate_count : int;  (** gates of the binary G description *)
+  stage_times : (string * float) list;
+      (** wall seconds per pipeline phase, in execution order:
+          [lethal-map] (only via {!run}), [truncate], [encode], [order],
+          [robdd-build], [romdd-convert], [traversal]. Populated whether or
+          not observability is enabled. *)
+  unique_hits : int;  (** node requests answered by the unique table *)
+  ite_cache_hits : int;  (** ITE computed-cache hits during the build *)
+  ite_cache_misses : int;  (** ITE computed-cache misses during the build *)
+  gc_runs : int;  (** garbage collections during the build *)
+  gc_reclaimed : int;  (** dead nodes reclaimed by those collections *)
 }
 
 type failure = {
@@ -84,6 +100,9 @@ module Artifacts : sig
     mdd_root : Socy_mdd.Mdd.node;
     lethal : Socy_defects.Model.lethal;
     m : int;
+    stage_seconds : (string * float) list;
+        (** wall seconds of the build phases ([truncate] … [romdd-convert]),
+            in execution order; {!report} appends the traversal time. *)
   }
 
   (** Build everything up to the ROMDD; [Error] on node-budget exhaustion. *)

@@ -1,4 +1,5 @@
 module B = Socy_bdd.Manager
+module Obs = Socy_obs.Obs
 
 type layout = {
   group_of_level : int array;
@@ -38,7 +39,7 @@ let run bdd root mdd layout =
     end
   in
   if not (B.is_terminal root) then mark root;
-  scan root;
+  Obs.with_span "mdd.convert.scan" (fun () -> scan root);
   (* Pass 2: process layers bottom-up. [mapping] associates processed entry
      nodes (and terminals) with ROMDD nodes. *)
   let mapping = Hashtbl.create 1024 in
@@ -56,26 +57,31 @@ let run bdd root mdd layout =
     in
     follow entry
   in
+  let entry_counter = Obs.counter "mdd.convert.entry_nodes" in
+  let layer_hist = Obs.histogram "mdd.convert.layer_entries" in
   for g = num_groups - 1 downto 0 do
-    let domain = (Mdd.spec mdd g).domain in
-    List.iter
-      (fun entry ->
-        if not (Hashtbl.mem mapping entry) then begin
-          let kids =
-            Array.init domain (fun j ->
-                let target = simulate g entry j in
-                match Hashtbl.find_opt mapping target with
-                | Some mnode -> mnode
-                | None ->
-                    (* Unreachable in a correct layout: targets are
-                       terminals or entries of deeper, already processed
-                       layers. *)
-                    invalid_arg
-                      "Conversion.run: simulation escaped to an unprocessed \
-                       node; is the layout group-contiguous?")
-          in
-          Hashtbl.add mapping entry (Mdd.mk mdd g kids)
-        end)
-      entries.(g)
+    Obs.with_span "mdd.convert.layer" (fun () ->
+        Obs.add entry_counter (List.length entries.(g));
+        Obs.observe layer_hist (float_of_int (List.length entries.(g)));
+        let domain = (Mdd.spec mdd g).domain in
+        List.iter
+          (fun entry ->
+            if not (Hashtbl.mem mapping entry) then begin
+              let kids =
+                Array.init domain (fun j ->
+                    let target = simulate g entry j in
+                    match Hashtbl.find_opt mapping target with
+                    | Some mnode -> mnode
+                    | None ->
+                        (* Unreachable in a correct layout: targets are
+                           terminals or entries of deeper, already processed
+                           layers. *)
+                        invalid_arg
+                          "Conversion.run: simulation escaped to an \
+                           unprocessed node; is the layout group-contiguous?")
+              in
+              Hashtbl.add mapping entry (Mdd.mk mdd g kids)
+            end)
+          entries.(g))
   done;
   Hashtbl.find mapping root

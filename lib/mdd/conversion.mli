@@ -27,5 +27,10 @@ type layout = {
 
     Returns the ROMDD root. Nodes corresponding to binary combinations that
     encode no domain value are never created (the paper instead creates and
-    then prunes them; the result is the same reduced diagram). *)
+    then prunes them; the result is the same reduced diagram).
+
+    When {!Socy_obs.Obs} is enabled, the entry-node sweep runs in a
+    [mdd.convert.scan] span, each layer in a [mdd.convert.layer] span, and
+    the per-layer entry-node counts feed the [mdd.convert.entry_nodes]
+    counter and the [mdd.convert.layer_entries] histogram. *)
 val run : Socy_bdd.Manager.t -> Socy_bdd.Manager.node -> Mdd.t -> layout -> Mdd.node

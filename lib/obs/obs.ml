@@ -1,0 +1,255 @@
+(* A single process-wide registry. Counters are atomics; everything with a
+   multi-field update (gauges, histograms, spans) carries its own mutex.
+   The registry mutex only guards registration and snapshot/reset, never a
+   hot-path update. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+let now () = Unix.gettimeofday ()
+
+let registry_lock = Mutex.create ()
+
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* Idempotent registration: one table per instrument kind. *)
+let register table name create =
+  with_lock registry_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some i -> i
+      | None ->
+          let i = create () in
+          Hashtbl.add table name i;
+          i)
+
+let sorted_bindings table value =
+  with_lock registry_lock (fun () ->
+      Hashtbl.fold (fun name i acc -> (name, value i) :: acc) table [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* --- counters ----------------------------------------------------------- *)
+
+type counter = int Atomic.t
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let counter name = register counters name (fun () -> Atomic.make 0)
+
+let add c n =
+  if n < 0 then invalid_arg "Obs.add: counters are monotonic";
+  if enabled () then ignore (Atomic.fetch_and_add c n)
+
+let incr c = if enabled () then ignore (Atomic.fetch_and_add c 1)
+let counter_value c = Atomic.get c
+
+(* --- gauges ------------------------------------------------------------- *)
+
+type gauge = {
+  g_lock : Mutex.t;
+  mutable last : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable samples : int;
+}
+
+type gauge_stat = {
+  g_last : float;
+  g_min : float;
+  g_max : float;
+  g_samples : int;
+}
+
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
+
+let gauge name =
+  register gauges name (fun () ->
+      { g_lock = Mutex.create (); last = 0.0; min_v = infinity; max_v = neg_infinity; samples = 0 })
+
+let set g v =
+  if enabled () then
+    with_lock g.g_lock (fun () ->
+        g.last <- v;
+        if v < g.min_v then g.min_v <- v;
+        if v > g.max_v then g.max_v <- v;
+        g.samples <- g.samples + 1)
+
+let gauge_stat g =
+  with_lock g.g_lock (fun () ->
+      { g_last = g.last; g_min = g.min_v; g_max = g.max_v; g_samples = g.samples })
+
+(* --- histograms --------------------------------------------------------- *)
+
+type histogram = {
+  h_lock : Mutex.t;
+  bounds : float array; (* strictly increasing; implicit +inf bucket after *)
+  counts : int array; (* length = length bounds + 1 *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min_o : float;
+  mutable max_o : float;
+}
+
+type histogram_stat = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) list;
+}
+
+let default_buckets = [| 1.0; 10.0; 100.0; 1e3; 1e4; 1e5; 1e6 |]
+
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let histogram ?(buckets = default_buckets) name =
+  let ok = ref (Array.length buckets > 0) in
+  Array.iteri (fun i b -> if i > 0 && b <= buckets.(i - 1) then ok := false) buckets;
+  if not !ok then invalid_arg "Obs.histogram: buckets must be strictly increasing";
+  register histograms name (fun () ->
+      {
+        h_lock = Mutex.create ();
+        bounds = Array.copy buckets;
+        counts = Array.make (Array.length buckets + 1) 0;
+        count = 0;
+        sum = 0.0;
+        min_o = infinity;
+        max_o = neg_infinity;
+      })
+
+let observe h v =
+  if enabled () then
+    with_lock h.h_lock (fun () ->
+        let nb = Array.length h.bounds in
+        let i = ref 0 in
+        while !i < nb && v > h.bounds.(!i) do
+          Stdlib.incr i
+        done;
+        h.counts.(!i) <- h.counts.(!i) + 1;
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. v;
+        if v < h.min_o then h.min_o <- v;
+        if v > h.max_o then h.max_o <- v)
+
+let histogram_stat h =
+  with_lock h.h_lock (fun () ->
+      (* cumulative counts, Prometheus-style *)
+      let acc = ref 0 in
+      let buckets =
+        List.init
+          (Array.length h.counts)
+          (fun i ->
+            acc := !acc + h.counts.(i);
+            let bound =
+              if i < Array.length h.bounds then h.bounds.(i) else infinity
+            in
+            (bound, !acc))
+      in
+      { h_count = h.count; h_sum = h.sum; h_min = h.min_o; h_max = h.max_o; h_buckets = buckets })
+
+(* --- spans -------------------------------------------------------------- *)
+
+type span_agg = {
+  s_lock : Mutex.t;
+  mutable s_count_m : int;
+  mutable s_total_m : float;
+  mutable s_min_m : float;
+  mutable s_max_m : float;
+}
+
+type span_stat = {
+  s_count : int;
+  s_total : float;
+  s_min : float;
+  s_max : float;
+}
+
+let spans : (string, span_agg) Hashtbl.t = Hashtbl.create 32
+
+let span_agg path =
+  register spans path (fun () ->
+      { s_lock = Mutex.create (); s_count_m = 0; s_total_m = 0.0; s_min_m = infinity; s_max_m = neg_infinity })
+
+let record_span path dt =
+  let agg = span_agg path in
+  with_lock agg.s_lock (fun () ->
+      agg.s_count_m <- agg.s_count_m + 1;
+      agg.s_total_m <- agg.s_total_m +. dt;
+      if dt < agg.s_min_m then agg.s_min_m <- dt;
+      if dt > agg.s_max_m then agg.s_max_m <- dt)
+
+(* Nesting context: one path stack per domain, so concurrent domains build
+   independent traces without synchronizing per call. *)
+let span_stack : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let with_span name f =
+  if not (enabled ()) then f ()
+  else begin
+    let stack = Domain.DLS.get span_stack in
+    let path =
+      match !stack with [] -> name | parent :: _ -> parent ^ "/" ^ name
+    in
+    stack := path :: !stack;
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        stack := List.tl !stack;
+        record_span path (now () -. t0))
+      f
+  end
+
+let span_stat agg =
+  with_lock agg.s_lock (fun () ->
+      {
+        s_count = agg.s_count_m;
+        s_total = agg.s_total_m;
+        s_min = agg.s_min_m;
+        s_max = agg.s_max_m;
+      })
+
+(* --- snapshot / reset ---------------------------------------------------- *)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * gauge_stat) list;
+  histograms : (string * histogram_stat) list;
+  spans : (string * span_stat) list;
+}
+
+let snapshot () =
+  {
+    counters = sorted_bindings counters Atomic.get;
+    gauges = sorted_bindings gauges gauge_stat;
+    histograms = sorted_bindings histograms histogram_stat;
+    spans = sorted_bindings spans span_stat;
+  }
+
+let reset () =
+  with_lock registry_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters;
+      Hashtbl.iter
+        (fun _ g ->
+          with_lock g.g_lock (fun () ->
+              g.last <- 0.0;
+              g.min_v <- infinity;
+              g.max_v <- neg_infinity;
+              g.samples <- 0))
+        gauges;
+      Hashtbl.iter
+        (fun _ h ->
+          with_lock h.h_lock (fun () ->
+              Array.fill h.counts 0 (Array.length h.counts) 0;
+              h.count <- 0;
+              h.sum <- 0.0;
+              h.min_o <- infinity;
+              h.max_o <- neg_infinity))
+        histograms;
+      Hashtbl.iter
+        (fun _ s ->
+          with_lock s.s_lock (fun () ->
+              s.s_count_m <- 0;
+              s.s_total_m <- 0.0;
+              s.s_min_m <- infinity;
+              s.s_max_m <- neg_infinity))
+        spans)

@@ -1,0 +1,148 @@
+(** Process-wide observability: counters, gauges, histograms and nested
+    timed spans, with a thread-safe registry and near-zero overhead when
+    disabled.
+
+    The paper's whole evaluation section is about where the CPU seconds and
+    the ROBDD nodes go; this module is the measurement substrate for that.
+    Probes are registered by name once (registration is idempotent: the same
+    name returns the same instrument) and updated from anywhere — the
+    decision-diagram engine, the conversion, the pipeline, the CLI.
+
+    {2 The enabled flag}
+
+    All {e updates} ({!incr}, {!add}, {!set}, {!observe}, {!with_span}) are
+    guarded by a single process-wide flag, off by default. When the flag is
+    off an update is one load and one branch, and {!with_span} is a direct
+    call of its body — the engine's hot paths pay essentially nothing. Flip
+    the flag with {!set_enabled} {e before} the measured run; instruments
+    update from then on.
+
+    {2 Thread safety}
+
+    Counters are lock-free ([Atomic]); gauges, histograms, spans and the
+    registry itself are guarded by mutexes. Span {e nesting} is tracked
+    per-domain (domain-local state), so concurrent domains build independent
+    span paths.
+
+    {2 Reading}
+
+    {!snapshot} returns a consistent, name-sorted copy of every instrument;
+    {!Sink} renders snapshots (null / pretty / JSON). {!reset} clears all
+    recorded values — between benchmark sections, or in tests. *)
+
+(** {1 The master switch} *)
+
+(** [enabled ()] is the current state of the process-wide flag. *)
+val enabled : unit -> bool
+
+(** [set_enabled b] turns every probe in the process on or off. *)
+val set_enabled : bool -> unit
+
+(** [now ()] is the wall clock in seconds (the time base of spans). *)
+val now : unit -> float
+
+(** {1 Counters}
+
+    Monotonic event counts: node creations, cache hits, GC runs. *)
+
+type counter
+
+(** [counter name] is the counter registered under [name], created at zero
+    on first use. *)
+val counter : string -> counter
+
+(** [incr c] adds one (no-op while disabled). *)
+val incr : counter -> unit
+
+(** [add c n] adds [n ≥ 0] (no-op while disabled). Raises
+    [Invalid_argument] on negative [n] — counters are monotonic. *)
+val add : counter -> int -> unit
+
+(** [counter_value c] is the current count (readable even while disabled). *)
+val counter_value : counter -> int
+
+(** {1 Gauges}
+
+    Point-in-time levels sampled over a run: live BDD nodes, table load.
+    A gauge remembers its last, minimum and maximum sample and the sample
+    count, so "peak over time" comes for free. *)
+
+type gauge
+
+(** [gauge name] is the gauge registered under [name]. *)
+val gauge : string -> gauge
+
+(** [set g v] records sample [v] (no-op while disabled). *)
+val set : gauge -> float -> unit
+
+type gauge_stat = {
+  g_last : float;
+  g_min : float;
+  g_max : float;
+  g_samples : int;
+}
+
+(** {1 Histograms}
+
+    Value distributions (per-gate node deltas, layer sizes). Buckets are
+    cumulative upper bounds, Prometheus-style; an implicit +∞ bucket catches
+    the rest. *)
+
+type histogram
+
+(** [histogram ?buckets name] is the histogram registered under [name].
+    [buckets] (strictly increasing upper bounds) is fixed on first
+    registration; later calls for the same name ignore it. The default is a
+    decade ladder from 1 to 10^6. *)
+val histogram : ?buckets:float array -> string -> histogram
+
+(** [observe h v] records [v] (no-op while disabled). *)
+val observe : histogram -> float -> unit
+
+type histogram_stat = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) list;
+      (** (upper bound, observations ≤ bound) — cumulative, ending with the
+          [infinity] bucket. *)
+}
+
+(** {1 Spans}
+
+    Nested wall-clock timings. A span is identified by its {e path}: the
+    names of the enclosing spans joined with ['/'] — so
+    [pipeline/robdd-build/gate] aggregates all gate compilations inside the
+    build phase. Repeated executions of the same path accumulate (count,
+    total, min, max); the tree structure is recoverable from the paths. *)
+
+(** [with_span name f] runs [f ()] inside a span named [name] (nested under
+    the caller's current span, if any) and records its wall-clock duration —
+    also when [f] raises. While disabled this is a direct call of [f]. *)
+val with_span : string -> (unit -> 'a) -> 'a
+
+type span_stat = {
+  s_count : int;
+  s_total : float;  (** summed seconds over all executions *)
+  s_min : float;
+  s_max : float;
+}
+
+(** {1 Snapshot} *)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * gauge_stat) list;
+  histograms : (string * histogram_stat) list;
+  spans : (string * span_stat) list;  (** keyed by '/'-joined path *)
+}
+
+(** [snapshot ()] is a consistent copy of every registered instrument, each
+    section sorted by name. Instruments that were registered but never
+    updated appear with zero values. *)
+val snapshot : unit -> snapshot
+
+(** [reset ()] zeroes every instrument and forgets recorded spans (the
+    registrations themselves survive, handles stay valid). *)
+val reset : unit -> unit

@@ -301,6 +301,40 @@ let test_report_consistency () =
   check_float ~eps:1e-12 "p_lethal carried" 0.1 r.P.p_lethal;
   Alcotest.(check bool) "cpu time nonnegative" true (r.P.cpu_seconds >= 0.0)
 
+let test_report_observability () =
+  (* A real benchmark row (MS2) so the engine sees genuine cache traffic. *)
+  let module Obs = Socy_obs.Obs in
+  let row = List.hd (Socy_benchmarks.Suite.table_rows ()) in
+  let ft = row.Socy_benchmarks.Suite.instance.Socy_benchmarks.Suite.circuit in
+  Obs.reset ();
+  Obs.set_enabled true;
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Obs.set_enabled false)
+      (fun () -> run_exn ft (Model.to_lethal (Socy_benchmarks.Suite.model row)))
+  in
+  let stages = List.map fst r.P.stage_times in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "stage %s timed" s) true (List.mem s stages))
+    [ "truncate"; "encode"; "order"; "robdd-build"; "romdd-convert"; "traversal" ];
+  List.iter
+    (fun (s, t) ->
+      Alcotest.(check bool) (Printf.sprintf "stage %s >= 0" s) true (t >= 0.0))
+    r.P.stage_times;
+  Alcotest.(check bool) "unique-table hits" true (r.P.unique_hits > 0);
+  Alcotest.(check bool) "ite cache traffic" true
+    (r.P.ite_cache_hits > 0 && r.P.ite_cache_misses > 0);
+  (* and the enabled run left a trace in the registry *)
+  let snap = Obs.snapshot () in
+  Alcotest.(check bool) "pipeline span recorded" true
+    (List.mem_assoc "pipeline" snap.Obs.spans);
+  Alcotest.(check bool) "nested build span recorded" true
+    (List.mem_assoc "pipeline/robdd-build/bdd.compile" snap.Obs.spans);
+  Alcotest.(check bool) "bdd.created counter" true
+    (List.assoc "bdd.created" snap.Obs.counters > 0);
+  Obs.reset ()
+
 (* ------------------------------------------------------------------ *)
 (* Brute force itself                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -582,7 +616,11 @@ let () =
           Alcotest.test_case "epsilon monotone" `Quick test_tighter_epsilon_monotone;
           Alcotest.test_case "node-limit failure" `Quick test_node_limit_failure_reported;
         ] );
-      ("report", [ Alcotest.test_case "consistency" `Quick test_report_consistency ]);
+      ( "report",
+        [
+          Alcotest.test_case "consistency" `Quick test_report_consistency;
+          Alcotest.test_case "observability" `Quick test_report_observability;
+        ] );
       ( "brute",
         [
           Alcotest.test_case "budget guard" `Quick test_brute_budget_guard;
