@@ -419,6 +419,14 @@ let micro _mode =
                (Mdd.probability artifacts.P.Artifacts.mdd
                   artifacts.P.Artifacts.mdd_root
                   ~p:(P.Artifacts.probability_of_level artifacts))));
+      (* the vectorized all-k sweep: one traversal prices every Y_k, so it
+         competes with (M + 3) runs of the scalar traversal above *)
+      Test.make ~name:"romdd-sweep-all-k-ms2"
+        (Staged.stage (fun () ->
+             let nk, p = P.Artifacts.sweep_layout artifacts in
+             ignore
+               (Mdd.probability_sweep artifacts.P.Artifacts.mdd
+                  artifacts.P.Artifacts.mdd_root ~nk ~p)));
       Test.make ~name:"monte-carlo-10k-trials-ms2"
         (Staged.stage (fun () ->
              ignore (Socy_core.Montecarlo.run ~trials:10_000 ms2_circuit lethal)));

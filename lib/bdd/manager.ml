@@ -27,6 +27,9 @@ type t = {
   cache_h : int array;
   cache_r : int array;
   cache_mask : int;
+  (* Work stack for the iterative ITE: packed frames of [ite_stride] ints,
+     reused across calls so the hot path allocates nothing per frame. *)
+  mutable ite_frames : int array;
   (* Statistics *)
   mutable alive_count : int;
   mutable dead_count : int;
@@ -37,6 +40,14 @@ type t = {
   mutable unique_hits : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  (* Last values pushed to the Obs registry; [publish_obs] adds only the
+     delta since, so repeated publishes never double-count. *)
+  mutable pub_created : int;
+  mutable pub_unique_hits : int;
+  mutable pub_cache_hits : int;
+  mutable pub_cache_misses : int;
+  mutable pub_gc_runs : int;
+  mutable pub_reclaimed : int;
 }
 
 let zero = 0
@@ -46,6 +57,13 @@ let num_vars m = m.nvars
 
 let initial_capacity = 1024
 let initial_buckets = 1 lsl 10
+
+(* Frame layout of the iterative ITE work stack:
+   [kf; kg; kh] the normalized cache key, [lv] the branching level,
+   [stage] 0 = descend then-branch, 1 = descend else-branch, 2 = combine,
+   [f1; g1; h1] then-cofactors, [f0; g0; h0] else-cofactors,
+   [t_res] the finished then-branch result. *)
+let ite_stride = 12
 
 let create ?(node_limit = max_int) ?cpu_limit ?(cache_bits = 18) ~num_vars () =
   if num_vars < 0 then invalid_arg "Manager.create: negative num_vars";
@@ -71,6 +89,7 @@ let create ?(node_limit = max_int) ?cpu_limit ?(cache_bits = 18) ~num_vars () =
       cache_h = Array.make (1 lsl cache_bits) 0;
       cache_r = Array.make (1 lsl cache_bits) 0;
       cache_mask = (1 lsl cache_bits) - 1;
+      ite_frames = Array.make (64 * ite_stride) 0;
       alive_count = 0;
       dead_count = 0;
       peak = 0;
@@ -80,6 +99,12 @@ let create ?(node_limit = max_int) ?cpu_limit ?(cache_bits = 18) ~num_vars () =
       unique_hits = 0;
       cache_hits = 0;
       cache_misses = 0;
+      pub_created = 0;
+      pub_unique_hits = 0;
+      pub_cache_hits = 0;
+      pub_cache_misses = 0;
+      pub_gc_runs = 0;
+      pub_reclaimed = 0;
     }
   in
   (* Terminals: level below every variable, self-children, immortal. *)
@@ -128,32 +153,70 @@ let obs_reclaimed = Obs.counter "bdd.gc_reclaimed"
 let bump_alive m =
   if m.alive_count > m.peak then m.peak <- m.alive_count
 
-let rec ref_ m n =
+(* Resurrection: [n] was dead and just went 0 -> 1; re-acquire the children
+   it still points to. The cascade walks the dead part of the cone with an
+   explicit worklist — a deep cone must not overflow the OCaml stack. *)
+let resurrect m n =
+  m.alive_count <- m.alive_count + 1;
+  m.dead_count <- m.dead_count - 1;
+  bump_alive m;
+  let work = ref [ m.low.(n); m.high.(n) ] in
+  let rec drain () =
+    match !work with
+    | [] -> ()
+    | x :: rest ->
+        work := rest;
+        if not (is_terminal x) then begin
+          let c = m.rc.(x) in
+          m.rc.(x) <- c + 1;
+          if c = 0 then begin
+            m.alive_count <- m.alive_count + 1;
+            m.dead_count <- m.dead_count - 1;
+            bump_alive m;
+            work := m.low.(x) :: m.high.(x) :: !work
+          end
+        end;
+        drain ()
+  in
+  drain ()
+
+let ref_ m n =
   if not (is_terminal n) then begin
     let c = m.rc.(n) in
     m.rc.(n) <- c + 1;
-    if c = 0 then begin
-      (* Resurrection: the node was dead, its cone was released; re-acquire
-         the children it still points to. *)
-      m.alive_count <- m.alive_count + 1;
-      m.dead_count <- m.dead_count - 1;
-      bump_alive m;
-      ref_ m m.low.(n);
-      ref_ m m.high.(n)
-    end
+    if c = 0 then resurrect m n
   end
 
-let rec deref m n =
+(* Dual of [resurrect]: [n] just went 1 -> 0; release its cone. *)
+let kill m n =
+  m.alive_count <- m.alive_count - 1;
+  m.dead_count <- m.dead_count + 1;
+  let work = ref [ m.low.(n); m.high.(n) ] in
+  let rec drain () =
+    match !work with
+    | [] -> ()
+    | x :: rest ->
+        work := rest;
+        if not (is_terminal x) then begin
+          let c = m.rc.(x) in
+          if c <= 0 then invalid_arg "Manager.deref: reference count underflow";
+          m.rc.(x) <- c - 1;
+          if c = 1 then begin
+            m.alive_count <- m.alive_count - 1;
+            m.dead_count <- m.dead_count + 1;
+            work := m.low.(x) :: m.high.(x) :: !work
+          end
+        end;
+        drain ()
+  in
+  drain ()
+
+let deref m n =
   if not (is_terminal n) then begin
     let c = m.rc.(n) in
     if c <= 0 then invalid_arg "Manager.deref: reference count underflow";
     m.rc.(n) <- c - 1;
-    if c = 1 then begin
-      m.alive_count <- m.alive_count - 1;
-      m.dead_count <- m.dead_count + 1;
-      deref m m.low.(n);
-      deref m m.high.(n)
-    end
+    if c = 1 then kill m n
   end
 
 (* --- unique table ------------------------------------------------------ *)
@@ -270,56 +333,98 @@ let cache_store m f g h r =
   m.cache_h.(i) <- h;
   m.cache_r.(i) <- r
 
-let rec ite m f g h =
-  if f = one then begin
-    ref_ m g;
-    g
-  end
-  else if f = zero then begin
-    ref_ m h;
-    h
-  end
-  else if g = h then begin
-    ref_ m g;
-    g
-  end
-  else if g = one && h = zero then begin
-    ref_ m f;
-    f
-  end
-  else begin
-    let g = if g = f then one else g in
-    let h = if h = f then zero else h in
-    (* Commutativity normalizations (Brace-Rudell): AND and OR triples get
-       a canonical operand order, improving computed-cache hit rates. *)
-    let f, g, h =
-      if h = zero && g < f then (g, f, h)
-      else if g = one && h < f then (h, g, f)
-      else (f, g, h)
-    in
-    let cached = cache_lookup m f g h in
-    if cached >= 0 then begin
-      m.cache_hits <- m.cache_hits + 1;
-      ref_ m cached;
-      cached
+(* Iterative ITE: a state machine over an explicit stack of packed int
+   frames (layout at [ite_stride]), so arbitrarily deep diagrams cannot
+   overflow the OCaml stack. The then-branch is still evaluated before the
+   else-branch — node creation order, and therefore node numbering, is
+   identical to the former recursive version. *)
+let ite m f g h =
+  let finished = ref (-1) in
+  let ntop = ref 0 in
+  (* Resolve one (f, g, h) call: either set [finished] (terminal rules or a
+     computed-cache hit) or push a frame for the two cofactor sub-calls. *)
+  let launch f g h =
+    if f = one then begin
+      ref_ m g;
+      finished := g
+    end
+    else if f = zero then begin
+      ref_ m h;
+      finished := h
+    end
+    else if g = h then begin
+      ref_ m g;
+      finished := g
+    end
+    else if g = one && h = zero then begin
+      ref_ m f;
+      finished := f
     end
     else begin
-      m.cache_misses <- m.cache_misses + 1;
-      let lf = m.level.(f) and lg = m.level.(g) and lh = m.level.(h) in
-      let lv = min lf (min lg lh) in
-      let cof x lx = if lx = lv then (m.low.(x), m.high.(x)) else (x, x) in
-      let f0, f1 = cof f lf in
-      let g0, g1 = cof g lg in
-      let h0, h1 = cof h lh in
-      let t = ite m f1 g1 h1 in
-      let e = ite m f0 g0 h0 in
-      let r = mk m lv e t in
-      deref m t;
-      deref m e;
-      cache_store m f g h r;
-      r
+      let g = if g = f then one else g in
+      let h = if h = f then zero else h in
+      (* Commutativity normalizations (Brace-Rudell): AND and OR triples get
+         a canonical operand order, improving computed-cache hit rates. *)
+      let f, g, h =
+        if h = zero && g < f then (g, f, h)
+        else if g = one && h < f then (h, g, f)
+        else (f, g, h)
+      in
+      let cached = cache_lookup m f g h in
+      if cached >= 0 then begin
+        m.cache_hits <- m.cache_hits + 1;
+        ref_ m cached;
+        finished := cached
+      end
+      else begin
+        m.cache_misses <- m.cache_misses + 1;
+        let lf = m.level.(f) and lg = m.level.(g) and lh = m.level.(h) in
+        let lv = min lf (min lg lh) in
+        if !ntop * ite_stride = Array.length m.ite_frames then begin
+          let b = Array.make (2 * Array.length m.ite_frames) 0 in
+          Array.blit m.ite_frames 0 b 0 (Array.length m.ite_frames);
+          m.ite_frames <- b
+        end;
+        let s = m.ite_frames in
+        let base = !ntop * ite_stride in
+        incr ntop;
+        s.(base) <- f;
+        s.(base + 1) <- g;
+        s.(base + 2) <- h;
+        s.(base + 3) <- lv;
+        s.(base + 4) <- 0;
+        s.(base + 5) <- (if lf = lv then m.high.(f) else f);
+        s.(base + 6) <- (if lg = lv then m.high.(g) else g);
+        s.(base + 7) <- (if lh = lv then m.high.(h) else h);
+        s.(base + 8) <- (if lf = lv then m.low.(f) else f);
+        s.(base + 9) <- (if lg = lv then m.low.(g) else g);
+        s.(base + 10) <- (if lh = lv then m.low.(h) else h)
+      end
     end
-  end
+  in
+  launch f g h;
+  while !ntop > 0 do
+    let s = m.ite_frames in
+    let base = (!ntop - 1) * ite_stride in
+    match s.(base + 4) with
+    | 0 ->
+        s.(base + 4) <- 1;
+        launch s.(base + 5) s.(base + 6) s.(base + 7)
+    | 1 ->
+        s.(base + 11) <- !finished;
+        s.(base + 4) <- 2;
+        launch s.(base + 8) s.(base + 9) s.(base + 10)
+    | _ ->
+        let e = !finished in
+        let t = s.(base + 11) in
+        let r = mk m s.(base + 3) e t in
+        deref m t;
+        deref m e;
+        cache_store m s.(base) s.(base + 1) s.(base + 2) r;
+        decr ntop;
+        finished := r
+  done;
+  !finished
 
 let not_ m f = ite m f zero one
 let and_ m f g = ite m f g zero
@@ -334,37 +439,65 @@ let xor_ m f g =
 
 (* --- cofactors and quantification --------------------------------------- *)
 
+(* Suspended rebuild step shared by [restrict] and [quantify]: node, its
+   level, the finished else-branch, and which child is being visited. *)
+type rebuild_frame = {
+  rb_n : int;
+  rb_lv : int;
+  mutable rb_e : int;
+  mutable rb_stage : int;
+}
+
 let restrict m f ~var ~value =
   if var < 0 || var >= m.nvars then invalid_arg "Manager.restrict: var out of range";
   let memo = Hashtbl.create 64 in
-  let rec go f =
+  (* Explicit frame stack instead of recursion; see [ite] for the pattern. *)
+  let finished = ref (-1) in
+  let stack = ref [] in
+  let launch f =
     let lv = m.level.(f) in
     if lv > var then begin
       ref_ m f;
-      f
+      finished := f
     end
     else if lv = var then begin
       let c = if value then m.high.(f) else m.low.(f) in
       ref_ m c;
-      c
+      finished := c
     end
     else
       match Hashtbl.find_opt memo f with
       | Some r ->
-          ref_ m r;
-          r
-      | None ->
-          let e = go m.low.(f) in
-          let t = go m.high.(f) in
-          let r = mk m lv e t in
-          deref m e;
-          deref m t;
-          Hashtbl.add memo f r;
           (* The memo holds a borrowed handle; the first owned reference is
-             the one we return now. Later hits take fresh references. *)
-          r
+             the one returned when the frame completed. Later hits take
+             fresh references. *)
+          ref_ m r;
+          finished := r
+      | None -> stack := { rb_n = f; rb_lv = lv; rb_e = 0; rb_stage = 0 } :: !stack
   in
-  go f
+  launch f;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | fr :: rest -> (
+        match fr.rb_stage with
+        | 0 ->
+            fr.rb_stage <- 1;
+            launch m.low.(fr.rb_n)
+        | 1 ->
+            fr.rb_e <- !finished;
+            fr.rb_stage <- 2;
+            launch m.high.(fr.rb_n)
+        | _ ->
+            let t = !finished in
+            let r = mk m fr.rb_lv fr.rb_e t in
+            deref m fr.rb_e;
+            deref m t;
+            Hashtbl.add memo fr.rb_n r;
+            stack := rest;
+            finished := r)
+  done;
+  !finished
 
 let quantify m combine vars f =
   let vset = Array.make m.nvars false in
@@ -374,38 +507,50 @@ let quantify m combine vars f =
       vset.(v) <- true)
     vars;
   let memo = Hashtbl.create 64 in
-  let rec go f =
+  (* Same explicit-stack discipline as [restrict]; the [combine] callback
+     (itself the iterative [ite]) runs between frames, never nested under
+     recursion. *)
+  let finished = ref (-1) in
+  let stack = ref [] in
+  let launch f =
     if is_terminal f then begin
       ref_ m f;
-      f
+      finished := f
     end
     else
       match Hashtbl.find_opt memo f with
       | Some r ->
           ref_ m r;
-          r
+          finished := r
       | None ->
-          let lv = m.level.(f) in
-          let e = go m.low.(f) in
-          let t = go m.high.(f) in
-          let r =
-            if vset.(lv) then begin
-              let r = combine e t in
-              deref m e;
-              deref m t;
-              r
-            end
-            else begin
-              let r = mk m lv e t in
-              deref m e;
-              deref m t;
-              r
-            end
-          in
-          Hashtbl.add memo f r;
-          r
+          stack := { rb_n = f; rb_lv = m.level.(f); rb_e = 0; rb_stage = 0 } :: !stack
   in
-  go f
+  launch f;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | fr :: rest -> (
+        match fr.rb_stage with
+        | 0 ->
+            fr.rb_stage <- 1;
+            launch m.low.(fr.rb_n)
+        | 1 ->
+            fr.rb_e <- !finished;
+            fr.rb_stage <- 2;
+            launch m.high.(fr.rb_n)
+        | _ ->
+            let t = !finished in
+            let e = fr.rb_e in
+            let r =
+              if vset.(fr.rb_lv) then combine e t else mk m fr.rb_lv e t
+            in
+            deref m e;
+            deref m t;
+            Hashtbl.add memo fr.rb_n r;
+            stack := rest;
+            finished := r)
+  done;
+  !finished
 
 let exists m vars f = quantify m (fun a b -> or_ m a b) vars f
 let forall m vars f = quantify m (fun a b -> and_ m a b) vars f
@@ -414,17 +559,34 @@ let forall m vars f = quantify m (fun a b -> and_ m a b) vars f
 
 let iter_reachable m n f =
   let seen = Hashtbl.create 64 in
-  let rec go n =
+  (* Explicit (node, next-child cursor) stack, preserving the old recursive
+     postorder — children before their parent — without stack depth
+     proportional to the diagram depth. *)
+  let stack = ref [] in
+  let visit n =
     if not (Hashtbl.mem seen n) then begin
       Hashtbl.add seen n ();
-      if not (is_terminal n) then begin
-        go m.low.(n);
-        go m.high.(n)
-      end;
-      f n
+      if is_terminal n then f n else stack := (n, ref 0) :: !stack
     end
   in
-  go n
+  visit n;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | (x, j) :: rest ->
+        (match !j with
+        | 0 ->
+            j := 1;
+            visit m.low.(x)
+        | 1 ->
+            j := 2;
+            visit m.high.(x)
+        | _ ->
+            stack := rest;
+            f x);
+        drain ()
+  in
+  drain ()
 
 let size m n =
   let c = ref 0 in
@@ -433,16 +595,23 @@ let size m n =
 
 let size_multi m roots =
   let seen = Hashtbl.create 64 in
-  let rec go n =
+  let stack = ref [] in
+  let visit n =
     if not (Hashtbl.mem seen n) then begin
       Hashtbl.add seen n ();
-      if not (is_terminal n) then begin
-        go m.low.(n);
-        go m.high.(n)
-      end
+      if not (is_terminal n) then stack := n :: !stack
     end
   in
-  List.iter go roots;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | x :: rest ->
+        stack := rest;
+        visit m.low.(x);
+        visit m.high.(x);
+        drain ()
+  in
+  List.iter (fun n -> visit n; drain ()) roots;
   Hashtbl.length seen
 
 let eval m n assignment =
@@ -455,22 +624,51 @@ let eval m n assignment =
   go n
 
 let probability m n ~p =
-  let memo = Hashtbl.create 64 in
-  let rec go n =
-    if n = zero then 0.0
-    else if n = one then 1.0
-    else
-      match Hashtbl.find_opt memo n with
-      | Some v -> v
-      | None ->
-          let pv = p m.level.(n) in
-          let v =
-            (pv *. go m.high.(n)) +. ((1.0 -. pv) *. go m.low.(n))
+  if n = zero then 0.0
+  else if n = one then 1.0
+  else begin
+    (* Bottom-up over the cone in level order: every child sits strictly
+       deeper than its parent, so bucketing nodes by level and evaluating
+       deepest-first is a topological order — no recursion, no deep stack. *)
+    let buckets = Array.make m.nvars [] in
+    let seen = Hashtbl.create 64 in
+    Hashtbl.add seen n ();
+    let stack = ref [ n ] in
+    let rec drain () =
+      match !stack with
+      | [] -> ()
+      | x :: rest ->
+          stack := rest;
+          let lv = m.level.(x) in
+          buckets.(lv) <- x :: buckets.(lv);
+          let push c =
+            if (not (is_terminal c)) && not (Hashtbl.mem seen c) then begin
+              Hashtbl.add seen c ();
+              stack := c :: !stack
+            end
           in
-          Hashtbl.add memo n v;
-          v
-  in
-  go n
+          push m.low.(x);
+          push m.high.(x);
+          drain ()
+    in
+    drain ();
+    let value = Hashtbl.create 64 in
+    let node_value x =
+      if x = zero then 0.0
+      else if x = one then 1.0
+      else Hashtbl.find value x
+    in
+    for lv = m.nvars - 1 downto 0 do
+      List.iter
+        (fun x ->
+          let pv = p lv in
+          Hashtbl.replace value x
+            ((pv *. node_value m.high.(x))
+            +. ((1.0 -. pv) *. node_value m.low.(x))))
+        buckets.(lv)
+    done;
+    Hashtbl.find value n
+  end
 
 let sat_fraction m n = probability m n ~p:(fun _ -> 0.5)
 
@@ -553,12 +751,20 @@ let stats (m : t) =
 
 let publish_obs (m : t) =
   if Obs.enabled () then begin
-    Obs.add obs_created m.created;
-    Obs.add obs_unique_hits m.unique_hits;
-    Obs.add obs_cache_hits m.cache_hits;
-    Obs.add obs_cache_misses m.cache_misses;
-    Obs.add obs_gc_runs m.gc_runs;
-    Obs.add obs_reclaimed m.reclaimed;
+    (* Publish only the delta since the last publish for this manager, so
+       calling this any number of times never double-counts. *)
+    Obs.add obs_created (m.created - m.pub_created);
+    Obs.add obs_unique_hits (m.unique_hits - m.pub_unique_hits);
+    Obs.add obs_cache_hits (m.cache_hits - m.pub_cache_hits);
+    Obs.add obs_cache_misses (m.cache_misses - m.pub_cache_misses);
+    Obs.add obs_gc_runs (m.gc_runs - m.pub_gc_runs);
+    Obs.add obs_reclaimed (m.reclaimed - m.pub_reclaimed);
+    m.pub_created <- m.created;
+    m.pub_unique_hits <- m.unique_hits;
+    m.pub_cache_hits <- m.cache_hits;
+    m.pub_cache_misses <- m.cache_misses;
+    m.pub_gc_runs <- m.gc_runs;
+    m.pub_reclaimed <- m.reclaimed;
     sample_gauges m
   end
 

@@ -183,8 +183,11 @@ val stats : t -> stats
 (** [publish_obs m] pushes the manager's statistics into the {!Socy_obs}
     registry (counters [bdd.created], [bdd.unique_hits], [bdd.ite_cache_*],
     [bdd.gc_*]; gauges [bdd.live_nodes] / [bdd.peak_nodes]). Counters are
-    cumulative across managers — call this {e once} per manager, when its
-    work is done. A no-op while observability is disabled.
+    cumulative across managers; each call publishes only the {e delta} since
+    the previous publish for this manager, so it is safe to call at any
+    checkpoint and as often as wanted — repeated calls never double-count.
+    A no-op while observability is disabled (and such calls do not advance
+    the published snapshot).
 
     The gauges are also sampled automatically during operation: every 64k
     node creations (piggybacked on the CPU-budget clock check, so the hot

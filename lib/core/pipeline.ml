@@ -106,6 +106,7 @@ module Artifacts = struct
     lethal : Model.lethal;
     m : int;
     stage_seconds : (string * float) list;
+    mutable cond_unusable : float array option;
   }
 
   (* Wall-clock a pipeline phase: always feeds [stage_seconds] (cheap — one
@@ -162,6 +163,7 @@ module Artifacts = struct
             lethal;
             m;
             stage_seconds = List.rev !stages;
+            cond_unusable = None;
           }
 
   let probability_of_level t =
@@ -190,24 +192,57 @@ module Artifacts = struct
           -. !acc)
     end
 
-  let conditional_yields t =
+  let sweep_layout t =
+    (* One scenario per conditioning value of W: k = 0 .. m are the
+       truncated defect counts, k = m + 1 the aggregated tail. Scenario k
+       pins W to k (an indicator vector on the W group) and leaves the
+       victim variables at their unconditional pmf, so slot k of the sweep
+       is P(G = 1 | W = k). *)
+    let nk = t.m + 2 in
     let p' = t.lethal.Model.component in
-    Array.init (t.m + 1) (fun k ->
-        let p pos value =
-          let g = t.scheme.Scheme.groups_in_order.(pos) in
-          if g = 0 then if value = k then 1.0 else 0.0 else p'.(value)
+    let indicator = Array.init nk (fun v -> Array.init nk (fun k -> if k = v then 1.0 else 0.0)) in
+    let constant = Array.map (fun pj -> Array.make nk pj) p' in
+    let p pos value =
+      let g = t.scheme.Scheme.groups_in_order.(pos) in
+      if g = 0 then indicator.(value) else constant.(value)
+    in
+    (nk, p)
+
+  (* The single ROMDD traversal behind [conditional_yields] and [report]:
+     P(G = 1 | W = k) for every k at once, memoized on the artifacts so the
+     two entry points (in either order, any number of times) traverse the
+     diagram exactly once. *)
+  let sweep t =
+    match t.cond_unusable with
+    | Some v -> v
+    | None ->
+        let nk, p = sweep_layout t in
+        let v =
+          Obs.with_span "traversal" (fun () ->
+              Mdd.probability_sweep t.mdd t.mdd_root ~nk ~p)
         in
-        1.0 -. Mdd.probability t.mdd t.mdd_root ~p)
+        Mdd.publish_obs t.mdd;
+        t.cond_unusable <- Some v;
+        v
+
+  let conditional_yields t =
+    let s = sweep t in
+    Array.init (t.m + 1) (fun k -> 1.0 -. s.(k))
 
   let report t ~cpu_seconds =
     let t0 = Obs.now () in
-    let p_unusable =
-      Obs.with_span "traversal" (fun () ->
-          Mdd.probability t.mdd t.mdd_root ~p:(probability_of_level t))
-    in
+    let s = sweep t in
     let traversal_s = Obs.now () -. t0 in
+    let w = Model.w_pmf t.lethal ~m:t.m in
+    (* Theorem 1 recombination: P(G = 1) = Σ_k Q'_k · P(G = 1 | W = k),
+       the W-marginal of the former single mixed traversal. *)
+    let p_unusable = ref 0.0 in
+    for k = 0 to t.m + 1 do
+      p_unusable := !p_unusable +. (w.(k) *. s.(k))
+    done;
+    let p_unusable = !p_unusable in
     let yield_lower = 1.0 -. p_unusable in
-    let tail = (Model.w_pmf t.lethal ~m:t.m).(t.m + 1) in
+    let tail = w.(t.m + 1) in
     let engine = B.stats t.bdd in
     {
       yield_lower;

@@ -103,6 +103,11 @@ module Artifacts : sig
     stage_seconds : (string * float) list;
         (** wall seconds of the build phases ([truncate] … [romdd-convert]),
             in execution order; {!report} appends the traversal time. *)
+    mutable cond_unusable : float array option;
+        (** memo of the single probability sweep:
+            [| P(G=1 | W=0); …; P(G=1 | W=M+1) |] once {!report} or
+            {!conditional_yields} has run. Both read it, so together they
+            traverse the ROMDD exactly once. *)
   }
 
   (** Build everything up to the ROMDD; [Error] on node-budget exhaustion. *)
@@ -117,7 +122,19 @@ module Artifacts : sig
       {!Socy_mdd.Mdd.probability}. *)
   val probability_of_level : t -> int -> int -> float
 
-  (** Finish the evaluation: probability traversal + report assembly. *)
+  (** The vectorized layout of the same ordering, as consumed by
+      {!Socy_mdd.Mdd.probability_sweep}: [(nk, p)] with [nk = m + 2]
+      scenarios (one per conditioning value of W, the last being the
+      aggregated tail) where scenario [k] pins W to [k] and leaves the
+      victim variables at their unconditional pmf. Exposed for benchmarks
+      and tests; {!report} / {!conditional_yields} use it internally. *)
+  val sweep_layout : t -> int * (int -> int -> float array)
+
+  (** Finish the evaluation: probability sweep + report assembly. The sweep
+      result is memoized on the artifacts (see {!type-t}), and
+      [P(G = 1) = Σ_k Q′_k · P(G = 1 | W = k)] recombines it per Theorem 1
+      — one ROMDD traversal however often report/conditional yields are
+      read. *)
   val report : t -> cpu_seconds:float -> report
 
   (** [victim_sensitivities t] is the exact gradient
@@ -130,9 +147,10 @@ module Artifacts : sig
   val victim_sensitivities : t -> float array
 
   (** [conditional_yields t] is [| Y_0; …; Y_M |]: the exact conditional
-      yields P(functioning | k lethal defects) of Section 2, obtained by
-      pinning W to each value in turn (one ROMDD traversal per k). Together
-      with any count distribution Q′ they reconstruct
+      yields P(functioning | k lethal defects) of Section 2, read from the
+      memoized {!Socy_mdd.Mdd.probability_sweep} — all k in the {e same}
+      single traversal that {!report} uses, not one traversal per k.
+      Together with any count distribution Q′ they reconstruct
       Y_M = Σ_k Q′_k · Y_k — so one ROMDD prices a whole family of defect
       models sharing the victim distribution. *)
   val conditional_yields : t -> float array

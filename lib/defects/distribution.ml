@@ -26,11 +26,11 @@ let binomial ~n ~p =
   { kind = Binomial { n; p }; name = Printf.sprintf "binomial(n=%d, p=%g)" n p }
 
 let of_array q =
-  let total = Array.fold_left ( +. ) 0.0 q in
-  if Array.exists (fun x -> x < 0.0) q then
+  if Array.exists (fun x -> x < 0.0 || Float.is_nan x) q then
     invalid_arg "Distribution.of_array: negative mass";
-  if abs_float (total -. 1.0) > 1e-9 then
-    invalid_arg "Distribution.of_array: mass must sum to 1";
+  let total = Array.fold_left ( +. ) 0.0 q in
+  if (not (Float.is_finite total)) || total <= 0.0 then
+    invalid_arg "Distribution.of_array: total mass must be positive and finite";
   let q = Array.map (fun x -> x /. total) q in
   {
     kind = Custom { pmf = (fun k -> if k < Array.length q then q.(k) else 0.0) };

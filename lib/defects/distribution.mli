@@ -23,8 +23,9 @@ val poisson : mean:float -> t
 (** [binomial ~n ~p]. *)
 val binomial : n:int -> p:float -> t
 
-(** [of_array q] — finite distribution with [P(K=k) = q.(k)]; entries must
-    be nonnegative and sum to 1 (±1e-9, renormalized). *)
+(** [of_array q] — finite distribution with [P(K=k) ∝ q.(k)]. Entries must
+    be nonnegative (and not NaN); the array is normalized by its total, which
+    must be positive and finite. Raises [Invalid_argument] otherwise. *)
 val of_array : float array -> t
 
 (** [of_pmf ~name pmf] — arbitrary distribution given by its pmf; the pmf

@@ -24,19 +24,33 @@ let run bdd root mdd layout =
   let entries = Array.make num_groups [] in
   let mark n = entries.(group_of n) <- n :: entries.(group_of n) in
   let seen = Hashtbl.create 1024 in
-  let rec scan n =
-    if not (Hashtbl.mem seen n) then begin
-      Hashtbl.add seen n ();
-      if not (B.is_terminal n) then begin
-        let g = group_of n in
-        let edge c =
-          if not (B.is_terminal c) && group_of c <> g then mark c;
-          scan c
-        in
-        edge (B.low bdd n);
-        edge (B.high bdd n)
+  (* Explicit-stack DFS (deep coded ROBDDs must not overflow the OCaml
+     stack): each reachable node is expanded once, and each cross-group edge
+     marks its target — the same edge multiset the recursive walk visited. *)
+  let scan root =
+    let stack = ref [] in
+    let visit n =
+      if not (Hashtbl.mem seen n) then begin
+        Hashtbl.add seen n ();
+        if not (B.is_terminal n) then stack := n :: !stack
       end
-    end
+    in
+    visit root;
+    let rec drain () =
+      match !stack with
+      | [] -> ()
+      | n :: rest ->
+          stack := rest;
+          let g = group_of n in
+          let edge c =
+            if (not (B.is_terminal c)) && group_of c <> g then mark c;
+            visit c
+          in
+          edge (B.low bdd n);
+          edge (B.high bdd n);
+          drain ()
+    in
+    drain ()
   in
   if not (B.is_terminal root) then mark root;
   Obs.with_span "mdd.convert.scan" (fun () -> scan root);

@@ -1,3 +1,5 @@
+module Obs = Socy_obs.Obs
+
 type spec = { name : string; domain : int }
 
 type node = int
@@ -26,18 +28,34 @@ type t = {
   mutable levels : int array; (* node -> level *)
   mutable kids : int array array; (* node -> children *)
   mutable used : int;
-  apply_cache : (int * int * int, node) Hashtbl.t;
+  (* APPLY computed cache: direct-mapped over int keys (op, f, g), like the
+     ROBDD manager's ITE cache. Bounded by construction — a colliding entry
+     overwrites — so repeated APPLYs on one manager cannot grow memory. *)
+  ap_op : int array;
+  ap_f : int array;
+  ap_g : int array;
+  ap_r : int array;
+  ap_mask : int;
+  (* Plain integer statistics, unconditionally cheap; published to the
+     process-wide registry as deltas by [publish_obs]. *)
+  mutable apply_hits : int;
+  mutable apply_misses : int;
+  mutable sweeps : int;
+  mutable pub_apply_hits : int;
+  mutable pub_apply_misses : int;
 }
 
 let zero = 0
 let one = 1
 let is_terminal n = n < 2
 
-let create specs =
+let create ?(cache_bits = 16) specs =
   Array.iter
     (fun s ->
       if s.domain < 1 then invalid_arg "Mdd.create: empty domain")
     specs;
+  if cache_bits < 1 || cache_bits > 28 then
+    invalid_arg "Mdd.create: cache_bits out of range";
   let nvars = Array.length specs in
   let levels = Array.make 1024 (-1) in
   levels.(0) <- nvars;
@@ -48,7 +66,16 @@ let create specs =
     levels;
     kids = Array.make 1024 [||];
     used = 2;
-    apply_cache = Hashtbl.create 4096;
+    ap_op = Array.make (1 lsl cache_bits) (-1);
+    ap_f = Array.make (1 lsl cache_bits) 0;
+    ap_g = Array.make (1 lsl cache_bits) 0;
+    ap_r = Array.make (1 lsl cache_bits) 0;
+    ap_mask = (1 lsl cache_bits) - 1;
+    apply_hits = 0;
+    apply_misses = 0;
+    sweeps = 0;
+    pub_apply_hits = 0;
+    pub_apply_misses = 0;
   }
 
 let num_mvars t = Array.length t.specs
@@ -107,51 +134,95 @@ type op = O_and | O_or | O_xor
 
 let op_code = function O_and -> 0 | O_or -> 1 | O_xor -> 2
 
+let hash3 a b c =
+  let h = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE3D) in
+  (h lxor (h lsr 15)) land max_int
+
+(* One suspended APPLY call: children [0 .. j-1] are already combined into
+   [kid]; the result of combining child [j] arrives through [finished]. *)
+type apply_frame = {
+  fa : int;
+  fb : int;
+  flv : int;
+  kid : int array;
+  mutable j : int;
+}
+
 let apply t op f g =
-  let rec go f g =
-    (* Terminal short-circuits *)
-    let shortcut =
-      match op with
-      | O_and ->
-          if f = zero || g = zero then Some zero
-          else if f = one then Some g
-          else if g = one then Some f
-          else if f = g then Some f
-          else None
-      | O_or ->
-          if f = one || g = one then Some one
-          else if f = zero then Some g
-          else if g = zero then Some f
-          else if f = g then Some f
-          else None
-      | O_xor ->
-          if f = g then Some zero
-          else if f = zero then Some g
-          else if g = zero then Some f
-          else if is_terminal f && is_terminal g then Some one
-          else None
-    in
-    match shortcut with
-    | Some r -> r
-    | None -> (
+  let opc = op_code op in
+  let shortcut f g =
+    match op with
+    | O_and ->
+        if f = zero || g = zero then Some zero
+        else if f = one then Some g
+        else if g = one then Some f
+        else if f = g then Some f
+        else None
+    | O_or ->
+        if f = one || g = one then Some one
+        else if f = zero then Some g
+        else if g = zero then Some f
+        else if f = g then Some f
+        else None
+    | O_xor ->
+        if f = g then Some zero
+        else if f = zero then Some g
+        else if g = zero then Some f
+        else if is_terminal f && is_terminal g then Some one
+        else None
+  in
+  (* Explicit work stack instead of recursion: deep diagrams (hundreds of
+     thousands of levels) must not overflow the OCaml stack. [finished]
+     carries the result of the innermost resolved call to the frame that
+     requested it. *)
+  let finished = ref (-1) in
+  let stack = ref [] in
+  let launch f g =
+    match shortcut f g with
+    | Some r -> finished := r
+    | None ->
         (* Commutative ops: normalize the key. *)
         let a, b = if f <= g then (f, g) else (g, f) in
-        let key = (op_code op, a, b) in
-        match Hashtbl.find_opt t.apply_cache key with
-        | Some r -> r
-        | None ->
-            let lf = t.levels.(f) and lg = t.levels.(g) in
-            let lv = min lf lg in
-            let domain = t.specs.(lv).domain in
-            let cof x lx j = if lx = lv then t.kids.(x).(j) else x in
-            let kids =
-              Array.init domain (fun j -> go (cof f lf j) (cof g lg j))
-            in
-            let r = mk t lv kids in
-            Hashtbl.add t.apply_cache key r;
-            r)
+        let i = hash3 opc a b land t.ap_mask in
+        if t.ap_op.(i) = opc && t.ap_f.(i) = a && t.ap_g.(i) = b then begin
+          t.apply_hits <- t.apply_hits + 1;
+          finished := t.ap_r.(i)
+        end
+        else begin
+          t.apply_misses <- t.apply_misses + 1;
+          let lv = min t.levels.(a) t.levels.(b) in
+          let domain = t.specs.(lv).domain in
+          stack := { fa = a; fb = b; flv = lv; kid = Array.make domain 0; j = -1 } :: !stack
+        end
   in
-  go f g
+  launch f g;
+  let rec drive () =
+    match !stack with
+    | [] -> ()
+    | fr :: rest ->
+        if fr.j >= 0 then fr.kid.(fr.j) <- !finished;
+        fr.j <- fr.j + 1;
+        if fr.j = Array.length fr.kid then begin
+          let r = mk t fr.flv fr.kid in
+          let i = hash3 opc fr.fa fr.fb land t.ap_mask in
+          t.ap_op.(i) <- opc;
+          t.ap_f.(i) <- fr.fa;
+          t.ap_g.(i) <- fr.fb;
+          t.ap_r.(i) <- r;
+          stack := rest;
+          finished := r
+        end
+        else begin
+          let j = fr.j in
+          let cf = if t.levels.(fr.fa) = fr.flv then t.kids.(fr.fa).(j) else fr.fa in
+          let cg = if t.levels.(fr.fb) = fr.flv then t.kids.(fr.fb).(j) else fr.fb in
+          launch cf cg
+        end;
+        drive ()
+  in
+  (* [drive] is tail-recursive: constant OCaml stack regardless of depth. *)
+  drive ();
+  !finished
 
 let apply_and t f g = apply t O_and f g
 let apply_or t f g = apply t O_or f g
@@ -167,94 +238,195 @@ let eval t n assignment =
   in
   go n
 
+(* Nonterminal nodes of the cone of [n], bucketed by level. Every child sits
+   at a strictly greater level than its parent, so iterating buckets from the
+   deepest level upward is a bottom-up topological order — the iterative
+   replacement for the old recursive memoized descent. *)
+let cone_by_level t n =
+  let buckets = Array.make (num_mvars t) [] in
+  if not (is_terminal n) then begin
+    let seen = Hashtbl.create 256 in
+    Hashtbl.add seen n ();
+    let stack = ref [ n ] in
+    let rec drain () =
+      match !stack with
+      | [] -> ()
+      | x :: rest ->
+          stack := rest;
+          let lv = t.levels.(x) in
+          buckets.(lv) <- x :: buckets.(lv);
+          Array.iter
+            (fun c ->
+              if (not (is_terminal c)) && not (Hashtbl.mem seen c) then begin
+                Hashtbl.add seen c ();
+                stack := c :: !stack
+              end)
+            t.kids.(x);
+          drain ()
+    in
+    drain ()
+  end;
+  buckets
+
 let probability t n ~p =
-  let memo = Hashtbl.create 256 in
-  let rec go n =
-    if n = zero then 0.0
-    else if n = one then 1.0
-    else
-      match Hashtbl.find_opt memo n with
-      | Some v -> v
-      | None ->
-          let lv = t.levels.(n) in
-          let kids = t.kids.(n) in
+  if n = zero then 0.0
+  else if n = one then 1.0
+  else begin
+    let buckets = cone_by_level t n in
+    (* Per-call value table — nothing persists on the manager, so repeated
+       traversals with different probabilities cannot grow its memory. *)
+    let value = Hashtbl.create 256 in
+    let node_value x =
+      if x = zero then 0.0
+      else if x = one then 1.0
+      else Hashtbl.find value x
+    in
+    for lv = num_mvars t - 1 downto 0 do
+      List.iter
+        (fun x ->
+          let kids = t.kids.(x) in
           let acc = ref 0.0 in
           for j = 0 to Array.length kids - 1 do
             let pj = p lv j in
-            if pj <> 0.0 then acc := !acc +. (pj *. go kids.(j))
+            if pj <> 0.0 then acc := !acc +. (pj *. node_value kids.(j))
           done;
-          Hashtbl.add memo n !acc;
-          !acc
-  in
-  go n
+          Hashtbl.replace value x !acc)
+        buckets.(lv)
+    done;
+    Hashtbl.find value n
+  end
+
+let sweep_counter = Obs.counter "mdd.sweep.runs"
+
+let probability_sweep t n ~nk ~p =
+  if nk < 1 then invalid_arg "Mdd.probability_sweep: nk must be positive";
+  t.sweeps <- t.sweeps + 1;
+  Obs.incr sweep_counter;
+  if n = zero then Array.make nk 0.0
+  else if n = one then Array.make nk 1.0
+  else begin
+    (* Edge-probability vectors, fetched once per (level, value) pair that
+       actually occurs in the cone. *)
+    let pv = Array.make (num_mvars t) [||] in
+    let pvec lv =
+      if pv.(lv) = [||] then
+        pv.(lv) <-
+          Array.init t.specs.(lv).domain (fun j ->
+              let v = p lv j in
+              if Array.length v < nk then
+                invalid_arg "Mdd.probability_sweep: probability vector shorter than nk";
+              v);
+      pv.(lv)
+    in
+    let buckets = cone_by_level t n in
+    let value = Hashtbl.create 256 in
+    for lv = num_mvars t - 1 downto 0 do
+      let vecs = if buckets.(lv) = [] then [||] else pvec lv in
+      List.iter
+        (fun x ->
+          let kids = t.kids.(x) in
+          let acc = Array.make nk 0.0 in
+          for j = 0 to Array.length kids - 1 do
+            let c = kids.(j) in
+            if c <> zero then begin
+              let pj = vecs.(j) in
+              if c = one then
+                for k = 0 to nk - 1 do
+                  acc.(k) <- acc.(k) +. pj.(k)
+                done
+              else begin
+                let cv : float array = Hashtbl.find value c in
+                for k = 0 to nk - 1 do
+                  acc.(k) <- acc.(k) +. (pj.(k) *. cv.(k))
+                done
+              end
+            end
+          done;
+          Hashtbl.replace value x acc)
+        buckets.(lv)
+    done;
+    Hashtbl.find value n
+  end
 
 let probability_with_sensitivities t n ~p =
-  (* Upward sweep: value of every reachable node. *)
+  let nvars = num_mvars t in
+  let buckets = cone_by_level t n in
+  (* Upward sweep: value of every node in the cone, bottom level first. *)
   let value = Hashtbl.create 256 in
-  let rec node_value n =
-    if n = zero then 0.0
-    else if n = one then 1.0
-    else
-      match Hashtbl.find_opt value n with
-      | Some v -> v
-      | None ->
-          let lv = t.levels.(n) in
-          let kids = t.kids.(n) in
-          let acc = ref 0.0 in
-          for j = 0 to Array.length kids - 1 do
-            acc := !acc +. (p lv j *. node_value kids.(j))
-          done;
-          Hashtbl.add value n !acc;
-          !acc
+  let node_value x =
+    if x = zero then 0.0
+    else if x = one then 1.0
+    else Hashtbl.find value x
   in
+  for lv = nvars - 1 downto 0 do
+    List.iter
+      (fun x ->
+        let kids = t.kids.(x) in
+        let acc = ref 0.0 in
+        for j = 0 to Array.length kids - 1 do
+          acc := !acc +. (p lv j *. node_value kids.(j))
+        done;
+        Hashtbl.replace value x !acc)
+      buckets.(lv)
+  done;
   let total = node_value n in
   (* Downward sweep: reach probability of every node (sum over paths of the
      product of edge probabilities), in topological (level) order. *)
   let reach = Hashtbl.create 256 in
-  Hashtbl.replace reach n 1.0;
-  let nodes = ref [] in
-  let seen = Hashtbl.create 256 in
-  let rec collect n =
-    if (not (is_terminal n)) && not (Hashtbl.mem seen n) then begin
-      Hashtbl.add seen n ();
-      nodes := n :: !nodes;
-      Array.iter collect t.kids.(n)
-    end
-  in
-  collect n;
-  let by_level =
-    List.sort (fun a b -> compare t.levels.(a) t.levels.(b)) !nodes
-  in
+  if not (is_terminal n) then Hashtbl.replace reach n 1.0;
   let sens =
-    Array.init (num_mvars t) (fun v -> Array.make t.specs.(v).domain 0.0)
+    Array.init nvars (fun v -> Array.make t.specs.(v).domain 0.0)
   in
-  List.iter
-    (fun m ->
-      let r = Option.value ~default:0.0 (Hashtbl.find_opt reach m) in
-      if r <> 0.0 then begin
-        let lv = t.levels.(m) in
-        let kids = t.kids.(m) in
-        for j = 0 to Array.length kids - 1 do
-          sens.(lv).(j) <- sens.(lv).(j) +. (r *. node_value kids.(j));
-          if not (is_terminal kids.(j)) then begin
-            let cur = Option.value ~default:0.0 (Hashtbl.find_opt reach kids.(j)) in
-            Hashtbl.replace reach kids.(j) (cur +. (r *. p lv j))
-          end
-        done
-      end)
-    by_level;
+  for lv = 0 to nvars - 1 do
+    List.iter
+      (fun x ->
+        let r = Option.value ~default:0.0 (Hashtbl.find_opt reach x) in
+        if r <> 0.0 then begin
+          let kids = t.kids.(x) in
+          for j = 0 to Array.length kids - 1 do
+            sens.(lv).(j) <- sens.(lv).(j) +. (r *. node_value kids.(j));
+            if not (is_terminal kids.(j)) then begin
+              let cur =
+                Option.value ~default:0.0 (Hashtbl.find_opt reach kids.(j))
+              in
+              Hashtbl.replace reach kids.(j) (cur +. (r *. p lv j))
+            end
+          done
+        end)
+      buckets.(lv)
+  done;
   (total, sens)
 
 let iter_reachable t n f =
   let seen = Hashtbl.create 256 in
-  let rec go n =
+  (* Explicit stack of (node, next-child cursor); same postorder as the old
+     recursive walk — children before their parent — without consuming OCaml
+     stack proportional to the diagram depth. *)
+  let stack = ref [] in
+  let visit n =
     if not (Hashtbl.mem seen n) then begin
       Hashtbl.add seen n ();
-      if not (is_terminal n) then Array.iter go t.kids.(n);
-      f n
+      if is_terminal n then f n else stack := (n, ref 0) :: !stack
     end
   in
-  go n
+  visit n;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | (x, j) :: rest ->
+        let kids = t.kids.(x) in
+        if !j < Array.length kids then begin
+          let c = kids.(!j) in
+          incr j;
+          visit c
+        end
+        else begin
+          stack := rest;
+          f x
+        end;
+        drain ()
+  in
+  drain ()
 
 let size t n =
   let c = ref 0 in
@@ -262,6 +434,36 @@ let size t n =
   !c
 
 let total_nodes t = t.used
+
+type stats = {
+  nodes : int;
+  apply_hits : int;
+  apply_misses : int;
+  apply_cache_slots : int;
+  sweeps : int;
+}
+
+let stats (t : t) =
+  {
+    nodes = t.used;
+    apply_hits = t.apply_hits;
+    apply_misses = t.apply_misses;
+    apply_cache_slots = t.ap_mask + 1;
+    sweeps = t.sweeps;
+  }
+
+let obs_apply_hits = Obs.counter "mdd.apply_cache_hits"
+let obs_apply_misses = Obs.counter "mdd.apply_cache_misses"
+
+let publish_obs (t : t) =
+  if Obs.enabled () then begin
+    (* Delta against the last published snapshot, so calling this after
+       every build (or several times for one manager) never double-counts. *)
+    Obs.add obs_apply_hits (t.apply_hits - t.pub_apply_hits);
+    Obs.add obs_apply_misses (t.apply_misses - t.pub_apply_misses);
+    t.pub_apply_hits <- t.apply_hits;
+    t.pub_apply_misses <- t.apply_misses
+  end
 
 let support t n =
   let nvars = num_mvars t in

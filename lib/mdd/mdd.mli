@@ -24,7 +24,12 @@ type t
 type node = int
 (** Node handle; {!zero} and {!one} are the terminals. *)
 
-val create : spec array -> t
+(** [create ?cache_bits specs] — [cache_bits] (default 16, range 1–28) sizes
+    the direct-mapped APPLY computed cache at [2^cache_bits] slots. The cache
+    is bounded by construction: colliding entries overwrite, so arbitrarily
+    many {!apply_and}/{!apply_or}/{!apply_xor} calls never grow it. *)
+val create : ?cache_bits:int -> spec array -> t
+
 val num_mvars : t -> int
 val spec : t -> int -> spec
 
@@ -62,8 +67,25 @@ val eval : t -> node -> (int -> int) -> bool
 (** [probability t n ~p] is P(f = 1) when variable [v] independently takes
     value [j] with probability [p v j] — the paper's depth-first, left-most
     evaluation (Section 2, Fig. 2). Probabilities of each variable must sum
-    to 1 over its domain for the result to be a probability. *)
+    to 1 over its domain for the result to be a probability. The traversal
+    is iterative (bottom-up over the cone in level order) and keeps its memo
+    on the call frame, so deep diagrams cannot overflow the stack and
+    repeated calls cannot grow the manager. *)
 val probability : t -> node -> p:(int -> int -> float) -> float
+
+(** [probability_sweep t n ~nk ~p] evaluates [nk] independent probability
+    scenarios in one traversal of the cone of [n]: scenario [k < nk] assigns
+    variable [v] value [j] with probability [(p v j).(k)], and slot [k] of
+    the result is P(f = 1) under scenario [k]. Each node carries a length-
+    [nk] value vector instead of a scalar; one bottom-up pass computes what
+    [nk] separate {!probability} calls would. This is how the pipeline gets
+    every conditional yield Y_k = 1 − P(G = 1 | W = k) plus the truncation
+    tail from a single ROMDD traversal (Theorem 1 of the paper). The arrays
+    returned by [p] must have length at least [nk]; they are read once per
+    (level, value) pair and may be shared. Raises [Invalid_argument] when
+    [nk < 1] or a vector is too short. *)
+val probability_sweep :
+  t -> node -> nk:int -> p:(int -> int -> float array) -> float array
 
 (** [probability_with_sensitivities t n ~p] additionally returns the exact
     partial derivatives ∂P(f = 1)/∂p(v, j) for every variable [v] and value
@@ -80,6 +102,26 @@ val size : t -> node -> int
 
 (** Total nodes ever created in the manager (a memory/work measure). *)
 val total_nodes : t -> int
+
+(** {1 Engine statistics and observability} *)
+
+type stats = {
+  nodes : int;  (** nodes ever created, terminals included *)
+  apply_hits : int;  (** APPLY answered from the computed cache *)
+  apply_misses : int;  (** APPLY that had to recurse *)
+  apply_cache_slots : int;  (** fixed capacity of the direct-mapped cache *)
+  sweeps : int;  (** {!probability_sweep} traversals run *)
+}
+
+val stats : t -> stats
+
+(** Publish the manager's plain counters to the {!Socy_obs.Obs} registry
+    ([mdd.apply_cache_hits] / [mdd.apply_cache_misses]) as a delta against
+    the last published snapshot — calling it repeatedly for the same manager
+    never double-counts. No-op while observability is disabled.
+    ([mdd.sweep.runs] is incremented at event time by
+    {!probability_sweep} itself.) *)
+val publish_obs : t -> unit
 
 (** Increasing list of levels on which [n] depends. *)
 val support : t -> node -> int list

@@ -491,6 +491,92 @@ let prop_cutsets_match_brute_force =
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
+(* ------------------------------------------------------------------ *)
+(* Stack safety on deep diagrams, delta publishing                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Conjunction x0 & … & x(n-1) built bottom-up, so each [and_] is O(1)
+   while the result is an n-node-deep chain: any traversal that recursed
+   on diagram depth would overflow the OCaml stack here. *)
+let deep_chain m n =
+  let chain = ref M.one in
+  for v = n - 1 downto 0 do
+    let x = M.var m v in
+    let nxt = M.and_ m x !chain in
+    M.deref m x;
+    M.deref m !chain;
+    chain := nxt
+  done;
+  !chain
+
+let deep_n = 220_000
+
+let test_deep_chain_ops () =
+  with_manager deep_n (fun m ->
+      let chain = deep_chain m deep_n in
+      (* iter_reachable (via size/support) over the whole chain *)
+      Alcotest.(check int) "size" (deep_n + 2) (M.size m chain);
+      Alcotest.(check int) "support" deep_n (List.length (M.support m chain));
+      (* ite descends the full depth: not_ chain = ite (chain, 0, 1) *)
+      let neg = M.not_ m chain in
+      Alcotest.(check bool) "chain eval" true (M.eval m chain (fun _ -> true));
+      Alcotest.(check bool) "neg eval" false (M.eval m neg (fun _ -> true));
+      Alcotest.(check int) "neg size" (deep_n + 2) (M.size m neg);
+      (* probability: all-true assignment has mass 1 *)
+      Alcotest.(check (float 1e-12)) "probability" 1.0
+        (M.probability m chain ~p:(fun _ -> 1.0));
+      (* deref cascades the kill down the whole neg cone *)
+      M.deref m neg;
+      M.deref m chain)
+
+let test_deep_chain_cofactors () =
+  with_manager deep_n (fun m ->
+      let chain = deep_chain m deep_n in
+      let restricted = M.restrict m chain ~var:(deep_n - 1) ~value:true in
+      Alcotest.(check int) "restricted size" (deep_n + 1) (M.size m restricted);
+      let exd = M.exists m [ deep_n - 1 ] chain in
+      Alcotest.(check bool) "exists = restrict true" true (exd = restricted);
+      M.deref m exd;
+      M.deref m restricted;
+      M.deref m chain)
+
+let test_publish_obs_delta () =
+  let module Obs = Socy_obs.Obs in
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      let counter name = Obs.counter_value (Obs.counter name) in
+      with_manager 6 (fun m ->
+          let x = M.var m 0 and y = M.var m 1 in
+          let f = M.and_ m x y in
+          M.publish_obs m;
+          M.publish_obs m;
+          (* Publishing twice must not double-count: the registry still
+             equals the manager's own totals. *)
+          let s = M.stats m in
+          Alcotest.(check int) "created not doubled" s.M.created
+            (counter "bdd.created");
+          Alcotest.(check int) "unique hits not doubled" s.M.unique_hits
+            (counter "bdd.unique_hits");
+          Alcotest.(check int) "cache misses not doubled" s.M.cache_misses
+            (counter "bdd.ite_cache_misses");
+          (* More work, then a third publish: only the delta lands. *)
+          let g = M.or_ m f x in
+          M.publish_obs m;
+          let s2 = M.stats m in
+          Alcotest.(check int) "created delta" s2.M.created
+            (counter "bdd.created");
+          Alcotest.(check int) "cache hits delta" s2.M.cache_hits
+            (counter "bdd.ite_cache_hits");
+          M.deref m g;
+          M.deref m f;
+          M.deref m x;
+          M.deref m y))
+
 let () =
   Alcotest.run "socy_bdd"
     [
@@ -546,4 +632,12 @@ let () =
           Alcotest.test_case "count and limit" `Quick test_cutsets_count_and_limit;
         ] );
       qsuite "cutsets-props" [ prop_cutsets_match_brute_force ];
+      ( "deep-diagrams",
+        [
+          Alcotest.test_case "ops on a 220k-deep chain" `Quick test_deep_chain_ops;
+          Alcotest.test_case "cofactors on a 220k-deep chain" `Quick
+            test_deep_chain_cofactors;
+          Alcotest.test_case "publish_obs is delta-based" `Quick
+            test_publish_obs_delta;
+        ] );
     ]

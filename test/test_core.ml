@@ -454,6 +454,60 @@ let test_conditional_yields_match_brute () =
       let r = P.Artifacts.report a ~cpu_seconds:0.0 in
       check_float ~eps:1e-12 "reassembled Y_M" r.P.yield_lower reassembled
 
+let test_single_sweep_traversal () =
+  (* [report] and [conditional_yields] — in any order, any number of times —
+     must cost exactly one ROMDD traversal between them, observable through
+     the mdd.sweep.runs counter. *)
+  let module Obs = Socy_obs.Obs in
+  let ft = fig2_fault_tree () and lethal = fig2_lethal () in
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled false)
+    (fun () ->
+      match P.Artifacts.build ~config:fig2_config ft lethal with
+      | Error _ -> Alcotest.fail "artifacts failed"
+      | Ok a ->
+          let r = P.Artifacts.report a ~cpu_seconds:0.0 in
+          let ys = P.Artifacts.conditional_yields a in
+          let ys' = P.Artifacts.conditional_yields a in
+          let r' = P.Artifacts.report a ~cpu_seconds:0.0 in
+          Alcotest.(check int) "exactly one sweep" 1
+            (Obs.counter_value (Obs.counter "mdd.sweep.runs"));
+          Alcotest.(check bool) "memoized yields stable" true (ys = ys');
+          check_float ~eps:1e-15 "memoized report stable" r.P.yield_lower
+            r'.P.yield_lower;
+          (* the memo is what the report recombined *)
+          let w = Model.w_pmf lethal ~m:a.P.Artifacts.m in
+          let reassembled = ref 0.0 in
+          Array.iteri (fun k y -> reassembled := !reassembled +. (w.(k) *. y)) ys;
+          check_float ~eps:1e-12 "recombination" r.P.yield_lower !reassembled);
+  Obs.reset ()
+
+let test_sweep_matches_brute_on_ms2 () =
+  (* The per-k conditional yields of the vectorized sweep against exhaustive
+     enumeration on a real benchmark instance (MS2, the head suite row).
+     Epsilon is chosen so the truncation stays within Brute's reach. *)
+  let row = List.hd (Socy_benchmarks.Suite.table_rows ()) in
+  let ft = row.Socy_benchmarks.Suite.instance.Socy_benchmarks.Suite.circuit in
+  let lethal = Model.to_lethal (Socy_benchmarks.Suite.model row) in
+  let epsilon =
+    List.find
+      (fun e -> Model.truncation lethal ~epsilon:e <= 4)
+      [ 1e-4; 1e-3; 1e-2; 0.05; 0.1; 0.3 ]
+  in
+  let config = { P.default_config with P.epsilon } in
+  match P.Artifacts.build ~config ft lethal with
+  | Error _ -> Alcotest.fail "artifacts failed"
+  | Ok a ->
+      Alcotest.(check bool) "nontrivial truncation" true (a.P.Artifacts.m >= 1);
+      let ys = P.Artifacts.conditional_yields a in
+      let _, per_k = Brute.yield_m ft lethal ~m:a.P.Artifacts.m in
+      Alcotest.(check int) "same arity" (Array.length per_k) (Array.length ys);
+      Array.iteri
+        (fun k y -> check_float ~eps:1e-10 (Printf.sprintf "Y_%d" k) per_k.(k) y)
+        ys
+
 let test_victim_sensitivities_finite_difference () =
   let ft = Parse.fault_tree ~name:"sens" ~num_inputs:4 "x0 & x1 | x2 & x3" in
   let lethal = lethal_for 4 in
@@ -636,6 +690,11 @@ let () =
             test_victim_sensitivities_finite_difference;
           Alcotest.test_case "conditional yields" `Quick
             test_conditional_yields_match_brute;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "single traversal" `Quick test_single_sweep_traversal;
+          Alcotest.test_case "vs brute on MS2" `Quick test_sweep_matches_brute_on_ms2;
         ] );
       ( "reliability",
         [

@@ -63,9 +63,24 @@ let test_of_array () =
   Alcotest.check_raises "negative mass"
     (Invalid_argument "Distribution.of_array: negative mass") (fun () ->
       ignore (D.of_array [| -0.5; 1.5 |]));
-  Alcotest.check_raises "bad sum"
-    (Invalid_argument "Distribution.of_array: mass must sum to 1") (fun () ->
-      ignore (D.of_array [| 0.2; 0.2 |]))
+  (* Unnormalized but valid input: normalized by its (finite, positive)
+     total rather than rejected. *)
+  let u = D.of_array [| 0.2; 0.2 |] in
+  check_float ~eps:1e-12 "normalized pmf 0" 0.5 (D.pmf u 0);
+  check_float ~eps:1e-12 "normalized pmf 1" 0.5 (D.pmf u 1);
+  let counts = D.of_array [| 3.0; 1.0 |] in
+  check_float ~eps:1e-12 "counts normalize" 0.75 (D.pmf counts 0);
+  check_float ~eps:1e-12 "normalized mass" 1.0 (total_mass u ~upto:10);
+  let bad_total = Invalid_argument
+      "Distribution.of_array: total mass must be positive and finite"
+  in
+  Alcotest.check_raises "all-zero total" bad_total (fun () ->
+      ignore (D.of_array [| 0.0; 0.0 |]));
+  Alcotest.check_raises "infinite total" bad_total (fun () ->
+      ignore (D.of_array [| 1.0; infinity |]));
+  Alcotest.check_raises "nan entry"
+    (Invalid_argument "Distribution.of_array: negative mass") (fun () ->
+      ignore (D.of_array [| nan; 1.0 |]))
 
 let test_custom_mean () =
   let d = D.of_array [| 0.5; 0.0; 0.5 |] in

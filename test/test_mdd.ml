@@ -445,6 +445,137 @@ let prop_sensitivities_decomposition =
       done;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Vectorized probability sweep                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [nk] scenarios with distinct per-variable pmfs: scenario k weights value
+   j of variable v by 1 + ((v + j + k) mod 3), normalized. *)
+let sweep_nk = 3
+
+let scenario_pmf k v =
+  let w =
+    Array.init domains.(v) (fun j -> 1.0 +. float_of_int ((v + j + k) mod 3))
+  in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  Array.map (fun x -> x /. total) w
+
+let prop_sweep_matches_per_scenario_probability =
+  QCheck.Test.make ~name:"probability_sweep = per-scenario probability"
+    ~count:200 arb_mexpr (fun e ->
+      let t = Mdd.create specs_for_props in
+      let f = mexpr_mdd t e in
+      let pmfs = Array.init sweep_nk (fun k -> Array.init 3 (scenario_pmf k)) in
+      let p v j = Array.init sweep_nk (fun k -> pmfs.(k).(v).(j)) in
+      let swept = Mdd.probability_sweep t f ~nk:sweep_nk ~p in
+      let ok = ref (Array.length swept = sweep_nk) in
+      for k = 0 to sweep_nk - 1 do
+        let pk v j = pmfs.(k).(v).(j) in
+        if abs_float (swept.(k) -. Mdd.probability t f ~p:pk) > 1e-12 then
+          ok := false
+      done;
+      !ok)
+
+let test_sweep_terminals_and_validation () =
+  let t = Mdd.create specs_for_props in
+  let p _ _ = [| 0.5; 0.5 |] in
+  Alcotest.(check (array (float 0.0))) "zero" [| 0.0; 0.0 |]
+    (Mdd.probability_sweep t Mdd.zero ~nk:2 ~p);
+  Alcotest.(check (array (float 0.0))) "one" [| 1.0; 1.0 |]
+    (Mdd.probability_sweep t Mdd.one ~nk:2 ~p);
+  Alcotest.check_raises "nk < 1"
+    (Invalid_argument "Mdd.probability_sweep: nk must be positive") (fun () ->
+      ignore (Mdd.probability_sweep t Mdd.one ~nk:0 ~p));
+  let f = Mdd.literal t 0 ~values:[ 1 ] in
+  Alcotest.check_raises "short vector"
+    (Invalid_argument "Mdd.probability_sweep: probability vector shorter than nk")
+    (fun () -> ignore (Mdd.probability_sweep t f ~nk:3 ~p))
+
+(* ------------------------------------------------------------------ *)
+(* Stack safety on deep diagrams; bounded APPLY cache                  *)
+(* ------------------------------------------------------------------ *)
+
+let mdd_deep_n = 200_000
+
+let test_deep_mdd_chain () =
+  let t =
+    Mdd.create
+      (Array.init mdd_deep_n (fun i -> spec (Printf.sprintf "v%d" i) 2))
+  in
+  (* All-variables-at-1 chain, built bottom-up with mk; 200k nodes deep. *)
+  let chain = ref Mdd.one in
+  for v = mdd_deep_n - 1 downto 0 do
+    chain := Mdd.mk t v [| Mdd.zero; !chain |]
+  done;
+  let chain = !chain in
+  Alcotest.(check int) "size" (mdd_deep_n + 2) (Mdd.size t chain);
+  Alcotest.(check int) "support" mdd_deep_n (List.length (Mdd.support t chain));
+  (* APPLY descends the full chain: xor with the terminal 1 = negation. *)
+  let neg = Mdd.not_ t chain in
+  Alcotest.(check bool) "chain eval" true (Mdd.eval t chain (fun _ -> 1));
+  Alcotest.(check bool) "neg eval" true (Mdd.eval t neg (fun _ -> 0));
+  let p _ j = if j = 1 then 1.0 else 0.0 in
+  Alcotest.(check (float 1e-12)) "probability" 1.0 (Mdd.probability t chain ~p);
+  let swept =
+    Mdd.probability_sweep t chain ~nk:2 ~p:(fun _ j ->
+        if j = 1 then [| 1.0; 0.5 |] else [| 0.0; 0.5 |])
+  in
+  Alcotest.(check (float 1e-12)) "sweep scenario 0" 1.0 swept.(0);
+  let total, _sens = Mdd.probability_with_sensitivities t chain ~p in
+  Alcotest.(check (float 1e-12)) "sensitivities total" 1.0 total
+
+let test_conversion_deep_scan () =
+  let n = 200_000 in
+  let bdd = B.create ~num_vars:n () in
+  let chain = ref B.one in
+  for v = n - 1 downto 0 do
+    let x = B.var bdd v in
+    let nxt = B.and_ bdd x !chain in
+    B.deref bdd x;
+    B.deref bdd !chain;
+    chain := nxt
+  done;
+  let mdd =
+    Mdd.create (Array.init n (fun i -> spec (Printf.sprintf "g%d" i) 2))
+  in
+  let layout =
+    {
+      Conversion.group_of_level = Array.init n Fun.id;
+      levels_of_group = Array.init n (fun i -> [| i |]);
+      codeword = (fun _ v -> [| v = 1 |]);
+    }
+  in
+  let root = Conversion.run bdd !chain mdd layout in
+  Alcotest.(check int) "romdd size" (n + 2) (Mdd.size mdd root);
+  Alcotest.(check bool) "evaluates" true (Mdd.eval mdd root (fun _ -> 1))
+
+let test_apply_cache_bounded () =
+  (* A small direct-mapped cache (2^6 slots) plus many repeated APPLY and
+     probability calls: node count must stabilize after the first round
+     (canonical results, no memo leak) while hits keep accruing. *)
+  let t = Mdd.create ~cache_bits:6 specs_for_props in
+  let la = Mdd.literal t 0 ~values:[ 1 ] in
+  let lb = Mdd.literal t 1 ~values:[ 2; 3 ] in
+  let lc = Mdd.literal t 2 ~values:[ 1 ] in
+  let pmfs = Array.init 3 pmf_for in
+  let p v j = pmfs.(v).(j) in
+  let nodes_after_first = ref 0 in
+  for i = 1 to 500 do
+    let x = Mdd.apply_and t la lb in
+    let y = Mdd.apply_or t x lc in
+    let z = Mdd.apply_xor t y la in
+    ignore (Mdd.probability t z ~p);
+    ignore (Mdd.probability_sweep t z ~nk:2 ~p:(fun v j -> [| p v j; p v j |]));
+    if i = 1 then nodes_after_first := Mdd.total_nodes t
+  done;
+  Alcotest.(check int) "no node growth across repeats" !nodes_after_first
+    (Mdd.total_nodes t);
+  let s = Mdd.stats t in
+  Alcotest.(check int) "cache capacity fixed" 64 s.Mdd.apply_cache_slots;
+  Alcotest.(check bool) "cache hits observed" true (s.Mdd.apply_hits > 0);
+  Alcotest.(check bool) "misses bounded by work" true (s.Mdd.apply_misses > 0);
+  Alcotest.(check int) "sweeps counted" 500 s.Mdd.sweeps
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -487,4 +618,18 @@ let () =
           prop_sensitivities_match_finite_differences;
           prop_sensitivities_decomposition;
         ];
+      ( "sweep",
+        [
+          Alcotest.test_case "terminals and validation" `Quick
+            test_sweep_terminals_and_validation;
+        ] );
+      qsuite "sweep-props" [ prop_sweep_matches_per_scenario_probability ];
+      ( "deep-diagrams",
+        [
+          Alcotest.test_case "200k-deep MDD chain" `Quick test_deep_mdd_chain;
+          Alcotest.test_case "200k-deep conversion scan" `Quick
+            test_conversion_deep_scan;
+          Alcotest.test_case "bounded APPLY cache" `Quick
+            test_apply_cache_bounded;
+        ] );
     ]
