@@ -1,0 +1,103 @@
+(* Bench-baseline comparator: diffs a fresh BENCH_*.json against the
+   committed baseline and fails (exit 1) on performance or correctness
+   regressions, so CI catches them at the PR.
+
+     dune exec bench/compare.exe -- BASELINE.json FRESH.json
+
+   Policy:
+   - any `yield_lower` drifting by more than 1e-12 from the baseline is a
+     correctness failure (the paper's Table-4 numbers are the contract);
+   - `cpu_s` regressing by more than 25% on any row is a performance
+     failure — but only for rows whose baseline cpu_s is at least 50ms,
+     because sub-50ms rows are dominated by scheduler noise on shared CI
+     runners;
+   - a row present in the baseline but missing from the fresh run is a
+     failure (a silently dropped benchmark is a regression too).
+   Rows only present in the fresh run are reported but never fail: adding
+   benchmarks must not require touching the comparator. *)
+
+module Json = Socy_obs.Json
+
+let yield_tolerance = 1e-12
+let cpu_regression_factor = 1.25
+let cpu_noise_floor_s = 0.05
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("compare: " ^ s); exit 2) fmt
+
+let load path =
+  let ic = try open_in path with Sys_error e -> die "cannot open %s" e in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.of_string s with
+  | j -> j
+  | exception Json.Parse_error e -> die "%s: %s" path e
+
+(* (section, row) -> record object, in file order *)
+let records doc path =
+  match Json.member "records" doc with
+  | Some (Json.List l) ->
+      List.map
+        (fun r ->
+          match (Json.member "section" r, Json.member "row" r) with
+          | Some (Json.String s), Some (Json.String row) -> ((s, row), r)
+          | _ -> die "%s: record without section/row" path)
+        l
+  | _ -> die "%s: no records array (not a socyield-bench file?)" path
+
+let number field r = Option.bind (Json.member field r) Json.to_float
+
+let () =
+  let base_path, fresh_path =
+    match Sys.argv with
+    | [| _; b; f |] -> (b, f)
+    | _ ->
+        prerr_endline "usage: compare BASELINE.json FRESH.json";
+        exit 2
+  in
+  let base = records (load base_path) base_path in
+  let fresh = records (load fresh_path) fresh_path in
+  let failures = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr failures;
+        Printf.printf "FAIL  %s\n" s)
+      fmt
+  in
+  List.iter
+    (fun ((key : string * string), b) ->
+      let section, row = key in
+      let label = Printf.sprintf "%s/%s" section row in
+      match List.assoc_opt key fresh with
+      | None -> fail "%s: row missing from fresh run" label
+      | Some f -> (
+          (match (number "yield_lower" b, number "yield_lower" f) with
+          | Some yb, Some yf ->
+              let drift = abs_float (yb -. yf) in
+              if drift > yield_tolerance then
+                fail "%s: yield_lower drifted by %.3e (%.17g -> %.17g)" label
+                  drift yb yf
+          | Some _, None -> fail "%s: yield_lower missing from fresh run" label
+          | None, _ -> ());
+          match (number "cpu_s" b, number "cpu_s" f) with
+          | Some cb, Some cf when cb >= cpu_noise_floor_s ->
+              if cf > cb *. cpu_regression_factor then
+                fail "%s: cpu_s regressed %.0f%% (%.3fs -> %.3fs)" label
+                  ((cf /. cb -. 1.0) *. 100.0)
+                  cb cf
+              else
+                Printf.printf "ok    %s: cpu %.3fs -> %.3fs\n" label cb cf
+          | _ -> ()))
+    base;
+  List.iter
+    (fun (key, _) ->
+      if not (List.mem_assoc key base) then
+        Printf.printf "note  %s/%s: new row (not in baseline)\n" (fst key)
+          (snd key))
+    fresh;
+  if !failures > 0 then begin
+    Printf.printf "%d regression(s) against %s\n" !failures base_path;
+    exit 1
+  end
+  else Printf.printf "no regressions against %s\n" base_path

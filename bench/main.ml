@@ -54,6 +54,7 @@ let record_report ~section ~label (r : P.report) =
         Json.Float
           (if ite_calls = 0 then 0.0
            else float_of_int r.P.ite_cache_hits /. float_of_int ite_calls) );
+      ("and_or_fast_hits", Json.Int r.P.and_or_fast_hits);
       ("gc_runs", Json.Int r.P.gc_runs);
     ]
 

@@ -180,6 +180,7 @@ let report_json ~source ~epsilon ~mv ~bits (r : P.report) =
             ("ite_cache_hits", Json.Int r.P.ite_cache_hits);
             ("ite_cache_misses", Json.Int r.P.ite_cache_misses);
             ("ite_cache_hit_rate", Json.Float hit_rate);
+            ("and_or_fast_hits", Json.Int r.P.and_or_fast_hits);
             ("gc_runs", Json.Int r.P.gc_runs);
             ("gc_reclaimed", Json.Int r.P.gc_reclaimed);
           ] );

@@ -14,20 +14,24 @@ let of_circuit ?(gc_threshold = 500_000) m circuit ~var_of_input =
   let gc_before = Manager.gc_count m in
   let order = C.postorder circuit in
   let fanout = C.fanout circuit in
+  (* Circuit ids are dense (allocated by a per-builder counter), so flat
+     int arrays replace the former polymorphic hash tables on the compile
+     hot path — no hashing, no boxing. *)
+  let max_id = List.fold_left (fun acc (n : C.node) -> max acc n.C.id) 0 order in
   (* Remaining consumers per circuit node; the output gets one synthetic
      consumer so its BDD ownership survives and transfers to the caller. *)
-  let remaining = Hashtbl.create 256 in
+  let remaining = Array.make (max_id + 1) 0 in
   List.iter
     (fun (n : C.node) ->
       let f = Option.value ~default:0 (Hashtbl.find_opt fanout n.C.id) in
       let extra = if n.C.id = circuit.C.output.C.id then 1 else 0 in
-      Hashtbl.replace remaining n.C.id (f + extra))
+      remaining.(n.C.id) <- f + extra)
     order;
-  let bdd_of = Hashtbl.create 256 in
-  let lookup (n : C.node) = Hashtbl.find bdd_of n.C.id in
+  let bdd_of = Array.make (max_id + 1) (-1) in
+  let lookup (n : C.node) = bdd_of.(n.C.id) in
   let consume (n : C.node) =
-    let r = Hashtbl.find remaining n.C.id - 1 in
-    Hashtbl.replace remaining n.C.id r;
+    let r = remaining.(n.C.id) - 1 in
+    remaining.(n.C.id) <- r;
     if r = 0 then Manager.deref m (lookup n)
   in
   (* Left fold of a binary manager operation over a fan-in array, threading
@@ -85,7 +89,7 @@ let of_circuit ?(gc_threshold = 500_000) m circuit ~var_of_input =
                 Array.iter consume args;
                 bdd
           in
-          Hashtbl.replace bdd_of n.C.id bdd;
+          bdd_of.(n.C.id) <- bdd;
           if Manager.dead m >= gc_threshold then Manager.collect m)
         order);
   let root = lookup circuit.C.output in

@@ -1,5 +1,10 @@
 module M = Manager
 
+(* This module is complement-edge transparent by construction: it walks
+   diagrams only through [M.low]/[M.high] (which fold the handle's
+   complement parity into the child) and memoizes on handles, for which
+   equality is function equality under the canonical encoding. *)
+
 (* "Make node" in terms of the public Manager API: the canonical node
    (lv ? high : low) is ite(var lv, high, low). *)
 let mk_node m lv ~low ~high =

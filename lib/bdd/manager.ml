@@ -1,3 +1,14 @@
+(* ROBDD engine with complement (attributed) edges.
+
+   A node handle packs a physical slot index and a complement bit:
+   [handle = slot lsl 1 lor cbit]. Slot 0 is the single terminal (the
+   constant TRUE sink), so [one = 0] and [zero = 1] — negation is just
+   [lxor 1], O(1) and allocation-free. Canonicity: the else-edge stored in
+   a slot is always regular (complement bit 0); [mk] normalizes
+   (lv ? hi : ¬x) into ¬(lv ? ¬hi : x), pushing the complement to the
+   returned handle. The then-edge and any handle held by a caller may be
+   complemented. *)
+
 type node = int
 
 exception Node_limit_exceeded
@@ -8,9 +19,10 @@ type t = {
   node_limit : int;
   cpu_deadline : float; (* Sys.time () value after which mk raises; infinity = off *)
   mutable creations_until_clock_check : int;
-  (* Node store: parallel arrays indexed by node handle. Slots 0 and 1 are
-     the terminals. [level] is [-1] for freed slots. [next] chains both hash
-     buckets and the free list. *)
+  (* Node store: parallel arrays indexed by physical slot. Slot 0 is the
+     TRUE sink. [level] is [-1] for freed slots. [low]/[high] hold child
+     handles — [low] always regular by the canonicity invariant. [next]
+     chains both hash buckets and the free list. *)
   mutable level : int array;
   mutable low : int array;
   mutable high : int array;
@@ -21,14 +33,15 @@ type t = {
   (* Unique table *)
   mutable buckets : int array;
   mutable bucket_mask : int;
-  (* ITE computed cache: direct-mapped *)
+  (* Computed cache, direct-mapped, shared by ITE and the specialized
+     AND/OR entry points (AND entries use the reserved third key below). *)
   cache_f : int array;
   cache_g : int array;
   cache_h : int array;
   cache_r : int array;
   cache_mask : int;
-  (* Work stack for the iterative ITE: packed frames of [ite_stride] ints,
-     reused across calls so the hot path allocates nothing per frame. *)
+  (* Work stack for the iterative ITE/AND: packed frames of [ite_stride]
+     ints, reused across calls so the hot path allocates nothing per frame. *)
   mutable ite_frames : int array;
   (* Statistics *)
   mutable alive_count : int;
@@ -40,20 +53,25 @@ type t = {
   mutable unique_hits : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable and_or_fast_hits : int;
   (* Last values pushed to the Obs registry; [publish_obs] adds only the
      delta since, so repeated publishes never double-count. *)
   mutable pub_created : int;
   mutable pub_unique_hits : int;
   mutable pub_cache_hits : int;
   mutable pub_cache_misses : int;
+  mutable pub_and_or_fast_hits : int;
   mutable pub_gc_runs : int;
   mutable pub_reclaimed : int;
 }
 
-let zero = 0
-let one = 1
+let one = 0
+let zero = 1
 let is_terminal n = n < 2
+let is_complemented n = n land 1 = 1
+let regular n = n land -2
 let num_vars m = m.nvars
+let handle_bound m = m.used lsl 1
 
 let initial_capacity = 1024
 let initial_buckets = 1 lsl 10
@@ -61,9 +79,12 @@ let initial_buckets = 1 lsl 10
 (* Frame layout of the iterative ITE work stack:
    [kf; kg; kh] the normalized cache key, [lv] the branching level,
    [stage] 0 = descend then-branch, 1 = descend else-branch, 2 = combine,
+   [neg] 1 when the result must be complemented (output-negation rule),
    [f1; g1; h1] then-cofactors, [f0; g0; h0] else-cofactors,
-   [t_res] the finished then-branch result. *)
-let ite_stride = 12
+   [t_res] the finished then-branch result, [cidx] the computed-cache line
+   found at lookup time (so completion stores without rehashing).
+   The specialized AND uses the same array with its own (smaller) layout. *)
+let ite_stride = 14
 
 let create ?(node_limit = max_int) ?cpu_limit ?(cache_bits = 18) ~num_vars () =
   if num_vars < 0 then invalid_arg "Manager.create: negative num_vars";
@@ -80,7 +101,7 @@ let create ?(node_limit = max_int) ?cpu_limit ?(cache_bits = 18) ~num_vars () =
       high = Array.make cap 0;
       rc = Array.make cap 0;
       next = Array.make cap (-1);
-      used = 2;
+      used = 1;
       free_head = -1;
       buckets = Array.make initial_buckets (-1);
       bucket_mask = initial_buckets - 1;
@@ -99,34 +120,35 @@ let create ?(node_limit = max_int) ?cpu_limit ?(cache_bits = 18) ~num_vars () =
       unique_hits = 0;
       cache_hits = 0;
       cache_misses = 0;
+      and_or_fast_hits = 0;
       pub_created = 0;
       pub_unique_hits = 0;
       pub_cache_hits = 0;
       pub_cache_misses = 0;
+      pub_and_or_fast_hits = 0;
       pub_gc_runs = 0;
       pub_reclaimed = 0;
     }
   in
-  (* Terminals: level below every variable, self-children, immortal. *)
+  (* The sink: level below every variable, self-children, immortal. *)
   m.level.(0) <- num_vars;
-  m.level.(1) <- num_vars;
   m.low.(0) <- 0;
   m.high.(0) <- 0;
-  m.low.(1) <- 1;
-  m.high.(1) <- 1;
   m.rc.(0) <- max_int;
-  m.rc.(1) <- max_int;
   m
 
-let level m n = m.level.(n)
+let level m n = m.level.(n lsr 1)
 
+(* Child accessors apply the handle's complement parity, so the returned
+   handles denote the true else/then cofactors of the *function* the handle
+   stands for — consumers traverse complemented diagrams transparently. *)
 let low m n =
   if is_terminal n then invalid_arg "Manager.low: terminal node";
-  m.low.(n)
+  m.low.(n lsr 1) lxor (n land 1)
 
 let high m n =
   if is_terminal n then invalid_arg "Manager.high: terminal node";
-  m.high.(n)
+  m.high.(n lsr 1) lxor (n land 1)
 
 (* --- observability ------------------------------------------------------ *)
 
@@ -145,35 +167,40 @@ let obs_created = Obs.counter "bdd.created"
 let obs_unique_hits = Obs.counter "bdd.unique_hits"
 let obs_cache_hits = Obs.counter "bdd.ite_cache_hits"
 let obs_cache_misses = Obs.counter "bdd.ite_cache_misses"
+let obs_and_or_fast_hits = Obs.counter "bdd.and_or_fast_hits"
 let obs_gc_runs = Obs.counter "bdd.gc_runs"
 let obs_reclaimed = Obs.counter "bdd.gc_reclaimed"
 
 (* --- reference counting ------------------------------------------------ *)
 
+(* Reference counts live on physical slots; the complement bit of a handle
+   is irrelevant to ownership (¬f is the same slot as f). *)
+
 let bump_alive m =
   if m.alive_count > m.peak then m.peak <- m.alive_count
 
-(* Resurrection: [n] was dead and just went 0 -> 1; re-acquire the children
-   it still points to. The cascade walks the dead part of the cone with an
-   explicit worklist — a deep cone must not overflow the OCaml stack. *)
-let resurrect m n =
+(* Resurrection: slot [s] was dead and just went 0 -> 1; re-acquire the
+   children it still points to. The cascade walks the dead part of the cone
+   with an explicit worklist — a deep cone must not overflow the OCaml
+   stack. *)
+let resurrect m s =
   m.alive_count <- m.alive_count + 1;
   m.dead_count <- m.dead_count - 1;
   bump_alive m;
-  let work = ref [ m.low.(n); m.high.(n) ] in
+  let work = ref [ m.low.(s) lsr 1; m.high.(s) lsr 1 ] in
   let rec drain () =
     match !work with
     | [] -> ()
     | x :: rest ->
         work := rest;
-        if not (is_terminal x) then begin
+        if x > 0 then begin
           let c = m.rc.(x) in
           m.rc.(x) <- c + 1;
           if c = 0 then begin
             m.alive_count <- m.alive_count + 1;
             m.dead_count <- m.dead_count - 1;
             bump_alive m;
-            work := m.low.(x) :: m.high.(x) :: !work
+            work := (m.low.(x) lsr 1) :: (m.high.(x) lsr 1) :: !work
           end
         end;
         drain ()
@@ -181,30 +208,31 @@ let resurrect m n =
   drain ()
 
 let ref_ m n =
-  if not (is_terminal n) then begin
-    let c = m.rc.(n) in
-    m.rc.(n) <- c + 1;
-    if c = 0 then resurrect m n
+  let s = n lsr 1 in
+  if s > 0 then begin
+    let c = m.rc.(s) in
+    m.rc.(s) <- c + 1;
+    if c = 0 then resurrect m s
   end
 
-(* Dual of [resurrect]: [n] just went 1 -> 0; release its cone. *)
-let kill m n =
+(* Dual of [resurrect]: slot [s] just went 1 -> 0; release its cone. *)
+let kill m s =
   m.alive_count <- m.alive_count - 1;
   m.dead_count <- m.dead_count + 1;
-  let work = ref [ m.low.(n); m.high.(n) ] in
+  let work = ref [ m.low.(s) lsr 1; m.high.(s) lsr 1 ] in
   let rec drain () =
     match !work with
     | [] -> ()
     | x :: rest ->
         work := rest;
-        if not (is_terminal x) then begin
+        if x > 0 then begin
           let c = m.rc.(x) in
           if c <= 0 then invalid_arg "Manager.deref: reference count underflow";
           m.rc.(x) <- c - 1;
           if c = 1 then begin
             m.alive_count <- m.alive_count - 1;
             m.dead_count <- m.dead_count + 1;
-            work := m.low.(x) :: m.high.(x) :: !work
+            work := (m.low.(x) lsr 1) :: (m.high.(x) lsr 1) :: !work
           end
         end;
         drain ()
@@ -212,18 +240,28 @@ let kill m n =
   drain ()
 
 let deref m n =
-  if not (is_terminal n) then begin
-    let c = m.rc.(n) in
+  let s = n lsr 1 in
+  if s > 0 then begin
+    let c = m.rc.(s) in
     if c <= 0 then invalid_arg "Manager.deref: reference count underflow";
-    m.rc.(n) <- c - 1;
-    if c = 1 then kill m n
+    m.rc.(s) <- c - 1;
+    if c = 1 then kill m s
   end
 
 (* --- unique table ------------------------------------------------------ *)
 
+(* Sequential multiply-xorshift chain (splitmix-style): each word is folded
+   into the running state between avalanche rounds, so single-bit changes in
+   any of the three keys diffuse across the whole hash. The former xor of
+   three products was linear in its inputs and left the direct-mapped
+   computed cache with systematic collisions (hit rate stuck at ~42–45%
+   on the paper's MS rows). Constants are 62-bit primes-ish from the
+   splitmix64/xxhash family, truncated to fit OCaml's 63-bit int. *)
 let hash3 a b c =
-  let h = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE3D) in
-  (h lxor (h lsr 15)) land max_int
+  let h = a * 0x2545F4914F6CDD1D in
+  let h = (h lxor (h lsr 31) lxor b) * 0x165667B19E3779F9 in
+  let h = (h lxor (h lsr 29) lxor c) * 0x27D4EB2F165667C5 in
+  (h lxor (h lsr 32)) land max_int
 
 let grow_store m =
   let cap = Array.length m.level in
@@ -243,7 +281,7 @@ let rehash m =
   let nbuckets = 2 * Array.length m.buckets in
   m.buckets <- Array.make nbuckets (-1);
   m.bucket_mask <- nbuckets - 1;
-  for i = 2 to m.used - 1 do
+  for i = 1 to m.used - 1 do
     if m.level.(i) >= 0 then begin
       let b = hash3 m.level.(i) m.low.(i) m.high.(i) land m.bucket_mask in
       m.next.(i) <- m.buckets.(b);
@@ -264,13 +302,19 @@ let alloc_slot m =
     slot
   end
 
-(* [mk] returns an owned reference. *)
+(* [mk] returns an owned reference to the canonical handle for
+   (lv ? hi : lo). The canonicity rule: a stored else-edge is regular. A
+   complemented [lo] is normalized by complementing both children and
+   returning the complement of the stored node — one physical node serves
+   both polarities of the function. *)
 let mk m lv lo hi =
   if lo = hi then begin
     ref_ m lo;
     lo
   end
   else begin
+    let cb = lo land 1 in
+    let lo = lo lxor cb and hi = hi lxor cb in
     let b = hash3 lv lo hi land m.bucket_mask in
     let rec find i =
       if i < 0 then -1
@@ -280,8 +324,8 @@ let mk m lv lo hi =
     let existing = find m.buckets.(b) in
     if existing >= 0 then begin
       m.unique_hits <- m.unique_hits + 1;
-      ref_ m existing;
-      existing
+      ref_ m (existing lsl 1);
+      (existing lsl 1) lor cb
     end
     else begin
       if m.alive_count >= m.node_limit then raise Node_limit_exceeded;
@@ -306,10 +350,12 @@ let mk m lv lo hi =
       ref_ m lo;
       ref_ m hi;
       if m.alive_count + m.dead_count > 2 * Array.length m.buckets then rehash m;
-      slot
+      (slot lsl 1) lor cb
     end
   end
 
+(* var and nvar share one physical slot: the stored node is ¬x (regular),
+   x is its complemented handle. *)
 let var m v =
   if v < 0 || v >= m.nvars then invalid_arg "Manager.var: out of range";
   mk m v zero one
@@ -318,26 +364,28 @@ let nvar m v =
   if v < 0 || v >= m.nvars then invalid_arg "Manager.nvar: out of range";
   mk m v one zero
 
+let not_ m f =
+  ref_ m f;
+  f lxor 1
+
 (* --- ITE ---------------------------------------------------------------- *)
-
-let cache_lookup m f g h =
-  let i = hash3 f g h land m.cache_mask in
-  if m.cache_f.(i) = f && m.cache_g.(i) = g && m.cache_h.(i) = h then
-    m.cache_r.(i)
-  else -1
-
-let cache_store m f g h r =
-  let i = hash3 f g h land m.cache_mask in
-  m.cache_f.(i) <- f;
-  m.cache_g.(i) <- g;
-  m.cache_h.(i) <- h;
-  m.cache_r.(i) <- r
 
 (* Iterative ITE: a state machine over an explicit stack of packed int
    frames (layout at [ite_stride]), so arbitrarily deep diagrams cannot
-   overflow the OCaml stack. The then-branch is still evaluated before the
-   else-branch — node creation order, and therefore node numbering, is
-   identical to the former recursive version. *)
+   overflow the OCaml stack.
+
+   Complement-aware normalization (Brace–Rudell standard triples):
+     terminal rules    ite(1,g,h)=g  ite(0,g,h)=h  ite(f,g,g)=g
+                       ite(f,1,0)=f  ite(f,0,1)=¬f
+     operand folding   g∈{f,¬f} → {1,0};  h∈{f,¬f} → {0,1}
+     commutative swap  ite(f,1,h)=ite(h,1,f)     ite(f,g,0)=ite(g,f,0)
+                       ite(f,0,h)=ite(¬h,0,¬f)   ite(f,g,1)=ite(¬g,¬f,1)
+                       ite(f,g,¬g)=ite(g,f,¬f)   (applied when it lowers
+                       the regular handle of the first operand)
+     first-arg polarity  ite(¬f,g,h)=ite(f,h,g)
+     output polarity     ite(f,¬g,h)=¬ite(f,g,¬h)  — the complement moves
+                       to the result, so both polarities of a call share a
+                       single computed-cache line. *)
 let ite m f g h =
   let finished = ref (-1) in
   let ntop = ref 0 in
@@ -352,53 +400,75 @@ let ite m f g h =
       ref_ m h;
       finished := h
     end
-    else if g = h then begin
-      ref_ m g;
-      finished := g
-    end
-    else if g = one && h = zero then begin
-      ref_ m f;
-      finished := f
-    end
     else begin
-      let g = if g = f then one else g in
-      let h = if h = f then zero else h in
-      (* Commutativity normalizations (Brace-Rudell): AND and OR triples get
-         a canonical operand order, improving computed-cache hit rates. *)
-      let f, g, h =
-        if h = zero && g < f then (g, f, h)
-        else if g = one && h < f then (h, g, f)
-        else (f, g, h)
-      in
-      let cached = cache_lookup m f g h in
-      if cached >= 0 then begin
-        m.cache_hits <- m.cache_hits + 1;
-        ref_ m cached;
-        finished := cached
+      let g = if g = f then one else if g = f lxor 1 then zero else g in
+      let h = if h = f then zero else if h = f lxor 1 then one else h in
+      if g = h then begin
+        ref_ m g;
+        finished := g
+      end
+      else if g = one && h = zero then begin
+        ref_ m f;
+        finished := f
+      end
+      else if g = zero && h = one then begin
+        ref_ m f;
+        finished := f lxor 1
       end
       else begin
-        m.cache_misses <- m.cache_misses + 1;
-        let lf = m.level.(f) and lg = m.level.(g) and lh = m.level.(h) in
-        let lv = min lf (min lg lh) in
-        if !ntop * ite_stride = Array.length m.ite_frames then begin
-          let b = Array.make (2 * Array.length m.ite_frames) 0 in
-          Array.blit m.ite_frames 0 b 0 (Array.length m.ite_frames);
-          m.ite_frames <- b
-        end;
-        let s = m.ite_frames in
-        let base = !ntop * ite_stride in
-        incr ntop;
-        s.(base) <- f;
-        s.(base + 1) <- g;
-        s.(base + 2) <- h;
-        s.(base + 3) <- lv;
-        s.(base + 4) <- 0;
-        s.(base + 5) <- (if lf = lv then m.high.(f) else f);
-        s.(base + 6) <- (if lg = lv then m.high.(g) else g);
-        s.(base + 7) <- (if lh = lv then m.high.(h) else h);
-        s.(base + 8) <- (if lf = lv then m.low.(f) else f);
-        s.(base + 9) <- (if lg = lv then m.low.(g) else g);
-        s.(base + 10) <- (if lh = lv then m.low.(h) else h)
+        let f, g, h =
+          if g = one then
+            if h land -2 < f land -2 then (h, one, f) else (f, g, h)
+          else if h = zero then
+            if g land -2 < f land -2 then (g, f, zero) else (f, g, h)
+          else if g = zero then
+            if h land -2 < f land -2 then (h lxor 1, zero, f lxor 1)
+            else (f, g, h)
+          else if h = one then
+            if g land -2 < f land -2 then (g lxor 1, f lxor 1, one)
+            else (f, g, h)
+          else if g = h lxor 1 then
+            if g land -2 < f land -2 then (g, f, f lxor 1) else (f, g, h)
+          else (f, g, h)
+        in
+        let f, g, h = if f land 1 = 1 then (f lxor 1, h, g) else (f, g, h) in
+        let neg = g land 1 in
+        let g = g lxor neg and h = h lxor neg in
+        let ci = hash3 f g h land m.cache_mask in
+        if m.cache_f.(ci) = f && m.cache_g.(ci) = g && m.cache_h.(ci) = h
+        then begin
+          let cached = m.cache_r.(ci) in
+          m.cache_hits <- m.cache_hits + 1;
+          ref_ m cached;
+          finished := cached lxor neg
+        end
+        else begin
+          m.cache_misses <- m.cache_misses + 1;
+          let sf = f lsr 1 and sg = g lsr 1 and sh = h lsr 1 in
+          let lf = m.level.(sf) and lg = m.level.(sg) and lh = m.level.(sh) in
+          let lv = min lf (min lg lh) in
+          if !ntop * ite_stride = Array.length m.ite_frames then begin
+            let b = Array.make (2 * Array.length m.ite_frames) 0 in
+            Array.blit m.ite_frames 0 b 0 (Array.length m.ite_frames);
+            m.ite_frames <- b
+          end;
+          let s = m.ite_frames in
+          let base = !ntop * ite_stride in
+          incr ntop;
+          s.(base) <- f;
+          s.(base + 1) <- g;
+          s.(base + 2) <- h;
+          s.(base + 3) <- lv;
+          s.(base + 4) <- 0;
+          s.(base + 5) <- neg;
+          s.(base + 6) <- (if lf = lv then m.high.(sf) lxor (f land 1) else f);
+          s.(base + 7) <- (if lg = lv then m.high.(sg) lxor (g land 1) else g);
+          s.(base + 8) <- (if lh = lv then m.high.(sh) lxor (h land 1) else h);
+          s.(base + 9) <- (if lf = lv then m.low.(sf) lxor (f land 1) else f);
+          s.(base + 10) <- (if lg = lv then m.low.(sg) lxor (g land 1) else g);
+          s.(base + 11) <- (if lh = lv then m.low.(sh) lxor (h land 1) else h);
+          s.(base + 13) <- ci
+        end
       end
     end
   in
@@ -409,35 +479,133 @@ let ite m f g h =
     match s.(base + 4) with
     | 0 ->
         s.(base + 4) <- 1;
-        launch s.(base + 5) s.(base + 6) s.(base + 7)
+        launch s.(base + 6) s.(base + 7) s.(base + 8)
     | 1 ->
-        s.(base + 11) <- !finished;
+        s.(base + 12) <- !finished;
         s.(base + 4) <- 2;
-        launch s.(base + 8) s.(base + 9) s.(base + 10)
+        launch s.(base + 9) s.(base + 10) s.(base + 11)
     | _ ->
         let e = !finished in
-        let t = s.(base + 11) in
+        let t = s.(base + 12) in
         let r = mk m s.(base + 3) e t in
         deref m t;
         deref m e;
-        cache_store m s.(base) s.(base + 1) s.(base + 2) r;
+        let ci = s.(base + 13) in
+        m.cache_f.(ci) <- s.(base);
+        m.cache_g.(ci) <- s.(base + 1);
+        m.cache_h.(ci) <- s.(base + 2);
+        m.cache_r.(ci) <- r;
+        decr ntop;
+        finished := r lxor s.(base + 5)
+  done;
+  !finished
+
+(* --- specialized AND / OR ----------------------------------------------- *)
+
+(* Reserved third cache key for AND entries: no ITE triple can carry it
+   (handles are nonnegative, empty cache lines are marked by key -1). *)
+let and_code = -2
+
+(* Frame layout of the iterative AND (same scratch array as ITE — the two
+   never run interleaved within one operation): [a; b] the sorted operand
+   pair, [lv], [stage], [a1; b1] then-cofactors, [a0; b0] else-cofactors,
+   [t_res], [cidx]. Conjunction needs no triple normalization: the only canonical
+   work is sorting the commutative pair, and the terminal/absorption/
+   complement rules below resolve without touching the computed cache.
+   OR is derived by De Morgan with free complements, and therefore shares
+   the very same cache lines: or(f,g) = ¬and(¬f,¬g). *)
+let and_ m f g =
+  let finished = ref (-1) in
+  let ntop = ref 0 in
+  let launch f g =
+    if f = g || g = one then begin
+      m.and_or_fast_hits <- m.and_or_fast_hits + 1;
+      ref_ m f;
+      finished := f
+    end
+    else if f = one then begin
+      m.and_or_fast_hits <- m.and_or_fast_hits + 1;
+      ref_ m g;
+      finished := g
+    end
+    else if f = zero || g = zero || f = g lxor 1 then begin
+      m.and_or_fast_hits <- m.and_or_fast_hits + 1;
+      finished := zero
+    end
+    else begin
+      let a, b = if f < g then (f, g) else (g, f) in
+      let ci = hash3 a b and_code land m.cache_mask in
+      if m.cache_f.(ci) = a && m.cache_g.(ci) = b && m.cache_h.(ci) = and_code
+      then begin
+        let cached = m.cache_r.(ci) in
+        m.cache_hits <- m.cache_hits + 1;
+        ref_ m cached;
+        finished := cached
+      end
+      else begin
+        m.cache_misses <- m.cache_misses + 1;
+        let sa = a lsr 1 and sb = b lsr 1 in
+        let la = m.level.(sa) and lb = m.level.(sb) in
+        let lv = min la lb in
+        if !ntop * ite_stride = Array.length m.ite_frames then begin
+          let bb = Array.make (2 * Array.length m.ite_frames) 0 in
+          Array.blit m.ite_frames 0 bb 0 (Array.length m.ite_frames);
+          m.ite_frames <- bb
+        end;
+        let s = m.ite_frames in
+        let base = !ntop * ite_stride in
+        incr ntop;
+        s.(base) <- a;
+        s.(base + 1) <- b;
+        s.(base + 2) <- lv;
+        s.(base + 3) <- 0;
+        s.(base + 4) <- (if la = lv then m.high.(sa) lxor (a land 1) else a);
+        s.(base + 5) <- (if lb = lv then m.high.(sb) lxor (b land 1) else b);
+        s.(base + 6) <- (if la = lv then m.low.(sa) lxor (a land 1) else a);
+        s.(base + 7) <- (if lb = lv then m.low.(sb) lxor (b land 1) else b);
+        s.(base + 9) <- ci
+      end
+    end
+  in
+  launch f g;
+  while !ntop > 0 do
+    let s = m.ite_frames in
+    let base = (!ntop - 1) * ite_stride in
+    match s.(base + 3) with
+    | 0 ->
+        s.(base + 3) <- 1;
+        launch s.(base + 4) s.(base + 5)
+    | 1 ->
+        s.(base + 8) <- !finished;
+        s.(base + 3) <- 2;
+        launch s.(base + 6) s.(base + 7)
+    | _ ->
+        let e = !finished in
+        let t = s.(base + 8) in
+        let r = mk m s.(base + 2) e t in
+        deref m t;
+        deref m e;
+        let ci = s.(base + 9) in
+        m.cache_f.(ci) <- s.(base);
+        m.cache_g.(ci) <- s.(base + 1);
+        m.cache_h.(ci) <- and_code;
+        m.cache_r.(ci) <- r;
         decr ntop;
         finished := r
   done;
   !finished
 
-let not_ m f = ite m f zero one
-let and_ m f g = ite m f g zero
-let or_ m f g = ite m f one g
+let or_ m f g = and_ m (f lxor 1) (g lxor 1) lxor 1
 let imp m f g = ite m f g one
 
-let xor_ m f g =
-  let ng = not_ m g in
-  let r = ite m f ng g in
-  deref m ng;
-  r
+(* ¬g is a free handle complement, so XOR is a single ITE call. *)
+let xor_ m f g = ite m f (g lxor 1) g
 
 (* --- cofactors and quantification --------------------------------------- *)
+
+(* Parity-adjusted child handles, shared by the traversals below. *)
+let lo_of m h = m.low.(h lsr 1) lxor (h land 1)
+let hi_of m h = m.high.(h lsr 1) lxor (h land 1)
 
 (* Suspended rebuild step shared by [restrict] and [quantify]: node, its
    level, the finished else-branch, and which child is being visited. *)
@@ -451,17 +619,19 @@ type rebuild_frame = {
 let restrict m f ~var ~value =
   if var < 0 || var >= m.nvars then invalid_arg "Manager.restrict: var out of range";
   let memo = Hashtbl.create 64 in
-  (* Explicit frame stack instead of recursion; see [ite] for the pattern. *)
+  (* Explicit frame stack instead of recursion; see [ite] for the pattern.
+     Memoization is per handle: a slot reachable under both polarities is
+     rebuilt once per polarity, which keeps the parity bookkeeping local. *)
   let finished = ref (-1) in
   let stack = ref [] in
   let launch f =
-    let lv = m.level.(f) in
+    let lv = m.level.(f lsr 1) in
     if lv > var then begin
       ref_ m f;
       finished := f
     end
     else if lv = var then begin
-      let c = if value then m.high.(f) else m.low.(f) in
+      let c = if value then hi_of m f else lo_of m f in
       ref_ m c;
       finished := c
     end
@@ -483,11 +653,11 @@ let restrict m f ~var ~value =
         match fr.rb_stage with
         | 0 ->
             fr.rb_stage <- 1;
-            launch m.low.(fr.rb_n)
+            launch (lo_of m fr.rb_n)
         | 1 ->
             fr.rb_e <- !finished;
             fr.rb_stage <- 2;
-            launch m.high.(fr.rb_n)
+            launch (hi_of m fr.rb_n)
         | _ ->
             let t = !finished in
             let r = mk m fr.rb_lv fr.rb_e t in
@@ -508,8 +678,9 @@ let quantify m combine vars f =
     vars;
   let memo = Hashtbl.create 64 in
   (* Same explicit-stack discipline as [restrict]; the [combine] callback
-     (itself the iterative [ite]) runs between frames, never nested under
-     recursion. *)
+     (itself the iterative [ite]/[and_]) runs between frames, never nested
+     under recursion. Memoized per handle — quantification does not commute
+     with complement, so the two polarities of a slot are distinct calls. *)
   let finished = ref (-1) in
   let stack = ref [] in
   let launch f =
@@ -523,7 +694,9 @@ let quantify m combine vars f =
           ref_ m r;
           finished := r
       | None ->
-          stack := { rb_n = f; rb_lv = m.level.(f); rb_e = 0; rb_stage = 0 } :: !stack
+          stack :=
+            { rb_n = f; rb_lv = m.level.(f lsr 1); rb_e = 0; rb_stage = 0 }
+            :: !stack
   in
   launch f;
   while !stack <> [] do
@@ -533,11 +706,11 @@ let quantify m combine vars f =
         match fr.rb_stage with
         | 0 ->
             fr.rb_stage <- 1;
-            launch m.low.(fr.rb_n)
+            launch (lo_of m fr.rb_n)
         | 1 ->
             fr.rb_e <- !finished;
             fr.rb_stage <- 2;
-            launch m.high.(fr.rb_n)
+            launch (hi_of m fr.rb_n)
         | _ ->
             let t = !finished in
             let e = fr.rb_e in
@@ -557,16 +730,18 @@ let forall m vars f = quantify m (fun a b -> and_ m a b) vars f
 
 (* --- read-only analyses -------------------------------------------------- *)
 
+(* Physical-node traversal: the complement bit is dropped, every reachable
+   slot is visited exactly once (as its regular handle), children before
+   parents. This is the "number of nodes" convention of the paper under
+   complement edges: ¬f shares every slot with f. *)
 let iter_reachable m n f =
   let seen = Hashtbl.create 64 in
-  (* Explicit (node, next-child cursor) stack, preserving the old recursive
-     postorder — children before their parent — without stack depth
-     proportional to the diagram depth. *)
   let stack = ref [] in
-  let visit n =
-    if not (Hashtbl.mem seen n) then begin
-      Hashtbl.add seen n ();
-      if is_terminal n then f n else stack := (n, ref 0) :: !stack
+  let visit h =
+    let r = h land -2 in
+    if not (Hashtbl.mem seen r) then begin
+      Hashtbl.add seen r ();
+      if r = 0 then f r else stack := (r, ref 0) :: !stack
     end
   in
   visit n;
@@ -577,10 +752,10 @@ let iter_reachable m n f =
         (match !j with
         | 0 ->
             j := 1;
-            visit m.low.(x)
+            visit m.low.(x lsr 1)
         | 1 ->
             j := 2;
-            visit m.high.(x)
+            visit m.high.(x lsr 1)
         | _ ->
             stack := rest;
             f x);
@@ -596,10 +771,11 @@ let size m n =
 let size_multi m roots =
   let seen = Hashtbl.create 64 in
   let stack = ref [] in
-  let visit n =
-    if not (Hashtbl.mem seen n) then begin
-      Hashtbl.add seen n ();
-      if not (is_terminal n) then stack := n :: !stack
+  let visit h =
+    let r = h land -2 in
+    if not (Hashtbl.mem seen r) then begin
+      Hashtbl.add seen r ();
+      if r <> 0 then stack := r :: !stack
     end
   in
   let rec drain () =
@@ -607,8 +783,8 @@ let size_multi m roots =
     | [] -> ()
     | x :: rest ->
         stack := rest;
-        visit m.low.(x);
-        visit m.high.(x);
+        visit m.low.(x lsr 1);
+        visit m.high.(x lsr 1);
         drain ()
   in
   List.iter (fun n -> visit n; drain ()) roots;
@@ -618,8 +794,8 @@ let eval m n assignment =
   let rec go n =
     if n = zero then false
     else if n = one then true
-    else if assignment m.level.(n) then go m.high.(n)
-    else go m.low.(n)
+    else if assignment m.level.(n lsr 1) then go (hi_of m n)
+    else go (lo_of m n)
   in
   go n
 
@@ -627,13 +803,17 @@ let probability m n ~p =
   if n = zero then 0.0
   else if n = one then 1.0
   else begin
-    (* Bottom-up over the cone in level order: every child sits strictly
-       deeper than its parent, so bucketing nodes by level and evaluating
-       deepest-first is a topological order — no recursion, no deep stack. *)
+    (* Bottom-up over the physical cone in level order: every child sits
+       strictly deeper than its parent, so bucketing slots by level and
+       evaluating deepest-first is a topological order — no recursion, no
+       deep stack. Values are stored for the *regular* function of each
+       slot; reading through a complemented edge takes 1 - v, which makes
+       P(f) + P(¬f) = 1 exact by construction. *)
     let buckets = Array.make m.nvars [] in
     let seen = Hashtbl.create 64 in
-    Hashtbl.add seen n ();
-    let stack = ref [ n ] in
+    let root_slot = n lsr 1 in
+    Hashtbl.add seen root_slot ();
+    let stack = ref [ root_slot ] in
     let rec drain () =
       match !stack with
       | [] -> ()
@@ -642,9 +822,10 @@ let probability m n ~p =
           let lv = m.level.(x) in
           buckets.(lv) <- x :: buckets.(lv);
           let push c =
-            if (not (is_terminal c)) && not (Hashtbl.mem seen c) then begin
-              Hashtbl.add seen c ();
-              stack := c :: !stack
+            let s = c lsr 1 in
+            if s > 0 && not (Hashtbl.mem seen s) then begin
+              Hashtbl.add seen s ();
+              stack := s :: !stack
             end
           in
           push m.low.(x);
@@ -653,21 +834,23 @@ let probability m n ~p =
     in
     drain ();
     let value = Hashtbl.create 64 in
-    let node_value x =
-      if x = zero then 0.0
-      else if x = one then 1.0
-      else Hashtbl.find value x
+    let handle_value h =
+      if h = one then 1.0
+      else if h = zero then 0.0
+      else
+        let v = Hashtbl.find value (h lsr 1) in
+        if h land 1 = 1 then 1.0 -. v else v
     in
     for lv = m.nvars - 1 downto 0 do
       List.iter
         (fun x ->
           let pv = p lv in
           Hashtbl.replace value x
-            ((pv *. node_value m.high.(x))
-            +. ((1.0 -. pv) *. node_value m.low.(x))))
+            ((pv *. handle_value m.high.(x))
+            +. ((1.0 -. pv) *. handle_value m.low.(x))))
         buckets.(lv)
     done;
-    Hashtbl.find value n
+    handle_value n
   end
 
 let sat_fraction m n = probability m n ~p:(fun _ -> 0.5)
@@ -675,7 +858,7 @@ let sat_fraction m n = probability m n ~p:(fun _ -> 0.5)
 let support m n =
   let present = Array.make m.nvars false in
   iter_reachable m n (fun x ->
-      if not (is_terminal x) then present.(m.level.(x)) <- true);
+      if not (is_terminal x) then present.(m.level.(x lsr 1)) <- true);
   let acc = ref [] in
   for v = m.nvars - 1 downto 0 do
     if present.(v) then acc := v :: !acc
@@ -686,19 +869,21 @@ let any_sat m n =
   if n = zero then raise Not_found;
   let rec go n acc =
     if n = one then List.rev acc
-    else if m.high.(n) <> zero then go m.high.(n) ((m.level.(n), true) :: acc)
-    else go m.low.(n) ((m.level.(n), false) :: acc)
+    else
+      let hi = hi_of m n in
+      if hi <> zero then go hi ((m.level.(n lsr 1), true) :: acc)
+      else go (lo_of m n) ((m.level.(n lsr 1), false) :: acc)
   in
   go n []
 
 (* --- garbage collection -------------------------------------------------- *)
 
 let collect m =
-  (* Rebuild the unique table keeping only referenced nodes; freed slots go
+  (* Rebuild the unique table keeping only referenced slots; freed slots go
      to the free list. The computed cache may point at reclaimed slots, so
      flush it. *)
   Array.fill m.buckets 0 (Array.length m.buckets) (-1);
-  for i = 2 to m.used - 1 do
+  for i = 1 to m.used - 1 do
     if m.level.(i) >= 0 then
       if m.rc.(i) > 0 then begin
         let b = hash3 m.level.(i) m.low.(i) m.high.(i) land m.bucket_mask in
@@ -734,6 +919,7 @@ type stats = {
   unique_hits : int;
   cache_hits : int;
   cache_misses : int;
+  and_or_fast_hits : int;
 }
 
 let stats (m : t) =
@@ -747,6 +933,7 @@ let stats (m : t) =
     unique_hits = m.unique_hits;
     cache_hits = m.cache_hits;
     cache_misses = m.cache_misses;
+    and_or_fast_hits = m.and_or_fast_hits;
   }
 
 let publish_obs (m : t) =
@@ -757,12 +944,14 @@ let publish_obs (m : t) =
     Obs.add obs_unique_hits (m.unique_hits - m.pub_unique_hits);
     Obs.add obs_cache_hits (m.cache_hits - m.pub_cache_hits);
     Obs.add obs_cache_misses (m.cache_misses - m.pub_cache_misses);
+    Obs.add obs_and_or_fast_hits (m.and_or_fast_hits - m.pub_and_or_fast_hits);
     Obs.add obs_gc_runs (m.gc_runs - m.pub_gc_runs);
     Obs.add obs_reclaimed (m.reclaimed - m.pub_reclaimed);
     m.pub_created <- m.created;
     m.pub_unique_hits <- m.unique_hits;
     m.pub_cache_hits <- m.cache_hits;
     m.pub_cache_misses <- m.cache_misses;
+    m.pub_and_or_fast_hits <- m.and_or_fast_hits;
     m.pub_gc_runs <- m.gc_runs;
     m.pub_reclaimed <- m.reclaimed;
     sample_gauges m
@@ -771,17 +960,30 @@ let publish_obs (m : t) =
 let to_dot m n =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "digraph bdd {\n";
-  Buffer.add_string buf "  t0 [label=\"0\", shape=box];\n";
   Buffer.add_string buf "  t1 [label=\"1\", shape=box];\n";
-  let name x = if x = zero then "t0" else if x = one then "t1" else Printf.sprintf "n%d" x in
+  let name h = if h land -2 = 0 then "t1" else Printf.sprintf "n%d" (h lsr 1) in
+  (* Complemented edges carry an odot arrowhead; the root handle's own
+     polarity is drawn as an entry edge. *)
+  let edge src child ~dashed =
+    let attrs =
+      (if dashed then [ "style=dashed" ] else [])
+      @ if child land 1 = 1 then [ "arrowhead=odot" ] else []
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  %s -> %s%s;\n" src (name child)
+         (match attrs with
+         | [] -> ""
+         | l -> " [" ^ String.concat ", " l ^ "]"))
+  in
+  Buffer.add_string buf "  root [shape=none, label=\"\"];\n";
+  edge "root" n ~dashed:false;
   iter_reachable m n (fun x ->
       if not (is_terminal x) then begin
+        let s = x lsr 1 in
         Buffer.add_string buf
-          (Printf.sprintf "  n%d [label=\"x%d\"];\n" x m.level.(x));
-        Buffer.add_string buf
-          (Printf.sprintf "  n%d -> %s [style=dashed];\n" x (name m.low.(x)));
-        Buffer.add_string buf
-          (Printf.sprintf "  n%d -> %s;\n" x (name m.high.(x)))
+          (Printf.sprintf "  n%d [label=\"x%d\"];\n" s m.level.(s));
+        edge (Printf.sprintf "n%d" s) m.low.(s) ~dashed:true;
+        edge (Printf.sprintf "n%d" s) m.high.(s) ~dashed:false
       end);
   Buffer.add_string buf "}\n";
   Buffer.contents buf

@@ -1,9 +1,33 @@
-(** ROBDD (reduced ordered binary decision diagram) engine.
+(** ROBDD (reduced ordered binary decision diagram) engine with
+    complement edges.
 
     A from-scratch replacement for the CMU BDD library the paper uses:
-    hash-consed nodes, ITE with a computed cache, reference counting with
+    hash-consed nodes, attributed (complement) edges, ITE with a computed
+    cache, specialized AND/OR entry points, reference counting with
     dead-node resurrection, explicit garbage collection, and the live-node
     statistics the paper reports (current size, {e peak} size).
+
+    {2 Handles and complement edges}
+
+    A node handle is an [int] packing a physical slot index and a
+    complement bit: [handle = slot lsl 1 lor cbit]. There is a single
+    terminal — the constant-TRUE sink at slot 0 — so [one = 0] and
+    [zero = 1] (FALSE is the complemented sink). Negation is [O(1)] and
+    allocation-free: [not_ m f] is [f] with the complement bit flipped
+    (plus a reference-count bump).
+
+    Canonicity: the else-edge {e stored} in a node is always regular
+    (complement bit 0). [mk] enforces this by rewriting
+    [(lv ? hi : ¬x)] into [¬(lv ? ¬hi : x)], so one physical node serves
+    both polarities of a function and equality of functions is equality
+    of handles. The then-edge, and any handle held by a caller, may be
+    complemented.
+
+    The structure accessors {!low} / {!high} apply the handle's own
+    complement parity before returning, so a consumer walking the diagram
+    through them always sees the true cofactors of the {e function} the
+    handle denotes — complemented edges are transparent unless a consumer
+    asks with {!is_complemented}.
 
     {2 Variables and ordering}
 
@@ -16,7 +40,8 @@
     {2 Reference discipline}
 
     Every function returning a node returns an {e owned} reference: the
-    caller must eventually pass it to {!deref} (or transfer it). Nodes whose
+    caller must eventually pass it to {!deref} (or transfer it). References
+    count physical slots — [f] and [not_ f] share one count. Nodes whose
     reference count drops to zero become dead; dead nodes are resurrected
     transparently when the unique table or the computed cache hands them out
     again, and are reclaimed only by {!collect}. The [alive] statistic
@@ -49,15 +74,16 @@ val create :
 val num_vars : t -> int
 
 val zero : node
-(** The constant-false terminal (handle [0]). *)
+(** The constant-false function: the complemented sink (handle [1]). *)
 
 val one : node
-(** The constant-true terminal (handle [1]). *)
+(** The constant-true terminal (handle [0], the single physical sink). *)
 
 (** [var m v] is the function of variable [v] (owned). *)
 val var : t -> int -> node
 
-(** [nvar m v] is the negation of variable [v] (owned). *)
+(** [nvar m v] is the negation of variable [v] (owned). [var] and [nvar]
+    share one physical node. *)
 val nvar : t -> int -> node
 
 (** {1 Reference counting} *)
@@ -75,8 +101,19 @@ val deref : t -> node -> unit
     consumed. *)
 
 val ite : t -> node -> node -> node -> node
+
+(** [not_ m f] is [¬f] — [O(1)], allocation-free (flips the handle's
+    complement bit after taking a reference). *)
 val not_ : t -> node -> node
+
+(** [and_ m f g] / [or_ m f g]: specialized conjunction/disjunction entry
+    points. Terminal, idempotence, absorption ([f ∧ ¬f = 0]) and
+    complement cases resolve without touching the computed cache (counted
+    in [and_or_fast_hits]); general calls use a dedicated binary cache
+    entry, and OR shares AND's cache lines through De Morgan
+    ([f ∨ g = ¬(¬f ∧ ¬g)], complements free). *)
 val and_ : t -> node -> node -> node
+
 val or_ : t -> node -> node -> node
 val xor_ : t -> node -> node -> node
 val imp : t -> node -> node -> node
@@ -96,25 +133,43 @@ val forall : t -> int list -> node -> node
 (** [is_terminal n] is true for {!zero} and {!one}. *)
 val is_terminal : node -> bool
 
+(** [is_complemented n] is true when the handle carries the complement
+    bit — i.e. [n] denotes the negation of its stored physical node.
+    {!zero} is complemented; {!one} is not. *)
+val is_complemented : node -> bool
+
+(** [regular n] is [n] with the complement bit cleared — the physical
+    node's identity. [regular f = regular (not_ m f)]. *)
+val regular : node -> node
+
+(** [handle_bound m] is an exclusive upper bound on every handle value the
+    manager has issued so far (complemented or not) — suitable for sizing
+    flat arrays or bitsets indexed by handle. *)
+val handle_bound : t -> int
+
 (** [level m n] is the variable tested at [n]; [num_vars m] for terminals. *)
 val level : t -> node -> int
 
-(** [low m n] / [high m n] are the else/then children. Raises
-    [Invalid_argument] on terminals. The returned handles are {e borrowed}
-    (not owned): they are kept alive by [n]. *)
+(** [low m n] / [high m n] are the else/then cofactors {e of the function
+    [n] denotes}: the handle's complement parity is applied to the stored
+    child, so traversals through these accessors are semantically correct
+    whether or not [n] is complemented. Raises [Invalid_argument] on
+    terminals. The returned handles are {e borrowed} (not owned): they are
+    kept alive by [n]. *)
 val low : t -> node -> node
 
 val high : t -> node -> node
 
 (** {1 Analysis} *)
 
-(** [size m n] is the number of distinct nodes reachable from [n],
-    terminals included (the paper's "number of nodes" convention counts the
-    whole graph; sizes of the 2 terminals are included). *)
+(** [size m n] is the number of distinct {e physical} nodes reachable from
+    [n], sink included. With complement edges there is a single terminal,
+    so sizes are one smaller than the two-terminal convention for the same
+    function, and [size m f = size m (not_ m f)]. *)
 val size : t -> node -> int
 
-(** [size_multi m roots] is the number of distinct nodes reachable from any
-    of [roots] — shared nodes counted once. *)
+(** [size_multi m roots] is the number of distinct physical nodes reachable
+    from any of [roots] — shared nodes (and the sink) counted once. *)
 val size_multi : t -> node list -> int
 
 (** [eval m n assignment] evaluates the function; [assignment v] is the
@@ -126,7 +181,10 @@ val eval : t -> node -> (int -> bool) -> bool
 val sat_fraction : t -> node -> float
 
 (** [probability m n ~p] is P(f = 1) when variable [v] is independently 1
-    with probability [p v]. *)
+    with probability [p v]. Complement-consistent by construction: node
+    values are computed once per physical slot and read through a
+    complemented edge as [1 - v], so [P(f) + P(¬f) = 1] holds {e exactly}
+    in floating point. *)
 val probability : t -> node -> p:(int -> float) -> float
 
 (** [support m n] is the increasing list of variables on which [n] depends. *)
@@ -135,6 +193,11 @@ val support : t -> node -> int list
 (** [any_sat m n] is a satisfying partial assignment [(var, value)] list
     along one path to {!one}; raises [Not_found] when [n] = {!zero}. *)
 val any_sat : t -> node -> (int * bool) list
+
+(** [iter_reachable m n f] calls [f] once per distinct reachable {e
+    physical} node (as its regular handle), children before parents, sink
+    included. *)
+val iter_reachable : t -> node -> (node -> unit) -> unit
 
 (** {1 Memory management and statistics} *)
 
@@ -163,9 +226,11 @@ val reset_peak : t -> unit
 (** A consistent copy of every engine statistic. The table/cache hit
     counters pin down {e why} time goes where the paper's Table 4 says it
     does: [unique_hits] counts [mk] calls answered from the unique table,
-    [cache_hits] / [cache_misses] the ITE computed-cache behavior (each
-    nontrivial ITE call is exactly one of the two), [reclaimed] the nodes
-    freed by GC over the manager's lifetime. *)
+    [cache_hits] / [cache_misses] the computed-cache behavior (each
+    nontrivial ITE or AND/OR call is exactly one of the two),
+    [and_or_fast_hits] the AND/OR calls resolved by terminal/absorption
+    rules before reaching the cache, [reclaimed] the nodes freed by GC
+    over the manager's lifetime. *)
 type stats = {
   alive : int;  (** current live nonterminal nodes *)
   peak : int;  (** high-water mark of [alive] — the paper's "ROBDD peak" *)
@@ -174,20 +239,22 @@ type stats = {
   gc_runs : int;  (** number of {!collect} runs *)
   reclaimed : int;  (** nodes reclaimed by all {!collect} runs *)
   unique_hits : int;  (** [mk] calls answered by an existing node *)
-  cache_hits : int;  (** ITE computed-cache hits *)
-  cache_misses : int;  (** ITE computed-cache misses *)
+  cache_hits : int;  (** computed-cache hits (ITE + AND/OR) *)
+  cache_misses : int;  (** computed-cache misses (ITE + AND/OR) *)
+  and_or_fast_hits : int;
+      (** AND/OR calls resolved by terminal/absorption fast paths *)
 }
 
 val stats : t -> stats
 
 (** [publish_obs m] pushes the manager's statistics into the {!Socy_obs}
     registry (counters [bdd.created], [bdd.unique_hits], [bdd.ite_cache_*],
-    [bdd.gc_*]; gauges [bdd.live_nodes] / [bdd.peak_nodes]). Counters are
-    cumulative across managers; each call publishes only the {e delta} since
-    the previous publish for this manager, so it is safe to call at any
-    checkpoint and as often as wanted — repeated calls never double-count.
-    A no-op while observability is disabled (and such calls do not advance
-    the published snapshot).
+    [bdd.and_or_fast_hits], [bdd.gc_*]; gauges [bdd.live_nodes] /
+    [bdd.peak_nodes]). Counters are cumulative across managers; each call
+    publishes only the {e delta} since the previous publish for this
+    manager, so it is safe to call at any checkpoint and as often as wanted
+    — repeated calls never double-count. A no-op while observability is
+    disabled (and such calls do not advance the published snapshot).
 
     The gauges are also sampled automatically during operation: every 64k
     node creations (piggybacked on the CPU-budget clock check, so the hot
@@ -196,5 +263,7 @@ val publish_obs : t -> unit
 
 (** {1 Export} *)
 
-(** Graphviz rendering of the cone of [n] (for small diagrams/tests). *)
+(** Graphviz rendering of the cone of [n] (for small diagrams/tests).
+    Complemented edges carry an [odot] arrowhead; the root's own polarity
+    is drawn as an entry edge. *)
 val to_dot : t -> node -> string

@@ -47,6 +47,7 @@ type report = {
   unique_hits : int;
   ite_cache_hits : int;
   ite_cache_misses : int;
+  and_or_fast_hits : int;
   gc_runs : int;
   gc_reclaimed : int;
 }
@@ -261,6 +262,7 @@ module Artifacts = struct
       unique_hits = engine.B.unique_hits;
       ite_cache_hits = engine.B.cache_hits;
       ite_cache_misses = engine.B.cache_misses;
+      and_or_fast_hits = engine.B.and_or_fast_hits;
       gc_runs = engine.B.gc_runs;
       gc_reclaimed = engine.B.reclaimed;
     }

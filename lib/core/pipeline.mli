@@ -56,8 +56,11 @@ type report = {
           [robdd-build], [romdd-convert], [traversal]. Populated whether or
           not observability is enabled. *)
   unique_hits : int;  (** node requests answered by the unique table *)
-  ite_cache_hits : int;  (** ITE computed-cache hits during the build *)
-  ite_cache_misses : int;  (** ITE computed-cache misses during the build *)
+  ite_cache_hits : int;  (** computed-cache hits (ITE + AND/OR) during the build *)
+  ite_cache_misses : int;  (** computed-cache misses (ITE + AND/OR) during the build *)
+  and_or_fast_hits : int;
+      (** AND/OR calls resolved by terminal/absorption fast paths, before
+          the computed cache *)
   gc_runs : int;  (** garbage collections during the build *)
   gc_reclaimed : int;  (** dead nodes reclaimed by those collections *)
 }

@@ -20,18 +20,30 @@ let run bdd root mdd layout =
     layout.levels_of_group;
   (* Pass 1: find the entry nodes of each layer. An entry node is the root,
      or a nonterminal target of an edge whose source lies in a different
-     group. *)
+     group.
+
+     Complement-edge parity threading: BDD handles carry a complement bit,
+     and [B.low]/[B.high] fold the handle's parity into the child they
+     return — so the handle itself encodes the accumulated parity of the
+     path that reached it. Keying [seen] (and [mapping] below) by handle
+     therefore visits the two polarities of a shared physical node as the
+     two distinct boolean functions they are, which is exactly what the
+     ROMDD construction needs: the produced diagram is the same canonical
+     ROMDD the two-terminal engine yielded. Handles are dense nonnegative
+     ints bounded by [B.handle_bound], so both tables become flat
+     int-indexed structures (a bitset and an array) instead of polymorphic
+     hash tables — the scan was one of the two hottest stages. *)
   let entries = Array.make num_groups [] in
   let mark n = entries.(group_of n) <- n :: entries.(group_of n) in
-  let seen = Hashtbl.create 1024 in
+  let seen = Socy_util.Bitset.create (B.handle_bound bdd) in
   (* Explicit-stack DFS (deep coded ROBDDs must not overflow the OCaml
      stack): each reachable node is expanded once, and each cross-group edge
      marks its target — the same edge multiset the recursive walk visited. *)
   let scan root =
     let stack = ref [] in
     let visit n =
-      if not (Hashtbl.mem seen n) then begin
-        Hashtbl.add seen n ();
+      if not (Socy_util.Bitset.mem seen n) then begin
+        Socy_util.Bitset.add seen n;
         if not (B.is_terminal n) then stack := n :: !stack
       end
     in
@@ -55,10 +67,12 @@ let run bdd root mdd layout =
   if not (B.is_terminal root) then mark root;
   Obs.with_span "mdd.convert.scan" (fun () -> scan root);
   (* Pass 2: process layers bottom-up. [mapping] associates processed entry
-     nodes (and terminals) with ROMDD nodes. *)
-  let mapping = Hashtbl.create 1024 in
-  Hashtbl.add mapping B.zero Mdd.zero;
-  Hashtbl.add mapping B.one Mdd.one;
+     nodes (and terminals) with ROMDD nodes; -1 marks "not yet mapped"
+     (ROMDD handles are nonnegative). Indexed by BDD handle, so the entry
+     parity is part of the key — see the pass-1 comment. *)
+  let mapping = Array.make (max 2 (B.handle_bound bdd)) (-1) in
+  mapping.(B.zero) <- Mdd.zero;
+  mapping.(B.one) <- Mdd.one;
   let simulate g entry value =
     (* Follow the codeword of [value] through layer [g], skipping the bits
        the BDD does not test. *)
@@ -80,22 +94,22 @@ let run bdd root mdd layout =
         let domain = (Mdd.spec mdd g).domain in
         List.iter
           (fun entry ->
-            if not (Hashtbl.mem mapping entry) then begin
+            if mapping.(entry) < 0 then begin
               let kids =
                 Array.init domain (fun j ->
                     let target = simulate g entry j in
-                    match Hashtbl.find_opt mapping target with
-                    | Some mnode -> mnode
-                    | None ->
-                        (* Unreachable in a correct layout: targets are
-                           terminals or entries of deeper, already processed
-                           layers. *)
-                        invalid_arg
-                          "Conversion.run: simulation escaped to an \
-                           unprocessed node; is the layout group-contiguous?")
+                    let mnode = mapping.(target) in
+                    if mnode < 0 then
+                      (* Unreachable in a correct layout: targets are
+                         terminals or entries of deeper, already processed
+                         layers. *)
+                      invalid_arg
+                        "Conversion.run: simulation escaped to an \
+                         unprocessed node; is the layout group-contiguous?";
+                    mnode)
               in
-              Hashtbl.add mapping entry (Mdd.mk mdd g kids)
+              mapping.(entry) <- Mdd.mk mdd g kids
             end)
           entries.(g))
   done;
-  Hashtbl.find mapping root
+  mapping.(root)

@@ -134,9 +134,14 @@ type op = O_and | O_or | O_xor
 
 let op_code = function O_and -> 0 | O_or -> 1 | O_xor -> 2
 
+(* Sequential multiply-xorshift chain (splitmix-style), matching the BDD
+   engine's mix: the former xor-of-three-products was linear in its inputs
+   and collided systematically in the direct-mapped APPLY cache. *)
 let hash3 a b c =
-  let h = (a * 0x9E3779B1) lxor (b * 0x85EBCA77) lxor (c * 0xC2B2AE3D) in
-  (h lxor (h lsr 15)) land max_int
+  let h = a * 0x2545F4914F6CDD1D in
+  let h = (h lxor (h lsr 31) lxor b) * 0x165667B19E3779F9 in
+  let h = (h lxor (h lsr 29) lxor c) * 0x27D4EB2F165667C5 in
+  (h lxor (h lsr 32)) land max_int
 
 (* One suspended APPLY call: children [0 .. j-1] are already combined into
    [kid]; the result of combining child [j] arrives through [finished]. *)
