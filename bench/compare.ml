@@ -11,6 +11,13 @@
      failure — but only for rows whose baseline cpu_s is at least 50ms,
      because sub-50ms rows are dominated by scheduler noise on shared CI
      runners;
+   - `wall_s` is exempt from the 25% gate entirely: wall clock on shared
+     runners varies with co-tenancy and domain count, so it is recorded
+     for trend-reading only and never gated;
+   - any fresh record carrying `seq_yield_drift` (the curves section's
+     |parallel - one-domain| yield delta) above 1e-12 is a correctness
+     failure — parallel batches must be bit-identical to sequential runs.
+     This is checked on the fresh file alone, no baseline needed;
    - a row present in the baseline but missing from the fresh run is a
      failure (a silently dropped benchmark is a regression too).
    Rows only present in the fresh run are reported but never fail: adding
@@ -90,6 +97,19 @@ let () =
                 Printf.printf "ok    %s: cpu %.3fs -> %.3fs\n" label cb cf
           | _ -> ()))
     base;
+  (* Sequential-equivalence gate: checked on the fresh run alone, so a
+     drifting parallel batch fails even on the PR that introduces it. *)
+  List.iter
+    (fun ((section, row), r) ->
+      List.iter
+        (fun field ->
+          match number field r with
+          | Some d when d > yield_tolerance ->
+              fail "%s/%s: %s = %.3e (parallel run not equivalent to sequential)"
+                section row field d
+          | _ -> ())
+        [ "seq_yield_drift"; "seq_yield_drift_max" ])
+    fresh;
   List.iter
     (fun (key, _) ->
       if not (List.mem_assoc key base) then

@@ -14,8 +14,10 @@
    default skips heavy rows (--full forces them). *)
 
 module C = Socy_logic.Circuit
-module P = Socy_core.Pipeline
+module P = Socy_batch.Pipeline
+module Pool = Socy_batch.Pool
 module S = Socy_benchmarks.Suite
+module D = Socy_defects.Distribution
 module Scheme = Socy_order.Scheme
 module H = Socy_order.Heuristics
 module Mdd = Socy_mdd.Mdd
@@ -38,12 +40,15 @@ let record ~section ~label fields =
     Json.Obj (("section", Json.String section) :: ("row", Json.String label) :: fields)
     :: !bench_records
 
-let record_report ~section ~label (r : P.report) =
+let record_report ~section ~label ~wall_s (r : P.report) =
   let ite_calls = r.P.ite_cache_hits + r.P.ite_cache_misses in
   record ~section ~label
     [
       ("m", Json.Int r.P.m);
       ("cpu_s", Json.Float r.P.cpu_seconds);
+      (* wall clock of the same run; informational only — compare.exe
+         gates cpu_s and never wall_s (shared runners make wall noisy) *)
+      ("wall_s", Json.Float wall_s);
       ("robdd_peak", Json.Int r.P.robdd_peak);
       ("robdd_size", Json.Int r.P.robdd_size);
       ("romdd_size", Json.Int r.P.romdd_size);
@@ -104,13 +109,7 @@ let fmt_int_opt = function
 
 let config_for ?(node_limit = 40_000_000) ?cpu_limit
     ?(mv = P.default_config.P.mv_order) ?(bits = P.default_config.P.bit_order) () =
-  {
-    P.default_config with
-    P.node_limit;
-    mv_order = mv;
-    bit_order = bits;
-    cpu_limit;
-  }
+  P.Config.make ~node_limit ~mv_order:mv ~bit_order:bits ?cpu_limit ()
 
 (* Per-cell CPU budget for the ordering sweeps: pathological orderings
    (the paper's "-" entries) are cut off instead of churning for minutes. *)
@@ -147,16 +146,31 @@ let table1 _mode =
 (* Table 2: ROMDD size per multiple-valued ordering                    *)
 (* ------------------------------------------------------------------ *)
 
-let romdd_size_under row ~mv ~node_limit ~cpu_limit =
-  let lethal = S.lethal row in
-  let config = config_for ~node_limit ~cpu_limit ~mv () in
-  match P.Artifacts.build ~config row.S.instance.S.circuit lethal with
-  | Error _ -> None
-  | Ok a -> Some (Mdd.size a.P.Artifacts.mdd a.P.Artifacts.mdd_root)
+(* A sweep cell that failed renders as the paper's "-" when the node
+   budget blew up, and as "t/o" when the per-cell CPU budget cut off a
+   pathological ordering (the typed Cpu_budget failure, not a stage
+   string). *)
+let fmt_sweep_cell = function
+  | Ok size -> Text_table.group_thousands size
+  | Error (P.Cpu_budget _) -> "t/o"
+  | Error (P.Node_budget _ | P.Batch_cancelled) -> "-"
+
+(* Run one sweep-table grid (rows x per-row variants) as a single batch
+   over all cells: results come back in submission order, so cell [r*k+v]
+   is row r under variant v whatever the completion order was. *)
+let sweep_table ~rows ~variants ~job_of =
+  let jobs = List.concat_map (fun row -> List.map (job_of row) variants) rows in
+  let t0 = wall () in
+  let results = Array.of_list (P.run_batch jobs) in
+  pf "  ... %d cells on %d domains in %.1f s\n%!" (Array.length results)
+    (Pool.default_domains ()) (wall () -. t0);
+  let k = List.length variants in
+  fun ~row ~variant -> results.((row * k) + variant)
 
 let table2 mode =
   pf "== Table 2: ROMDD size vs multiple-valued variable ordering ==\n";
-  pf "   (cells: measured / paper; '-' = node budget exhausted)\n\n";
+  pf "   (cells: measured / paper; '-' = node budget exhausted,\n";
+  pf "    't/o' = per-cell cpu budget exhausted)\n\n";
   let headers =
     "benchmark" :: List.map Scheme.mv_order_name Scheme.table2_mv_orders
   in
@@ -166,15 +180,22 @@ let table2 mode =
       headers
   in
   let node_limit = if mode = Full then 40_000_000 else 15_000_000 in
-  List.iter
-    (fun row ->
+  let rows = rows_for mode ~sweep:true in
+  let cell =
+    sweep_table ~rows ~variants:Scheme.table2_mv_orders ~job_of:(fun row mv ->
+        P.job
+          ~config:(config_for ~node_limit ~cpu_limit:(sweep_cpu_limit mode) ~mv ())
+          ~label:(S.row_label row) row.S.instance.S.circuit (S.lethal row))
+  in
+  List.iteri
+    (fun ri row ->
       let label = S.row_label row in
       let paper = List.assoc_opt label Paper_data.table2 in
       let cells =
-        List.map
-          (fun mv ->
+        List.mapi
+          (fun vi mv ->
             let ours =
-              romdd_size_under row ~mv ~node_limit ~cpu_limit:(sweep_cpu_limit mode)
+              Result.map (fun r -> r.P.romdd_size) (cell ~row:ri ~variant:vi)
             in
             let paper_cell =
               match (paper, mv) with
@@ -187,12 +208,11 @@ let table2 mode =
               | Some p, Scheme.Heur H.H4 -> p.Paper_data.h
               | None, _ -> None
             in
-            Printf.sprintf "%s / %s" (fmt_int_opt ours) (fmt_int_opt paper_cell))
+            Printf.sprintf "%s / %s" (fmt_sweep_cell ours) (fmt_int_opt paper_cell))
           Scheme.table2_mv_orders
       in
-      Text_table.add_row t (label :: cells);
-      pf "  ... %s done\n%!" label)
-    (rows_for mode ~sweep:true);
+      Text_table.add_row t (label :: cells))
+    rows;
   print_string (Text_table.render t);
   pf "\n"
 
@@ -202,38 +222,40 @@ let table2 mode =
 
 let table3 mode =
   pf "== Table 3: coded-ROBDD size vs bit-group ordering (mv ordering: w) ==\n";
-  pf "   (cells: measured / paper)\n\n";
+  pf "   (cells: measured / paper; '-' = node budget, 't/o' = cpu budget)\n\n";
   let t =
     Text_table.create ~aligns:[ Left; Right; Right; Right ]
       [ "benchmark"; "ml"; "lm"; "w" ]
   in
   let node_limit = if mode = Full then 40_000_000 else 15_000_000 in
-  List.iter
-    (fun row ->
+  let rows = rows_for mode ~sweep:true in
+  let bit_orders = [ Scheme.Ml; Scheme.Lm; Scheme.Heur_bits H.Weight ] in
+  let cell =
+    sweep_table ~rows ~variants:bit_orders ~job_of:(fun row bits ->
+        P.job
+          ~config:
+            (config_for ~node_limit ~cpu_limit:(sweep_cpu_limit mode)
+               ~mv:(Scheme.Heur H.Weight) ~bits ())
+          ~label:(S.row_label row) row.S.instance.S.circuit (S.lethal row))
+  in
+  List.iteri
+    (fun ri row ->
       let label = S.row_label row in
       let paper = List.assoc_opt label Paper_data.table3 in
-      let cell bits paper_v =
-        let config =
-          config_for ~node_limit ~cpu_limit:(sweep_cpu_limit mode)
-            ~mv:(Scheme.Heur H.Weight) ~bits ()
-        in
+      let cell_at vi paper_v =
         let ours =
-          match P.run_lethal ~config row.S.instance.S.circuit (S.lethal row) with
-          | Ok r -> Some r.P.robdd_size
-          | Error _ -> None
+          Result.map (fun r -> r.P.robdd_size) (cell ~row:ri ~variant:vi)
         in
-        Printf.sprintf "%s / %s" (fmt_int_opt ours) (fmt_int_opt paper_v)
+        Printf.sprintf "%s / %s" (fmt_sweep_cell ours) (fmt_int_opt paper_v)
       in
       Text_table.add_row t
         [
           label;
-          cell Scheme.Ml (Option.map (fun p -> p.Paper_data.ml) paper);
-          cell Scheme.Lm (Option.map (fun p -> p.Paper_data.lm) paper);
-          cell (Scheme.Heur_bits H.Weight)
-            (Option.map (fun p -> p.Paper_data.w_bits) paper);
-        ];
-      pf "  ... %s done\n%!" label)
-    (rows_for mode ~sweep:true);
+          cell_at 0 (Option.map (fun p -> p.Paper_data.ml) paper);
+          cell_at 1 (Option.map (fun p -> p.Paper_data.lm) paper);
+          cell_at 2 (Option.map (fun p -> p.Paper_data.w_bits) paper);
+        ])
+    rows;
   print_string (Text_table.render t);
   pf "\n"
 
@@ -260,9 +282,10 @@ let table4 mode =
       let p_romdd = Option.map (fun p -> p.Paper_data.romdd) paper in
       let p_yield = Option.map (fun p -> p.Paper_data.yield) paper in
       let fmt_f fmt = function Some f -> Printf.sprintf fmt f | None -> "-" in
+      let t0 = wall () in
       (match P.run ~config:(config_for ()) row.S.instance.S.circuit (S.model row) with
       | Ok r ->
-          record_report ~section:"table4" ~label r;
+          record_report ~section:"table4" ~label ~wall_s:(wall () -. t0) r;
           Text_table.add_row t
             [
               label;
@@ -280,12 +303,12 @@ let table4 mode =
               Printf.sprintf "%.3f / %s" r.P.yield_lower (fmt_f "%.3f" p_yield);
             ]
       | Error f ->
-          Text_table.add_row t
-            [
-              label; "-"; "-";
-              Text_table.group_thousands f.P.peak_at_failure;
-              "-"; "-"; "-";
-            ]);
+          let peak =
+            match f with
+            | P.Node_budget { peak; _ } -> Text_table.group_thousands peak
+            | P.Cpu_budget _ | P.Batch_cancelled -> "-"
+          in
+          Text_table.add_row t [ label; "-"; "-"; peak; "-"; "-"; "-" ]);
       pf "  ... %s done\n%!" label)
     (rows_for mode ~sweep:false);
   print_string (Text_table.render t);
@@ -320,6 +343,97 @@ let fig2 _mode =
       let direct = Socy_core.Direct.build_into a in
       pf "direct MDD-APPLY construction gives the same canonical node: %b\n\n"
         (direct = root)
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 2-3: yield vs expected defect count, evaluated as one batch   *)
+(* ------------------------------------------------------------------ *)
+
+(* Every (benchmark x lambda) curve point is an independent pipeline run,
+   so the whole grid goes through [run_batch]; a one-domain rerun of the
+   same jobs records the sequential-equivalence drift per point, which
+   compare.exe fails on when it ever exceeds 1e-12. *)
+let curves mode =
+  pf "== Figs. 2-3: yield vs expected manufacturing defects, batched ==\n\n";
+  let insts =
+    if mode = Quick then [ S.ms 2; S.esen ~n:4 ~m:1 ]
+    else [ S.ms 2; S.ms 4; S.esen ~n:4 ~m:1 ]
+  in
+  let lambdas = [ 2.0; 5.0; 10.0; 15.0; 20.0; 30.0 ] in
+  let jobs =
+    List.concat_map
+      (fun (inst : S.instance) ->
+        List.map
+          (fun lambda ->
+            let model =
+              Model.create (D.negative_binomial ~mean:lambda ~alpha:S.alpha)
+                inst.S.affect
+            in
+            ( (inst.S.label, lambda),
+              P.job_of_model ~config:(config_for ())
+                ~label:(Printf.sprintf "%s lambda=%g" inst.S.label lambda)
+                inst.S.circuit model ))
+          lambdas)
+      insts
+  in
+  let keys = List.map fst jobs and batch = List.map snd jobs in
+  let t0 = wall () in
+  let par = P.run_batch batch in
+  let wall_par = wall () -. t0 in
+  let t1 = wall () in
+  let seq = P.run_batch ~domains:1 batch in
+  let wall_seq = wall () -. t1 in
+  let drift_max = ref 0.0 in
+  let t =
+    Text_table.create
+      ~aligns:[ Left; Right; Right; Right; Right ]
+      [ "benchmark"; "lambda"; "Y_M"; "Y_M+eps"; "seq drift" ]
+  in
+  List.iter2
+    (fun ((label, lambda), pr) sr ->
+      match (pr, sr) with
+      | Ok (p : P.report), Ok (s : P.report) ->
+          let drift = Float.abs (p.P.yield_lower -. s.P.yield_lower) in
+          drift_max := Float.max !drift_max drift;
+          record ~section:"curves"
+            ~label:(Printf.sprintf "%s, lambda=%g" label lambda)
+            [
+              ("lambda", Json.Float lambda);
+              ("yield_lower", Json.Float p.P.yield_lower);
+              ("yield_upper", Json.Float p.P.yield_upper);
+              (* |parallel - one-domain| on the same job; compare.exe
+                 fails the bench when this ever exceeds 1e-12 *)
+              ("seq_yield_drift", Json.Float drift);
+            ];
+          Text_table.add_row t
+            [
+              label;
+              Printf.sprintf "%g" lambda;
+              Printf.sprintf "%.6f" p.P.yield_lower;
+              Printf.sprintf "%.6f" p.P.yield_upper;
+              Printf.sprintf "%.1e" drift;
+            ]
+      | (Error _ as f), _ | _, (Error _ as f) ->
+          let msg =
+            match f with Error e -> P.failure_to_string e | Ok _ -> ""
+          in
+          Text_table.add_row t [ label; Printf.sprintf "%g" lambda; msg; "-"; "-" ])
+    (List.combine keys par) seq;
+  print_string (Text_table.render t);
+  let domains = Pool.default_domains () in
+  record ~section:"curves" ~label:"summary"
+    [
+      ("domains", Json.Int domains);
+      ("jobs", Json.Int (List.length batch));
+      ("wall_s", Json.Float wall_par);
+      ("wall_sequential_s", Json.Float wall_seq);
+      ( "speedup_vs_sequential",
+        Json.Float (if wall_par > 0.0 then wall_seq /. wall_par else 0.0) );
+      ("seq_yield_drift_max", Json.Float !drift_max);
+    ];
+  pf "\n%d jobs: %.2f s on %d domains, %.2f s sequential (%.2fx), max drift %.1e\n\n"
+    (List.length batch) wall_par domains wall_seq
+    (if wall_par > 0.0 then wall_seq /. wall_par else 0.0)
+    !drift_max
 
 (* ------------------------------------------------------------------ *)
 (* Monte Carlo comparison (the paper's "simulation" alternative)       *)
@@ -468,6 +582,7 @@ let sections =
     ("table3", table3);
     ("table4", table4);
     ("fig2", fig2);
+    ("curves", curves);
     ("mc", montecarlo);
     ("ablation", ablation);
     ("micro", micro);

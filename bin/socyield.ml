@@ -3,13 +3,15 @@
 
    Subcommands:
      eval    evaluate the yield of a fault tree or built-in benchmark
+     sweep   evaluate a grid of runs in parallel across domains
      mc      Monte Carlo baseline estimate
      orders  compare variable orderings on one instance
      list    list the built-in benchmark instances
      dot     export the fault tree or the ROMDD as Graphviz *)
 
 module C = Socy_logic.Circuit
-module P = Socy_core.Pipeline
+module P = Socy_batch.Pipeline
+module Pool = Socy_batch.Pool
 module S = Socy_benchmarks.Suite
 module Scheme = Socy_order.Scheme
 module H = Socy_order.Heuristics
@@ -211,13 +213,7 @@ let eval_cmd =
     | Ok (circuit, model) -> (
         if metrics <> None then Obs.set_enabled true;
         let config =
-          {
-            P.default_config with
-            P.epsilon;
-            node_limit;
-            mv_order = mv;
-            bit_order = bits;
-          }
+          P.Config.make ~epsilon ~node_limit ~mv_order:mv ~bit_order:bits ()
         in
         let source =
           match (benchmark, fault_tree) with
@@ -232,18 +228,24 @@ let eval_cmd =
                 with_metrics_channel metrics_out (fun oc ->
                     Json.to_channel oc
                       (Json.Obj
-                         [
-                           ("schema", Json.String "socyield-report/1");
-                           ("source", Json.String source);
-                           ("error", Json.String "node budget exhausted");
-                           ("stage", Json.String f.P.stage);
-                           ("peak_at_failure", Json.Int f.P.peak_at_failure);
-                         ]))
+                         ([
+                            ("schema", Json.String "socyield-report/1");
+                            ("source", Json.String source);
+                            ("error", Json.String (P.failure_to_string f));
+                            ("stage", Json.String (P.failure_stage f));
+                          ]
+                         @
+                         match f with
+                         | P.Node_budget { peak; _ } ->
+                             [ ("kind", Json.String "node-budget");
+                               ("peak_at_failure", Json.Int peak) ]
+                         | P.Cpu_budget { elapsed; _ } ->
+                             [ ("kind", Json.String "cpu-budget");
+                               ("elapsed_s", Json.Float elapsed) ]
+                         | P.Batch_cancelled ->
+                             [ ("kind", Json.String "batch-cancelled") ])))
             | Some `Pretty | None -> ());
-            Printf.eprintf
-              "FAILED at stage %s: node budget exhausted (peak %s nodes)\n"
-              f.P.stage
-              (Text_table.group_thousands f.P.peak_at_failure);
+            Printf.eprintf "FAILED — %s\n" (P.failure_to_string f);
             exit 1
         | Ok r ->
             (* In JSON-to-stdout mode the document must be the only output. *)
@@ -285,6 +287,299 @@ let eval_cmd =
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate the yield of a fault-tolerant system-on-chip")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One job per point of the (source × lambda × epsilon × mv-order) grid,
+   evaluated by the Socy_batch domain pool. Results land in submission
+   order whatever the completion order was, so parallel output is stable
+   and --check-sequential can diff against a ~domains:1 rerun. *)
+
+type sweep_point = {
+  sp_source : string;
+  sp_lambda : float;
+  sp_epsilon : float;
+  sp_mv : Scheme.mv_order;
+}
+
+let sweep_cmd =
+  let benchmarks_arg =
+    let doc =
+      "Comma-separated built-in benchmark instances to sweep, e.g. \
+       MS2,MS4,ESEN4x1. Mutually exclusive with --fault-tree."
+    in
+    Arg.(value & opt (list string) [] & info [ "b"; "benchmarks" ] ~docv:"NAMES" ~doc)
+  in
+  let lambdas_arg =
+    let doc = "Comma-separated expected defect counts (the defect-density axis)." in
+    Arg.(value & opt (list float) [ 10.0; 20.0 ] & info [ "lambdas" ] ~docv:"FLOATS" ~doc)
+  in
+  let epsilons_arg =
+    let doc = "Comma-separated absolute yield error requirements." in
+    Arg.(value & opt (list float) [ S.epsilon ] & info [ "epsilons" ] ~docv:"FLOATS" ~doc)
+  in
+  let mv_orders_arg =
+    let doc = "Comma-separated multiple-valued orderings (wv, wvr, vw, vrw, t, w, h)." in
+    Arg.(
+      value
+      & opt (list mv_order_conv) [ Scheme.Heur H.Weight ]
+      & info [ "mv-orders" ] ~docv:"ORDS" ~doc)
+  in
+  let domains_arg =
+    let doc =
+      "Worker domains for the batch; 0 means the runtime's recommended \
+       domain count."
+    in
+    Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let wall_budget_arg =
+    let doc =
+      "Wall-clock budget in seconds for the whole sweep; grid points not \
+       started when it expires are reported as cancelled."
+    in
+    Arg.(value & opt (some float) None & info [ "wall-budget" ] ~docv:"SECONDS" ~doc)
+  in
+  let check_seq_arg =
+    let doc =
+      "Rerun the grid on a single domain and fail (exit 1) unless every \
+       yield is bit-identical to the parallel run."
+    in
+    Arg.(value & flag & info [ "check-sequential" ] ~doc)
+  in
+  let output_arg =
+    let doc = "Output format: 'table' or 'json'." in
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+      & info [ "output" ] ~docv:"FORMAT" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the sweep output to $(docv) instead of standard output." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run fault_tree benchmarks lambdas epsilons mvs bits alpha p_lethal node_limit
+      domains wall_budget check_seq output out metrics metrics_out =
+    if metrics <> None then Obs.set_enabled true;
+    let sources =
+      match (fault_tree, benchmarks) with
+      | Some _, _ :: _ ->
+          prerr_endline "--fault-tree and --benchmarks are mutually exclusive";
+          exit 2
+      | None, [] ->
+          prerr_endline "one of --fault-tree or --benchmarks is required";
+          exit 2
+      | Some expr, [] -> (
+          match Socy_logic.Parse.fault_tree ~name:"cli" expr with
+          | exception Socy_logic.Parse.Syntax_error msg ->
+              Printf.eprintf "parse error: %s\n" msg;
+              exit 2
+          | circuit when circuit.C.num_inputs = 0 ->
+              prerr_endline "fault tree references no component";
+              exit 2
+          | circuit ->
+              let c = circuit.C.num_inputs in
+              [ (expr, circuit, Array.make c (p_lethal /. float_of_int c)) ])
+      | None, names ->
+          List.map
+            (fun name ->
+              match S.by_name name with
+              | exception Not_found ->
+                  Printf.eprintf "unknown benchmark %S\n" name;
+                  exit 2
+              | i -> (name, i.S.circuit, i.S.affect))
+            names
+    in
+    if lambdas = [] || epsilons = [] || mvs = [] then begin
+      prerr_endline "empty sweep axis";
+      exit 2
+    end;
+    let points, jobs =
+      List.split
+        (List.concat_map
+           (fun (src, circuit, affect) ->
+             List.concat_map
+               (fun lambda ->
+                 let model =
+                   Model.create (D.negative_binomial ~mean:lambda ~alpha) affect
+                 in
+                 let lethal = Model.to_lethal model in
+                 List.concat_map
+                   (fun epsilon ->
+                     List.map
+                       (fun mv ->
+                         let config =
+                           P.Config.make ~epsilon ~node_limit ~mv_order:mv
+                             ~bit_order:bits ()
+                         in
+                         let label =
+                           Printf.sprintf "%s l=%g e=%g %s" src lambda epsilon
+                             (Scheme.mv_order_name mv)
+                         in
+                         ( { sp_source = src; sp_lambda = lambda;
+                             sp_epsilon = epsilon; sp_mv = mv },
+                           P.job ~config ~label circuit lethal ))
+                       mvs)
+                   epsilons)
+               lambdas)
+           sources)
+    in
+    let domains = if domains <= 0 then Pool.default_domains () else domains in
+    let wall = Unix.gettimeofday () in
+    let results = P.run_batch ~domains ?wall_budget jobs in
+    let wall_s = Unix.gettimeofday () -. wall in
+    let seq =
+      if not check_seq then None
+      else begin
+        let t0 = Unix.gettimeofday () in
+        let r = P.run_batch ~domains:1 jobs in
+        Some (r, Unix.gettimeofday () -. t0)
+      end
+    in
+    let drift_max, status_mismatches =
+      match seq with
+      | None -> (0.0, 0)
+      | Some (seq_results, _) ->
+          List.fold_left2
+            (fun (d, m) a b ->
+              match (a, b) with
+              | Ok ra, Ok rb ->
+                  (Float.max d (abs_float (ra.P.yield_lower -. rb.P.yield_lower)), m)
+              | Error _, Error _ -> (d, m)
+              | _ -> (d, m + 1))
+            (0.0, 0) results seq_results
+    in
+    let cpu_total =
+      List.fold_left
+        (fun acc -> function Ok r -> acc +. r.P.cpu_seconds | Error _ -> acc)
+        0.0 results
+    in
+    let status = function
+      | Ok _ -> "ok"
+      | Error (P.Node_budget _) -> "node budget"
+      | Error (P.Cpu_budget _) -> "cpu budget"
+      | Error P.Batch_cancelled -> "cancelled"
+    in
+    with_metrics_channel out (fun oc ->
+        match output with
+        | `Table ->
+            let t =
+              Text_table.create
+                ~aligns:[ Left; Right; Right; Left; Right; Right; Right; Right; Left ]
+                [ "source"; "lambda"; "eps"; "mv"; "M"; "yield [lo, hi]";
+                  "ROMDD"; "CPU (s)"; "status" ]
+            in
+            List.iter2
+              (fun pt result ->
+                let cells =
+                  match result with
+                  | Ok r ->
+                      [
+                        string_of_int r.P.m;
+                        Printf.sprintf "[%.6f, %.6f]" r.P.yield_lower r.P.yield_upper;
+                        Text_table.group_thousands r.P.romdd_size;
+                        Printf.sprintf "%.2f" r.P.cpu_seconds;
+                        "ok";
+                      ]
+                  | Error _ as e -> [ "-"; "-"; "-"; "-"; status e ]
+                in
+                Text_table.add_row t
+                  (pt.sp_source
+                   :: Printf.sprintf "%g" pt.sp_lambda
+                   :: Printf.sprintf "%g" pt.sp_epsilon
+                   :: Scheme.mv_order_name pt.sp_mv
+                   :: cells))
+              points results;
+            output_string oc (Text_table.render t);
+            Printf.fprintf oc
+              "%d jobs on %d domains: %.2f s wall (%.2f s of pipeline CPU)\n"
+              (List.length jobs) domains wall_s cpu_total;
+            Option.iter
+              (fun (_, seq_wall) ->
+                Printf.fprintf oc
+                  "sequential rerun: %.2f s wall -> speedup %.2fx, max |dY| = %.3g, \
+                   %d status mismatch(es)\n"
+                  seq_wall
+                  (seq_wall /. Float.max wall_s 1e-9)
+                  drift_max status_mismatches)
+              seq
+        | `Json ->
+            let row pt result =
+              Json.Obj
+                ([
+                   ("source", Json.String pt.sp_source);
+                   ("lambda", Json.Float pt.sp_lambda);
+                   ("epsilon", Json.Float pt.sp_epsilon);
+                   ("mv_order", Json.String (Scheme.mv_order_name pt.sp_mv));
+                   ("status", Json.String (status result));
+                 ]
+                @
+                match result with
+                | Ok r ->
+                    [
+                      ("m", Json.Int r.P.m);
+                      ("yield_lower", Json.Float r.P.yield_lower);
+                      ("yield_upper", Json.Float r.P.yield_upper);
+                      ("robdd_peak", Json.Int r.P.robdd_peak);
+                      ("robdd_size", Json.Int r.P.robdd_size);
+                      ("romdd_size", Json.Int r.P.romdd_size);
+                      ("cpu_s", Json.Float r.P.cpu_seconds);
+                    ]
+                | Error f -> [ ("error", Json.String (P.failure_to_string f)) ])
+            in
+            let doc =
+              Json.Obj
+                ([
+                   ("schema", Json.String "socyield-sweep/1");
+                   ("domains", Json.Int domains);
+                   ("jobs", Json.Int (List.length jobs));
+                   ("wall_s", Json.Float wall_s);
+                   ("cpu_total_s", Json.Float cpu_total);
+                 ]
+                @ (match seq with
+                  | None -> []
+                  | Some (_, seq_wall) ->
+                      [
+                        ("wall_sequential_s", Json.Float seq_wall);
+                        ( "speedup_vs_sequential",
+                          Json.Float (seq_wall /. Float.max wall_s 1e-9) );
+                        ("seq_yield_drift_max", Json.Float drift_max);
+                        ("seq_status_mismatches", Json.Int status_mismatches);
+                      ])
+                @ [ ("rows", Json.List (List.map2 row points results)) ])
+            in
+            Json.to_channel oc doc;
+            output_char oc '\n');
+    (match metrics with
+    | None -> ()
+    | Some `Json ->
+        with_metrics_channel metrics_out (fun oc ->
+            Json.to_channel oc (Sink.snapshot_to_json (Obs.snapshot ())))
+    | Some `Pretty ->
+        with_metrics_channel metrics_out (fun oc ->
+            (Sink.pretty oc).Sink.emit ~label:"sweep" (Obs.snapshot ())));
+    if check_seq && (drift_max > 1e-12 || status_mismatches > 0) then begin
+      Printf.eprintf
+        "sweep: parallel run diverged from sequential (max |dY| = %.3g, %d \
+         status mismatch(es))\n"
+        drift_max status_mismatches;
+      exit 1
+    end
+  in
+  let term =
+    Term.(
+      const run $ fault_tree_arg $ benchmarks_arg $ lambdas_arg $ epsilons_arg
+      $ mv_orders_arg $ bit_order_arg $ alpha_arg $ p_lethal_arg $ node_limit_arg
+      $ domains_arg $ wall_budget_arg $ check_seq_arg $ output_arg $ out_arg
+      $ metrics_arg $ metrics_out_arg)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Evaluate a grid of (benchmark x lambda x epsilon x ordering) runs in \
+          parallel across domains (cf. Tables 2-4 and the yield curves)")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -341,13 +636,7 @@ let orders_cmd =
         List.iter
           (fun mv ->
             let config =
-              {
-                P.default_config with
-                P.epsilon;
-                node_limit;
-                mv_order = mv;
-                bit_order = Scheme.Ml;
-              }
+              P.Config.make ~epsilon ~node_limit ~mv_order:mv ~bit_order:Scheme.Ml ()
             in
             let cells =
               match P.run_lethal ~config circuit lethal with
@@ -421,10 +710,10 @@ let dot_cmd =
             print_string (C.to_dot problem.Socy_encode.Problem.circuit)
         | `Romdd -> (
             let lethal = Model.to_lethal model in
-            let config = { P.default_config with P.epsilon } in
+            let config = P.Config.make ~epsilon () in
             match P.Artifacts.build ~config circuit lethal with
             | Error f ->
-                prerr_endline ("failed at " ^ f.P.stage);
+                prerr_endline ("failed — " ^ P.failure_to_string f);
                 exit 1
             | Ok a ->
                 print_string
@@ -480,4 +769,7 @@ let () =
         "Combinatorial evaluation of yield of fault-tolerant systems-on-chip \
          (reproduction of Munteanu, Suñé, Rodríguez-Montañés, Carrasco, DSN'03)"
   in
-  exit (Cmd.eval (Cmd.group info [ eval_cmd; mc_cmd; orders_cmd; list_cmd; dot_cmd; cutsets_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ eval_cmd; sweep_cmd; mc_cmd; orders_cmd; list_cmd; dot_cmd; cutsets_cmd ]))

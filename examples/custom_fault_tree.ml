@@ -54,8 +54,8 @@ let () =
                   0.015; 0.015; 0.015; 0.015; 0.006 |] in
   let model = Model.create defects affect in
 
-  (match P.run ~config:{ P.default_config with P.epsilon = 1e-6 } fault_tree model with
-  | Error f -> Printf.printf "failed at %s\n" f.P.stage
+  (match P.run ~config:(P.Config.make ~epsilon:1e-6 ()) fault_tree model with
+  | Error f -> Printf.printf "failed — %s\n" (P.failure_to_string f)
   | Ok r ->
       Printf.printf "yield in [%.6f, %.6f]  (M = %d, ROMDD %d nodes)\n"
         r.P.yield_lower r.P.yield_upper r.P.m r.P.romdd_size);
@@ -90,9 +90,7 @@ let () =
   (* The ROMDD itself is an artifact you can inspect, and a single
      sensitivity sweep gives the exact gradient of the yield with respect
      to the victim distribution. *)
-  match P.Artifacts.build ~config:{ P.default_config with P.epsilon = 1e-2 }
-          fault_tree lethal
-  with
+  match P.Artifacts.build ~config:(P.Config.make ~epsilon:1e-2 ()) fault_tree lethal with
   | Error _ -> ()
   | Ok a ->
       let grad = P.Artifacts.victim_sensitivities a in

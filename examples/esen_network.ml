@@ -61,7 +61,7 @@ let () =
   in
   List.iter
     (fun mv ->
-      let config = { P.default_config with P.mv_order = mv; P.node_limit = 8_000_000 } in
+      let config = P.Config.(default |> with_mv_order mv |> with_node_limit 8_000_000) in
       let cells =
         match P.run_lethal ~config instance.S.circuit lethal with
         | Ok r ->

@@ -27,8 +27,8 @@ let () =
   let model = Model.create defects [| p_core; p_core; p_memory |] in
 
   (* 3. Run the combinatorial method with an absolute error bound. *)
-  (match P.run ~config:{ P.default_config with P.epsilon = 1e-4 } fault_tree model with
-  | Error f -> Printf.printf "node budget exhausted at %s\n" f.P.stage
+  (match P.run ~config:(P.Config.make ~epsilon:1e-4 ()) fault_tree model with
+  | Error f -> Printf.printf "failed — %s\n" (P.failure_to_string f)
   | Ok r ->
       Printf.printf "chip yield is in [%.6f, %.6f]\n" r.P.yield_lower r.P.yield_upper;
       Printf.printf "  %d lethal defects analyzed (M), %d-node ROMDD\n" r.P.m

@@ -1,0 +1,46 @@
+module Obs = Socy_obs.Obs
+include Socy_core.Pipeline
+
+type job = {
+  label : string;
+  circuit : Socy_logic.Circuit.t;
+  lethal : Socy_defects.Model.lethal;
+  config : config;
+}
+
+let job ?(config = Config.default) ?(label = "") circuit lethal =
+  { label; circuit; lethal; config }
+
+let job_of_model ?config ?label circuit model =
+  job ?config ?label circuit (Socy_defects.Model.to_lethal model)
+
+(* Result-aware outcome counters: at the pool level a budget blow-up is a
+   normally-returned [Error], so the ok/failed split is made here. *)
+let ok_counter = Obs.counter "batch.jobs_ok"
+let failed_counter = Obs.counter "batch.jobs_failed"
+let cancelled_counter = Obs.counter "batch.jobs_cancelled"
+
+let run_batch ?domains ?wall_budget jobs =
+  let arr = Array.of_list jobs in
+  let outcomes =
+    Obs.with_span "batch" (fun () ->
+        Pool.parallel_map ?domains ?wall_budget
+          (fun j -> run_lethal ~config:j.config j.circuit j.lethal)
+          arr)
+  in
+  Array.to_list
+    (Array.map
+       (function
+         | Pool.Done (Ok _ as r) ->
+             Obs.incr ok_counter;
+             r
+         | Pool.Done (Error _ as r) ->
+             Obs.incr failed_counter;
+             r
+         | Pool.Cancelled ->
+             Obs.incr cancelled_counter;
+             Error Batch_cancelled
+         (* Budget blow-ups are already Results; anything else escaping a
+            pipeline run is a bug worth a real backtrace. *)
+         | Pool.Failed e -> raise e)
+       outcomes)

@@ -1,0 +1,83 @@
+(** The pipeline API, batch-enabled.
+
+    [Socy_batch.Pipeline] re-exports the whole of {!Socy_core.Pipeline}
+    (same types, same values — [report], [failure], [Config], [Artifacts],
+    [run], [run_lethal]) and adds {!run_batch}: the multicore entry point
+    for evaluating many independent [(circuit, model, config)] jobs at
+    once. Consumers that batch anything should alias this module instead
+    of the core one:
+
+    {[
+      module P = Socy_batch.Pipeline
+
+      let reports =
+        P.run_batch ~domains:4
+          [ P.job ~label:"MS2" ms2 lethal_ms2;
+            P.job ~label:"ESEN4x1" esen lethal_esen ]
+    ]}
+
+    Ownership model: a job shares {e nothing} mutable with its siblings.
+    Each pipeline run builds its own {!Socy_bdd.Manager} and
+    {!Socy_mdd.Mdd} inside {!Socy_core.Pipeline.Artifacts.build}, so the
+    worker domains never touch a common decision diagram, unique table or
+    cache — the only cross-domain state is the thread-safe {!Socy_obs}
+    registry the engines publish into. That is what makes the paper-style
+    sweeps embarrassingly parallel. *)
+
+include module type of struct
+  include Socy_core.Pipeline
+end
+
+(** One batch job: an independent pipeline run. The [label] is carried for
+    consumers that render results (it does not influence evaluation). *)
+type job = {
+  label : string;
+  circuit : Socy_logic.Circuit.t;
+  lethal : Socy_defects.Model.lethal;
+  config : config;
+}
+
+(** [job circuit lethal] with [?config] defaulting to {!Config.default}
+    and an empty label. *)
+val job :
+  ?config:config ->
+  ?label:string ->
+  Socy_logic.Circuit.t ->
+  Socy_defects.Model.lethal ->
+  job
+
+(** Like {!job}, mapping the full defect model to its lethal form first
+    (Eq. (1)) — the mapping is cheap and done on the submitting domain. *)
+val job_of_model :
+  ?config:config ->
+  ?label:string ->
+  Socy_logic.Circuit.t ->
+  Socy_defects.Model.t ->
+  job
+
+(** [run_batch jobs] evaluates every job and returns the per-job results
+    {e in submission order}, whatever the completion order was — so
+    [List.combine jobs (run_batch jobs)] always lines up, and
+    [run_batch ~domains:1 jobs] (a plain sequential loop) returns a
+    bit-identical list.
+
+    [domains] defaults to [Domain.recommended_domain_count ()]. Each
+    worker evaluates one job at a time with exclusive ownership of that
+    job's DD state. A job that exhausts its node or CPU budget lands as
+    [Error (Node_budget _ | Cpu_budget _)] and the batch continues; when
+    the optional [wall_budget] (seconds of wall clock for the whole batch)
+    expires, jobs not yet started land as [Error Batch_cancelled] while
+    already-running jobs finish normally. Any other exception escaping a
+    job is re-raised on the submitting domain after all workers joined.
+
+    Observability: workers run under [batch.worker-k] spans, the engines'
+    counters from all domains merge into the process-wide registry as
+    usual, and the batch publishes [batch.jobs]/[batch.jobs_ok]/
+    [batch.jobs_failed]/[batch.jobs_cancelled] counters plus the
+    [batch.domains] and [batch.speedup] (Σ per-job busy seconds / batch
+    wall seconds) gauges. *)
+val run_batch :
+  ?domains:int ->
+  ?wall_budget:float ->
+  job list ->
+  (report, failure) result list

@@ -1,0 +1,126 @@
+module Obs = Socy_obs.Obs
+
+type 'a outcome = Done of 'a | Failed of exn | Cancelled
+
+let default_domains () = Domain.recommended_domain_count ()
+
+(* Chunked work queue: the submitting domain produces [lo, hi) index
+   ranges, workers consume them. The condition variable wakes workers that
+   outran the producer; [close] broadcasts so everyone drains and exits. *)
+type queue = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  chunks : (int * int) Queue.t;
+  mutable closed : bool;
+}
+
+let queue_create () =
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    chunks = Queue.create ();
+    closed = false;
+  }
+
+let enqueue q chunk =
+  Mutex.lock q.mutex;
+  Queue.push chunk q.chunks;
+  Condition.signal q.nonempty;
+  Mutex.unlock q.mutex
+
+let close q =
+  Mutex.lock q.mutex;
+  q.closed <- true;
+  Condition.broadcast q.nonempty;
+  Mutex.unlock q.mutex
+
+let pop q =
+  Mutex.lock q.mutex;
+  let rec take () =
+    match Queue.take_opt q.chunks with
+    | Some chunk -> Some chunk
+    | None ->
+        if q.closed then None
+        else begin
+          Condition.wait q.nonempty q.mutex;
+          take ()
+        end
+  in
+  let r = take () in
+  Mutex.unlock q.mutex;
+  r
+
+let jobs_counter = Obs.counter "batch.jobs"
+let domains_gauge = Obs.gauge "batch.domains"
+let speedup_gauge = Obs.gauge "batch.speedup"
+
+let parallel_map ?domains ?wall_budget ?(chunk_size = 1) f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let workers =
+      let requested =
+        match domains with Some d -> max 1 d | None -> default_domains ()
+      in
+      min requested n
+    in
+    let chunk_size = max 1 chunk_size in
+    let deadline =
+      match wall_budget with
+      | None -> infinity
+      | Some s -> Obs.now () +. s
+    in
+    let t0 = Obs.now () in
+    (* Slot [i] belongs to exactly one worker (the one that claimed the
+       chunk containing [i]), so plain array writes race with nothing; the
+       final Domain.join publishes them to the submitter. *)
+    let results = Array.make n Cancelled in
+    (* Per-worker seconds spent running jobs (queue waits excluded); the
+       speedup gauge is Σ busy / wall. Each worker owns its own slot. *)
+    let busy = Array.make workers 0.0 in
+    let run_one i =
+      if Obs.now () > deadline then results.(i) <- Cancelled
+      else
+        match f xs.(i) with
+        | y -> results.(i) <- Done y
+        | exception e -> results.(i) <- Failed e
+    in
+    let q = queue_create () in
+    let worker w () =
+      Obs.with_span
+        (Printf.sprintf "batch.worker-%d" w)
+        (fun () ->
+          let rec loop () =
+            match pop q with
+            | None -> ()
+            | Some (lo, hi) ->
+                let s0 = Obs.now () in
+                for i = lo to hi - 1 do
+                  run_one i
+                done;
+                busy.(w) <- busy.(w) +. (Obs.now () -. s0);
+                loop ()
+          in
+          loop ())
+    in
+    let spawned =
+      Array.init (workers - 1) (fun k -> Domain.spawn (worker (k + 1)))
+    in
+    let rec feed lo =
+      if lo < n then begin
+        let hi = min n (lo + chunk_size) in
+        enqueue q (lo, hi);
+        feed hi
+      end
+    in
+    feed 0;
+    close q;
+    worker 0 ();
+    Array.iter Domain.join spawned;
+    let wall = Obs.now () -. t0 in
+    Obs.add jobs_counter n;
+    Obs.set domains_gauge (float_of_int workers);
+    if wall > 0.0 then
+      Obs.set speedup_gauge (Array.fold_left ( +. ) 0.0 busy /. wall);
+    results
+  end

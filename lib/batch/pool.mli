@@ -1,0 +1,51 @@
+(** Domain-pool scheduler for embarrassingly parallel job arrays.
+
+    The paper's evaluation is batch-shaped: Tables 2–4 and the yield
+    curves are hundreds of independent [(circuit, model, config)] pipeline
+    runs, each of which owns every piece of mutable state it touches (its
+    own {!Socy_bdd.Manager}, its own {!Socy_mdd.Mdd}). This module runs
+    such job arrays across OCaml 5 domains:
+
+    - a {e chunked work queue} (mutex + condition): the submitting domain
+      enqueues index chunks while workers already consume them;
+    - {e deterministic result ordering}: slot [i] of the result array is
+      job [i]'s outcome, regardless of which worker ran it or when it
+      finished;
+    - {e per-job failure isolation}: an exception marks that job [Failed]
+      and the rest of the batch continues;
+    - an optional {e wall-clock budget}: jobs not started when it expires
+      are marked [Cancelled] (running jobs are never interrupted);
+    - {!Socy_obs} aggregation: [batch.jobs*] counters, [batch.domains] and
+      [batch.speedup] gauges, one [batch.worker-k] span per worker.
+
+    The submitting domain participates as worker 0, so
+    [parallel_map ~domains:1] spawns no domain at all and degenerates to a
+    plain sequential loop in submission order — the reference execution
+    that parallel runs are tested against, bit for bit. *)
+
+(** Outcome of one job, in submission order. *)
+type 'a outcome =
+  | Done of 'a
+  | Failed of exn  (** the job raised; the batch continued *)
+  | Cancelled  (** the wall-clock budget expired before the job started *)
+
+(** [Domain.recommended_domain_count ()] — the default worker count. *)
+val default_domains : unit -> int
+
+(** [parallel_map f xs] maps [f] over [xs] on [domains] workers
+    (default {!default_domains}, clamped to the job count) and returns the
+    outcomes in submission order. [chunk_size] (default 1) is the number of
+    consecutive jobs a worker claims per queue round-trip — leave it at 1
+    for heavyweight jobs, raise it for many tiny ones. [wall_budget] is the
+    batch's wall-clock budget in seconds.
+
+    [f] must not share mutable state across jobs; everything it mutates
+    must be created inside the call (the pipeline does this naturally —
+    each run builds its own DD managers). *)
+val parallel_map :
+  ?domains:int ->
+  ?wall_budget:float ->
+  ?chunk_size:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b outcome array

@@ -12,7 +12,9 @@ let yield_gain ?(config = Pipeline.default_config) ?names fault_tree model =
   let base =
     match Pipeline.run ~config fault_tree model with
     | Ok r -> r.Pipeline.yield_lower
-    | Error f -> invalid_arg ("Importance.yield_gain: base run failed at " ^ f.Pipeline.stage)
+    | Error f ->
+        invalid_arg
+          ("Importance.yield_gain: base run failed — " ^ Pipeline.failure_to_string f)
   in
   let num_components = Model.num_components model in
   let name i =

@@ -30,6 +30,26 @@ let default_config =
     cpu_limit = None;
   }
 
+module Config = struct
+  type t = config
+
+  let default = default_config
+
+  let make ?(epsilon = default.epsilon) ?(mv_order = default.mv_order)
+      ?(bit_order = default.bit_order) ?(node_limit = default.node_limit)
+      ?(gc_threshold = default.gc_threshold) ?(cache_bits = default.cache_bits)
+      ?cpu_limit () =
+    { epsilon; mv_order; bit_order; node_limit; gc_threshold; cache_bits; cpu_limit }
+
+  let with_epsilon epsilon c = { c with epsilon }
+  let with_mv_order mv_order c = { c with mv_order }
+  let with_bit_order bit_order c = { c with bit_order }
+  let with_node_limit node_limit c = { c with node_limit }
+  let with_gc_threshold gc_threshold c = { c with gc_threshold }
+  let with_cache_bits cache_bits c = { c with cache_bits }
+  let with_cpu_limit cpu_limit c = { c with cpu_limit }
+end
+
 type report = {
   yield_lower : float;
   yield_upper : float;
@@ -52,7 +72,22 @@ type report = {
   gc_reclaimed : int;
 }
 
-type failure = { stage : string; peak_at_failure : int }
+type failure =
+  | Node_budget of { stage : string; peak : int }
+  | Cpu_budget of { stage : string; elapsed : float }
+  | Batch_cancelled
+
+let failure_stage = function
+  | Node_budget { stage; _ } | Cpu_budget { stage; _ } -> stage
+  | Batch_cancelled -> "batch"
+
+let failure_to_string = function
+  | Node_budget { stage; peak } ->
+      Printf.sprintf "%s: node budget exhausted (peak %s nodes)" stage
+        (Socy_util.Text_table.group_thousands peak)
+  | Cpu_budget { stage; elapsed } ->
+      Printf.sprintf "%s: cpu budget exhausted after %.1f s" stage elapsed
+  | Batch_cancelled -> "batch: wall-clock budget exhausted before the job ran"
 
 (* The conversion layout induced by a problem and an ordering scheme:
    BDD level -> group position, positions -> contiguous level blocks, and
@@ -129,6 +164,7 @@ module Artifacts = struct
       staged stages "order" (fun () ->
           Scheme.make problem ~mv:config.mv_order ~bits:config.bit_order)
     in
+    let cpu0 = Sys.time () in
     let bdd =
       B.create ~node_limit:config.node_limit ?cpu_limit:config.cpu_limit
         ~cache_bits:config.cache_bits
@@ -142,9 +178,9 @@ module Artifacts = struct
             ~var_of_input:(fun i -> scheme.Scheme.level_of_input.(i)))
     with
     | exception B.Node_limit_exceeded ->
-        Error { stage = "coded-robdd"; peak_at_failure = B.peak_alive bdd }
+        Error (Node_budget { stage = "coded-robdd"; peak = B.peak_alive bdd })
     | exception B.Cpu_limit_exceeded ->
-        Error { stage = "coded-robdd (cpu budget)"; peak_at_failure = B.peak_alive bdd }
+        Error (Cpu_budget { stage = "coded-robdd"; elapsed = Sys.time () -. cpu0 })
     | bdd_root, bdd_stats ->
         let mdd = Mdd.create (mdd_specs problem scheme) in
         let mdd_root =

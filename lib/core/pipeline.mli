@@ -23,6 +23,12 @@
     gauges); the report fields themselves are always populated and cost a
     handful of clock reads per run. *)
 
+(** Run configuration, exposed as a plain-data record so callers can
+    pattern-match, print, or serialize it. To {e construct} one, prefer
+    {!Config.make} / the [Config.with_*] setters over record update
+    syntax — the record has grown enough fields that
+    [{ default_config with ... }] at every call site is noise, and the
+    builder keeps call sites stable when the record grows again. *)
 type config = {
   epsilon : float;  (** absolute yield error bound ε (default 1e-3) *)
   mv_order : Socy_order.Scheme.mv_order;  (** default: weight ("w") *)
@@ -36,6 +42,41 @@ type config = {
 }
 
 val default_config : config
+
+(** Builder view of {!type-config}: every field optional, defaulting to
+    {!default_config}; [with_*] setters compose with [|>]:
+
+    {[
+      Pipeline.Config.make ~epsilon:1e-4 ~mv_order:Scheme.Vw ()
+      Pipeline.Config.(default |> with_node_limit 8_000_000)
+    ]} *)
+module Config : sig
+  type t = config
+
+  val default : t
+  (** [= default_config]. *)
+
+  val make :
+    ?epsilon:float ->
+    ?mv_order:Socy_order.Scheme.mv_order ->
+    ?bit_order:Socy_order.Scheme.bit_order ->
+    ?node_limit:int ->
+    ?gc_threshold:int ->
+    ?cache_bits:int ->
+    ?cpu_limit:float ->
+    unit ->
+    t
+
+  val with_epsilon : float -> t -> t
+  val with_mv_order : Socy_order.Scheme.mv_order -> t -> t
+  val with_bit_order : Socy_order.Scheme.bit_order -> t -> t
+  val with_node_limit : int -> t -> t
+  val with_gc_threshold : int -> t -> t
+  val with_cache_bits : int -> t -> t
+
+  val with_cpu_limit : float option -> t -> t
+  (** Takes the option so a budget can also be cleared. *)
+end
 
 type report = {
   yield_lower : float;  (** Y_M — the pessimistic estimate *)
@@ -65,10 +106,30 @@ type report = {
   gc_reclaimed : int;  (** dead nodes reclaimed by those collections *)
 }
 
-type failure = {
-  stage : string;  (** which phase hit the node limit *)
-  peak_at_failure : int;
-}
+(** Why a run produced no report. One type shared by {!run}, {!run_lethal}
+    and [Socy_batch.Pipeline.run_batch], so consumers match on the
+    constructor instead of sniffing a stage string:
+
+    - [Node_budget]: a node creation would have pushed the live-node count
+      past [config.node_limit] — the paper's "—" (excessive memory) entries.
+      [peak] is the live-node peak at the moment the budget fired.
+    - [Cpu_budget]: the [config.cpu_limit] CPU-seconds budget ran out;
+      [elapsed] is the CPU time the stage had consumed when it was cut off
+      (under a parallel batch this is process CPU, so sibling jobs on other
+      domains consume the budget too).
+    - [Batch_cancelled]: the job never ran — its batch's wall-clock budget
+      expired first (only produced by [run_batch]). *)
+type failure =
+  | Node_budget of { stage : string; peak : int }
+  | Cpu_budget of { stage : string; elapsed : float }
+  | Batch_cancelled
+
+(** The pipeline phase that failed (["batch"] for [Batch_cancelled]). *)
+val failure_stage : failure -> string
+
+(** One-line rendering for CLIs and logs, e.g.
+    ["coded-robdd: node budget exhausted (peak 15,000,123 nodes)"]. *)
+val failure_to_string : failure -> string
 
 (** [run ?config fault_tree model] evaluates the yield. [Error] reproduces
     the paper's "—" entries (node budget exhausted). *)

@@ -28,7 +28,7 @@ let uniform_lethal c ~q =
 let run_exn ?config ft lethal =
   match P.run_lethal ?config ft lethal with
   | Ok r -> r
-  | Error f -> Alcotest.failf "pipeline failed at %s" f.P.stage
+  | Error f -> Alcotest.failf "pipeline failed — %s" (P.failure_to_string f)
 
 (* ------------------------------------------------------------------ *)
 (* The paper's Fig. 2 worked example                                   *)
@@ -41,7 +41,7 @@ let fig2_lethal () = uniform_lethal 3 ~q:[| 0.4; 0.3; 0.2; 0.1 |]
 let fig2_config =
   (* epsilon chosen so that M = 2 exactly as in the figure; ordering
      v1, v2, w as in the figure *)
-  { P.default_config with P.epsilon = 0.11; P.mv_order = Scheme.Vw }
+  P.Config.make ~epsilon:0.11 ~mv_order:Scheme.Vw ()
 
 let test_fig2_romdd_structure () =
   match P.Artifacts.build ~config:fig2_config (fig2_fault_tree ()) (fig2_lethal ()) with
@@ -111,7 +111,7 @@ let test_series_system_yield_is_q0 () =
   let ft = Parse.fault_tree ~name:"series" "x0 | x1 | x2 | x3" in
   let q = [| 0.55; 0.25; 0.12; 0.08 |] in
   let lethal = uniform_lethal 4 ~q in
-  let config = { P.default_config with P.epsilon = 1e-9 } in
+  let config = P.Config.make ~epsilon:1e-9 () in
   let r = run_exn ~config ft lethal in
   check_float ~eps:1e-12 "series yield" q.(0) r.P.yield_lower
 
@@ -131,7 +131,7 @@ let test_parallel_pair_closed_form () =
     in
     (q.(0) *. y 0) +. (q.(1) *. y 1) +. (q.(2) *. y 2) +. (q.(3) *. y 3)
   in
-  let config = { P.default_config with P.epsilon = 1e-12 } in
+  let config = P.Config.make ~epsilon:1e-12 () in
   let r = run_exn ~config ft lethal in
   Alcotest.(check int) "M covers support" 3 r.P.m;
   check_float ~eps:1e-12 "parallel yield" expected r.P.yield_lower
@@ -147,7 +147,7 @@ let test_k_of_n_vs_brute () =
       p_lethal = 0.2;
     }
   in
-  let config = { P.default_config with P.epsilon = 1e-12 } in
+  let config = P.Config.make ~epsilon:1e-12 () in
   let r = run_exn ~config ft lethal in
   let brute_y, _ = Brute.yield_m ft lethal ~m:r.P.m in
   check_float ~eps:1e-12 "k-of-n vs brute" brute_y r.P.yield_lower
@@ -178,7 +178,7 @@ let test_pipeline_vs_brute_assorted () =
     (fun (name, src, c) ->
       let ft = Parse.fault_tree ~name ~num_inputs:c src in
       let lethal = lethal_for c in
-      let config = { P.default_config with P.epsilon = 1e-12 } in
+      let config = P.Config.make ~epsilon:1e-12 () in
       let r = run_exn ~config ft lethal in
       let brute_y, _ = Brute.yield_m ft lethal ~m:r.P.m in
       check_float ~eps:1e-10 name brute_y r.P.yield_lower)
@@ -189,7 +189,7 @@ let test_pipeline_vs_direct_assorted () =
     (fun (name, src, c) ->
       let ft = Parse.fault_tree ~name ~num_inputs:c src in
       let lethal = lethal_for c in
-      let config = { P.default_config with P.epsilon = 1e-6 } in
+      let config = P.Config.make ~epsilon:1e-6 () in
       let r = run_exn ~config ft lethal in
       let direct_y, _, _ =
         Direct.evaluate ~epsilon:1e-6 ft lethal ~mv:P.default_config.P.mv_order
@@ -203,11 +203,11 @@ let test_yield_invariant_under_ordering () =
   let ft = Parse.fault_tree ~name:"inv" ~num_inputs:4 "x0 & x1 | x2 & x3" in
   let lethal = lethal_for 4 in
   let reference =
-    (run_exn ~config:{ P.default_config with P.epsilon = 1e-9 } ft lethal).P.yield_lower
+    (run_exn ~config:(P.Config.make ~epsilon:1e-9 ()) ft lethal).P.yield_lower
   in
   List.iter
     (fun mv ->
-      let config = { P.default_config with P.epsilon = 1e-9; P.mv_order = mv } in
+      let config = P.Config.make ~epsilon:1e-9 ~mv_order:mv () in
       let r = run_exn ~config ft lethal in
       check_float ~eps:1e-12
         (Printf.sprintf "ordering %s" (Scheme.mv_order_name mv))
@@ -215,7 +215,7 @@ let test_yield_invariant_under_ordering () =
     Scheme.table2_mv_orders;
   List.iter
     (fun bits ->
-      let config = { P.default_config with P.epsilon = 1e-9; P.bit_order = bits; P.mv_order = Scheme.Wv } in
+      let config = P.Config.make ~epsilon:1e-9 ~bit_order:bits ~mv_order:Scheme.Wv () in
       let r = run_exn ~config ft lethal in
       check_float ~eps:1e-12 "bit order" reference r.P.yield_lower)
     [ Scheme.Ml; Scheme.Lm ]
@@ -223,7 +223,7 @@ let test_yield_invariant_under_ordering () =
 let test_monte_carlo_brackets_pipeline () =
   let ft = Parse.fault_tree ~name:"mc" ~num_inputs:4 "x0 & x1 | x2 & x3" in
   let lethal = lethal_for 4 in
-  let r = run_exn ~config:{ P.default_config with P.epsilon = 1e-9 } ft lethal in
+  let r = run_exn ~config:(P.Config.make ~epsilon:1e-9 ()) ft lethal in
   let mc = Montecarlo.run ~seed:7L ~trials:60_000 ft lethal in
   Alcotest.(check bool) "CI brackets exact yield" true
     (mc.Montecarlo.ci_low <= r.P.yield_upper
@@ -243,7 +243,7 @@ let test_epsilon_bound_honored () =
   let model = Model.create q [| 0.05; 0.03; 0.02 |] in
   List.iter
     (fun epsilon ->
-      let config = { P.default_config with P.epsilon = epsilon } in
+      let config = P.Config.make ~epsilon () in
       match P.run ~config ft model with
       | Error _ -> Alcotest.fail "unexpected failure"
       | Ok r ->
@@ -261,7 +261,7 @@ let test_tighter_epsilon_monotone () =
   let results =
     List.map
       (fun epsilon ->
-        match P.run ~config:{ P.default_config with P.epsilon } ft model with
+        match P.run ~config:(P.Config.make ~epsilon ()) ft model with
         | Ok r -> r
         | Error _ -> Alcotest.fail "unexpected failure")
       [ 0.1; 1e-2; 1e-3 ]
@@ -279,12 +279,13 @@ let test_tighter_epsilon_monotone () =
 let test_node_limit_failure_reported () =
   let row = List.nth (Socy_benchmarks.Suite.table_rows ()) 1 (* MS4, l'=1 *) in
   let ft = row.Socy_benchmarks.Suite.instance.Socy_benchmarks.Suite.circuit in
-  let config = { P.default_config with P.node_limit = 5_000 } in
+  let config = P.Config.make ~node_limit:5_000 () in
   match P.run ~config ft (Socy_benchmarks.Suite.model row) with
   | Ok _ -> Alcotest.fail "expected node-limit failure"
-  | Error f ->
-      Alcotest.(check string) "stage" "coded-robdd" f.P.stage;
-      Alcotest.(check bool) "peak near limit" true (f.P.peak_at_failure >= 5_000)
+  | Error (P.Node_budget { stage; peak }) ->
+      Alcotest.(check string) "stage" "coded-robdd" stage;
+      Alcotest.(check bool) "peak near limit" true (peak >= 5_000)
+  | Error f -> Alcotest.failf "wrong failure: %s" (P.failure_to_string f)
 
 (* ------------------------------------------------------------------ *)
 (* Report fields                                                       *)
@@ -383,7 +384,7 @@ let prop_pipeline_equals_brute =
     (fun src ->
       let ft = Parse.fault_tree ~num_inputs:3 src in
       let lethal = uniform_lethal 3 ~q:[| 0.3; 0.3; 0.2; 0.15; 0.05 |] in
-      let config = { P.default_config with P.epsilon = 1e-12 } in
+      let config = P.Config.make ~epsilon:1e-12 () in
       match P.run_lethal ~config ft lethal with
       | Error _ -> false
       | Ok r ->
@@ -427,7 +428,7 @@ let test_importance_irrelevant_component () =
      change the true yield (the lethal hits on component 0 keep rate
      lambda*P_0), but the two runs truncate at different M, so the measured
      gain is only zero up to the error bound — hence the tight epsilon. *)
-  let config = { P.default_config with P.epsilon = 1e-9 } in
+  let config = P.Config.make ~epsilon:1e-9 () in
   match Socy_core.Importance.yield_gain ~config ft model with
   | [ first; second ] ->
       Alcotest.(check int) "critical component first" 0
@@ -496,7 +497,7 @@ let test_sweep_matches_brute_on_ms2 () =
       (fun e -> Model.truncation lethal ~epsilon:e <= 4)
       [ 1e-4; 1e-3; 1e-2; 0.05; 0.1; 0.3 ]
   in
-  let config = { P.default_config with P.epsilon } in
+  let config = P.Config.make ~epsilon () in
   match P.Artifacts.build ~config ft lethal with
   | Error _ -> Alcotest.fail "artifacts failed"
   | Ok a ->
@@ -511,7 +512,7 @@ let test_sweep_matches_brute_on_ms2 () =
 let test_victim_sensitivities_finite_difference () =
   let ft = Parse.fault_tree ~name:"sens" ~num_inputs:4 "x0 & x1 | x2 & x3" in
   let lethal = lethal_for 4 in
-  let config = { P.default_config with P.epsilon = 1e-6 } in
+  let config = P.Config.make ~epsilon:1e-6 () in
   match P.Artifacts.build ~config ft lethal with
   | Error _ -> Alcotest.fail "artifacts failed"
   | Ok a ->
