@@ -24,6 +24,9 @@ module Mdd = Socy_mdd.Mdd
 module Model = Socy_defects.Model
 module Text_table = Socy_util.Text_table
 module Json = Socy_obs.Json
+module Obs = Socy_obs.Obs
+module Trace = Socy_obs.Trace
+module Memory = Socy_obs.Memory
 
 let pf = Printf.printf
 
@@ -61,6 +64,28 @@ let record_report ~section ~label ~wall_s (r : P.report) =
            else float_of_int r.P.ite_cache_hits /. float_of_int ite_calls) );
       ("and_or_fast_hits", Json.Int r.P.and_or_fast_hits);
       ("gc_runs", Json.Int r.P.gc_runs);
+      (* OCaml-GC totals over the pipeline stages; gc_* fields are
+         informational and exempt from compare.exe's 25% gate *)
+      ( "gc_minor_collections",
+        Json.Int
+          (List.fold_left
+             (fun acc (_, d) -> acc + d.Memory.minor_collections)
+             0 r.P.stage_gc) );
+      ( "gc_major_collections",
+        Json.Int
+          (List.fold_left
+             (fun acc (_, d) -> acc + d.Memory.major_collections)
+             0 r.P.stage_gc) );
+      ( "gc_promoted_words",
+        Json.Float
+          (List.fold_left
+             (fun acc (_, d) -> acc +. d.Memory.promoted_words)
+             0.0 r.P.stage_gc) );
+      ( "gc_top_heap_words",
+        Json.Int
+          (List.fold_left
+             (fun acc (_, d) -> max acc d.Memory.top_heap_words)
+             0 r.P.stage_gc) );
     ]
 
 let write_records ~path ~mode ~wall_s =
@@ -612,6 +637,19 @@ let () =
       | Some path -> Some path
       | None -> Some ("BENCH_" ^ mode_name ^ ".json")
   in
+  (* --trace=FILE turns the observability layer on for the whole bench run
+     and flushes the timeline at the end. Leaving it off keeps the bench
+     identical to the gated baseline (tracing disabled is ~free, but the
+     enabled flag also switches the Obs aggregates on). *)
+  let trace_path =
+    List.find_map
+      (fun a ->
+        if String.length a > 8 && String.sub a 0 8 = "--trace=" then
+          Some (String.sub a 8 (String.length a - 8))
+        else None)
+      args
+  in
+  if trace_path <> None then Obs.set_enabled true;
   let wanted =
     List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
   in
@@ -628,4 +666,11 @@ let () =
     wanted;
   let total = wall () -. t0 in
   Option.iter (fun path -> write_records ~path ~mode:mode_name ~wall_s:total) json_path;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Json.to_channel oc (Trace.to_json ());
+      close_out oc;
+      pf "wrote %d trace events to %s\n" (Trace.event_count ()) path)
+    trace_path;
   pf "total wall time: %.1f s\n" total

@@ -4,6 +4,7 @@
    Subcommands:
      eval    evaluate the yield of a fault tree or built-in benchmark
      sweep   evaluate a grid of runs in parallel across domains
+     report  pretty-print or diff metrics/trace JSON files
      mc      Monte Carlo baseline estimate
      orders  compare variable orderings on one instance
      list    list the built-in benchmark instances
@@ -22,6 +23,7 @@ module Text_table = Socy_util.Text_table
 module Obs = Socy_obs.Obs
 module Sink = Socy_obs.Sink
 module Json = Socy_obs.Json
+module Trace = Socy_obs.Trace
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -113,6 +115,16 @@ let metrics_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON timeline of the run to $(docv) \
+     (loadable in Perfetto or chrome://tracing): one row per worker \
+     domain with pipeline-stage and batch-job spans, engine GC/resize \
+     instants. Enables the observability layer for the run, like \
+     --metrics."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 (* Resolve the (fault tree, model) pair from the arguments. *)
 let resolve ~fault_tree ~benchmark ~lambda ~alpha ~p_lethal =
   match (fault_tree, benchmark) with
@@ -175,6 +187,11 @@ let report_json ~source ~epsilon ~mv ~bits (r : P.report) =
           ] );
       ( "stage_times_s",
         Json.Obj (List.map (fun (k, s) -> (k, Json.Float s)) r.P.stage_times) );
+      ( "stage_gc",
+        Json.Obj
+          (List.map
+             (fun (k, d) -> (k, Socy_obs.Memory.delta_to_json d))
+             r.P.stage_gc) );
       ( "engine",
         Json.Obj
           [
@@ -189,15 +206,45 @@ let report_json ~source ~epsilon ~mv ~bits (r : P.report) =
       ("metrics", Sink.snapshot_to_json (Obs.snapshot ()));
     ]
 
-let with_metrics_channel out f =
+(* Create the missing ancestors of an output path, so --metrics-out and
+   --trace can point straight into a fresh results directory. *)
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let with_out_file ~what out f =
   match out with
   | None -> f stdout
-  | Some path -> (
-      match open_out path with
-      | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
-      | exception Sys_error msg ->
-          Printf.eprintf "socyield: cannot write metrics: %s\n" msg;
-          exit 1)
+  | Some path ->
+      let oc =
+        try
+          mkdir_p (Filename.dirname path);
+          open_out path
+        with
+        | Sys_error msg ->
+            Printf.eprintf "socyield: cannot write %s: %s\n" what msg;
+            exit 1
+        | Unix.Unix_error (e, _, at) ->
+            Printf.eprintf "socyield: cannot write %s %s: %s (%s)\n" what path
+              (Unix.error_message e) at;
+            exit 1
+      in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let with_metrics_channel out f = with_out_file ~what:"metrics" out f
+
+let write_trace out =
+  match out with
+  | None -> ()
+  | Some _ ->
+      with_out_file ~what:"trace" out (fun oc -> Json.to_channel oc (Trace.to_json ()));
+      let dropped = Trace.dropped_count () in
+      if dropped > 0 then
+        Printf.eprintf
+          "socyield: trace buffer overflow — %d event(s) dropped (per-domain cap %d)\n"
+          dropped Trace.capacity
 
 (* ------------------------------------------------------------------ *)
 (* eval                                                                *)
@@ -205,13 +252,13 @@ let with_metrics_channel out f =
 
 let eval_cmd =
   let run fault_tree benchmark lambda alpha p_lethal epsilon node_limit mv bits
-      metrics metrics_out =
+      metrics metrics_out trace_out =
     match resolve ~fault_tree ~benchmark ~lambda ~alpha ~p_lethal with
     | Error msg ->
         prerr_endline msg;
         exit 2
     | Ok (circuit, model) -> (
-        if metrics <> None then Obs.set_enabled true;
+        if metrics <> None || trace_out <> None then Obs.set_enabled true;
         let config =
           P.Config.make ~epsilon ~node_limit ~mv_order:mv ~bit_order:bits ()
         in
@@ -245,6 +292,9 @@ let eval_cmd =
                          | P.Batch_cancelled ->
                              [ ("kind", Json.String "batch-cancelled") ])))
             | Some `Pretty | None -> ());
+            (* A failed run's timeline is exactly what the budget post-mortem
+               needs, so the trace is written on this path too. *)
+            write_trace trace_out;
             Printf.eprintf "FAILED — %s\n" (P.failure_to_string f);
             exit 1
         | Ok r ->
@@ -277,13 +327,22 @@ let eval_cmd =
                     List.iter
                       (fun (k, s) -> Printf.fprintf oc "  %-14s %9.4f s\n" k s)
                       r.P.stage_times;
-                    (Sink.pretty oc).Sink.emit ~label:source (Obs.snapshot ()))))
+                    Printf.fprintf oc "stage GC (minor/major collections, MB promoted):\n";
+                    List.iter
+                      (fun (k, (d : Socy_obs.Memory.gc_delta)) ->
+                        Printf.fprintf oc "  %-14s %5d / %-3d  %8.2f MB\n" k
+                          d.Socy_obs.Memory.minor_collections
+                          d.Socy_obs.Memory.major_collections
+                          (d.Socy_obs.Memory.promoted_words *. 8.0 /. 1048576.0))
+                      r.P.stage_gc;
+                    (Sink.pretty oc).Sink.emit ~label:source (Obs.snapshot ())));
+            write_trace trace_out)
   in
   let term =
     Term.(
       const run $ fault_tree_arg $ benchmark_arg $ lambda_arg $ alpha_arg
       $ p_lethal_arg $ epsilon_arg $ node_limit_arg $ mv_order_arg $ bit_order_arg
-      $ metrics_arg $ metrics_out_arg)
+      $ metrics_arg $ metrics_out_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate the yield of a fault-tolerant system-on-chip")
@@ -360,9 +419,17 @@ let sweep_cmd =
     let doc = "Write the sweep output to $(docv) instead of standard output." in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
   in
+  let progress_arg =
+    let doc =
+      "Print a live progress line to standard error as grid points finish \
+       (updated in place on a terminal, one line per job otherwise)."
+    in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
   let run fault_tree benchmarks lambdas epsilons mvs bits alpha p_lethal node_limit
-      domains wall_budget check_seq output out metrics metrics_out =
-    if metrics <> None then Obs.set_enabled true;
+      domains wall_budget check_seq output out metrics metrics_out trace_out
+      progress =
+    if metrics <> None || trace_out <> None then Obs.set_enabled true;
     let sources =
       match (fault_tree, benchmarks) with
       | Some _, _ :: _ ->
@@ -427,8 +494,26 @@ let sweep_cmd =
            sources)
     in
     let domains = if domains <= 0 then Pool.default_domains () else domains in
+    (* The callback runs on whichever worker domain finished the job; the
+       mutex keeps concurrent completions from interleaving one line. *)
+    let progress_cb =
+      if not progress then None
+      else begin
+        let lock = Mutex.create () in
+        let tty = Unix.isatty Unix.stderr in
+        Some
+          (fun ~completed ~total ~label ->
+            Mutex.lock lock;
+            if tty then begin
+              Printf.eprintf "\r\027[2K[%d/%d] %s%!" completed total label;
+              if completed = total then prerr_newline ()
+            end
+            else Printf.eprintf "[%d/%d] %s\n%!" completed total label;
+            Mutex.unlock lock)
+      end
+    in
     let wall = Unix.gettimeofday () in
-    let results = P.run_batch ~domains ?wall_budget jobs in
+    let results = P.run_batch ~domains ?wall_budget ?progress:progress_cb jobs in
     let wall_s = Unix.gettimeofday () -. wall in
     let seq =
       if not check_seq then None
@@ -560,6 +645,7 @@ let sweep_cmd =
     | Some `Pretty ->
         with_metrics_channel metrics_out (fun oc ->
             (Sink.pretty oc).Sink.emit ~label:"sweep" (Obs.snapshot ())));
+    write_trace trace_out;
     if check_seq && (drift_max > 1e-12 || status_mismatches > 0) then begin
       Printf.eprintf
         "sweep: parallel run diverged from sequential (max |dY| = %.3g, %d \
@@ -573,13 +659,160 @@ let sweep_cmd =
       const run $ fault_tree_arg $ benchmarks_arg $ lambdas_arg $ epsilons_arg
       $ mv_orders_arg $ bit_order_arg $ alpha_arg $ p_lethal_arg $ node_limit_arg
       $ domains_arg $ wall_budget_arg $ check_seq_arg $ output_arg $ out_arg
-      $ metrics_arg $ metrics_out_arg)
+      $ metrics_arg $ metrics_out_arg $ trace_arg $ progress_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Evaluate a grid of (benchmark x lambda x epsilon x ordering) runs in \
           parallel across domains (cf. Tables 2-4 and the yield curves)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Both --metrics-out and --trace files reduce to (probe path, number)
+   rows: a metrics document by flattening its numeric leaves, a trace
+   document by aggregating its events per name (count + summed B/E span
+   time). The same table then serves pretty-printing one file and diffing
+   two — the human-readable sibling of bench/compare.exe. *)
+
+let read_json path =
+  let contents =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "socyield: %s\n" msg;
+      exit 2
+  in
+  try Json.of_string contents
+  with Json.Parse_error msg ->
+    Printf.eprintf "socyield: %s: %s\n" path msg;
+    exit 2
+
+let flatten_numeric json =
+  let rows = ref [] in
+  let rec go path v =
+    match v with
+    | Json.Int n -> rows := (path, float_of_int n) :: !rows
+    | Json.Float f -> rows := (path, f) :: !rows
+    | Json.Obj fields ->
+        List.iter
+          (fun (k, v) -> go (if path = "" then k else path ^ "." ^ k) v)
+          fields
+    | Json.List l -> List.iteri (fun i v -> go (Printf.sprintf "%s[%d]" path i) v) l
+    | Json.Null | Json.Bool _ | Json.String _ -> ()
+  in
+  go "" json;
+  List.rev !rows
+
+let trace_rows events =
+  let counts : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let totals : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  (* One begin/end stack per tid: events of one domain are timestamp-ordered
+     in the file, so a matching E closes the innermost open B. *)
+  let stacks : (float, (string * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let bump tbl k v =
+    Hashtbl.replace tbl k (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl k))
+  in
+  List.iter
+    (fun ev ->
+      let str k =
+        match Json.member k ev with Some (Json.String s) -> Some s | _ -> None
+      in
+      let num k = Option.bind (Json.member k ev) Json.to_float in
+      match (str "ph", str "name") with
+      | Some "M", _ | None, _ | _, None -> ()
+      | Some ph, Some name -> (
+          bump counts name 1.0;
+          let tid = Option.value ~default:0.0 (num "tid") in
+          let ts = Option.value ~default:0.0 (num "ts") in
+          let stack =
+            match Hashtbl.find_opt stacks tid with
+            | Some s -> s
+            | None ->
+                let s = ref [] in
+                Hashtbl.add stacks tid s;
+                s
+          in
+          match ph with
+          | "B" -> stack := (name, ts) :: !stack
+          | "E" -> (
+              match !stack with
+              | (n, t0) :: rest ->
+                  stack := rest;
+                  bump totals n (ts -. t0)
+              | [] -> ())
+          | _ -> ()))
+    events;
+  let rows = ref [] in
+  Hashtbl.iter (fun k v -> rows := ("trace." ^ k ^ ".events", v) :: !rows) counts;
+  Hashtbl.iter
+    (fun k us -> rows := ("trace." ^ k ^ ".total_ms", us /. 1e3) :: !rows)
+    totals;
+  List.sort compare !rows
+
+let rows_of_json json =
+  match Json.member "traceEvents" json with
+  | Some (Json.List evs) -> trace_rows evs
+  | _ -> flatten_numeric json
+
+let report_cmd =
+  let file_a =
+    let doc = "Metrics (--metrics-out) or trace (--trace) JSON file." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let file_b =
+    let doc =
+      "Optional second file: print a per-probe delta table $(docv) − FILE \
+       instead of the plain listing."
+    in
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"FILE2" ~doc)
+  in
+  let cell = function Some v -> Printf.sprintf "%.6g" v | None -> "-" in
+  let run file_a file_b =
+    let rows_a = rows_of_json (read_json file_a) in
+    match file_b with
+    | None ->
+        let t = Text_table.create ~aligns:[ Left; Right ] [ "probe"; "value" ] in
+        List.iter (fun (k, v) -> Text_table.add_row t [ k; cell (Some v) ]) rows_a;
+        print_string (Text_table.render t)
+    | Some fb ->
+        let rows_b = rows_of_json (read_json fb) in
+        let tbl_a = Hashtbl.create 64 and tbl_b = Hashtbl.create 64 in
+        List.iter (fun (k, v) -> Hashtbl.replace tbl_a k v) rows_a;
+        List.iter (fun (k, v) -> Hashtbl.replace tbl_b k v) rows_b;
+        let keys =
+          List.map fst rows_a
+          @ List.filter (fun k -> not (Hashtbl.mem tbl_a k)) (List.map fst rows_b)
+        in
+        let t =
+          Text_table.create
+            ~aligns:[ Left; Right; Right; Right; Right ]
+            [ "probe"; "old"; "new"; "delta"; "delta%" ]
+        in
+        List.iter
+          (fun k ->
+            let a = Hashtbl.find_opt tbl_a k and b = Hashtbl.find_opt tbl_b k in
+            let delta, pct =
+              match (a, b) with
+              | Some a, Some b ->
+                  ( Printf.sprintf "%+.6g" (b -. a),
+                    if a <> 0.0 then
+                      Printf.sprintf "%+.1f%%" (100.0 *. (b -. a) /. a)
+                    else "-" )
+              | _ -> ("-", "-")
+            in
+            Text_table.add_row t [ k; cell a; cell b; delta; pct ])
+          keys;
+        print_string (Text_table.render t)
+  in
+  let term = Term.(const run $ file_a $ file_b) in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Pretty-print a metrics/trace JSON file, or diff two as a per-probe \
+          delta table")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -772,4 +1005,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ eval_cmd; sweep_cmd; mc_cmd; orders_cmd; list_cmd; dot_cmd; cutsets_cmd ]))
+          [
+            eval_cmd; sweep_cmd; report_cmd; mc_cmd; orders_cmd; list_cmd;
+            dot_cmd; cutsets_cmd;
+          ]))

@@ -1,4 +1,5 @@
 module Obs = Socy_obs.Obs
+module Trace = Socy_obs.Trace
 include Socy_core.Pipeline
 
 type job = {
@@ -20,11 +21,25 @@ let ok_counter = Obs.counter "batch.jobs_ok"
 let failed_counter = Obs.counter "batch.jobs_failed"
 let cancelled_counter = Obs.counter "batch.jobs_cancelled"
 
-let run_batch ?domains ?wall_budget jobs =
+let run_batch ?domains ?wall_budget ?progress jobs =
   let arr = Array.of_list jobs in
+  (* Progress is driven from the pool's [on_done] hook: a lock-free
+     completion count bumped on the worker domain, handed to the caller's
+     callback together with the finished job's label. *)
+  let on_done =
+    match progress with
+    | None -> None
+    | Some report ->
+        let total = Array.length arr in
+        let completed = Atomic.make 0 in
+        Some
+          (fun i _outcome ->
+            let completed = 1 + Atomic.fetch_and_add completed 1 in
+            report ~completed ~total ~label:arr.(i).label)
+  in
   let outcomes =
-    Obs.with_span "batch" (fun () ->
-        Pool.parallel_map ?domains ?wall_budget
+    Trace.with_span "batch" (fun () ->
+        Pool.parallel_map ?domains ?wall_budget ?on_done
           (fun j -> run_lethal ~config:j.config j.circuit j.lethal)
           arr)
   in

@@ -70,14 +70,23 @@ val job_of_model :
     already-running jobs finish normally. Any other exception escaping a
     job is re-raised on the submitting domain after all workers joined.
 
+    [progress ~completed ~total ~label] is called after each job settles
+    ([label] is that job's label, [completed] the number settled so far) —
+    {e on the worker domain that ran the job}, concurrently with other
+    workers; keep it fast and thread-safe (the CLI prints one status line
+    under a mutex). Omitted = no callback, zero overhead.
+
     Observability: workers run under [batch.worker-k] spans, the engines'
     counters from all domains merge into the process-wide registry as
     usual, and the batch publishes [batch.jobs]/[batch.jobs_ok]/
     [batch.jobs_failed]/[batch.jobs_cancelled] counters plus the
     [batch.domains] and [batch.speedup] (Σ per-job busy seconds / batch
-    wall seconds) gauges. *)
+    wall seconds) gauges. With {!Socy_obs.Obs.enabled} set, the whole batch
+    is additionally recorded on the {!Socy_obs.Trace} timeline — one row
+    per domain with worker/job/dequeue spans (see {!Pool.parallel_map}). *)
 val run_batch :
   ?domains:int ->
   ?wall_budget:float ->
+  ?progress:(completed:int -> total:int -> label:string -> unit) ->
   job list ->
   (report, failure) result list

@@ -1,4 +1,6 @@
 module Obs = Socy_obs.Obs
+module Trace = Socy_obs.Trace
+module Json = Socy_obs.Json
 
 type 'a outcome = Done of 'a | Failed of exn | Cancelled
 
@@ -54,7 +56,7 @@ let jobs_counter = Obs.counter "batch.jobs"
 let domains_gauge = Obs.gauge "batch.domains"
 let speedup_gauge = Obs.gauge "batch.speedup"
 
-let parallel_map ?domains ?wall_budget ?(chunk_size = 1) f xs =
+let parallel_map ?domains ?wall_budget ?(chunk_size = 1) ?on_done f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
@@ -79,19 +81,30 @@ let parallel_map ?domains ?wall_budget ?(chunk_size = 1) f xs =
        speedup gauge is Σ busy / wall. Each worker owns its own slot. *)
     let busy = Array.make workers 0.0 in
     let run_one i =
-      if Obs.now () > deadline then results.(i) <- Cancelled
-      else
-        match f xs.(i) with
-        | y -> results.(i) <- Done y
-        | exception e -> results.(i) <- Failed e
+      (if Obs.now () > deadline then begin
+         results.(i) <- Cancelled;
+         Trace.instant "batch.cancelled" ~args:[ ("index", Json.Int i) ]
+       end
+       else
+         Trace.with_span "batch.job"
+           ~args:[ ("index", Json.Int i) ]
+           (fun () ->
+             match f xs.(i) with
+             | y -> results.(i) <- Done y
+             | exception e -> results.(i) <- Failed e));
+      match on_done with None -> () | Some g -> g i results.(i)
     in
     let q = queue_create () in
     let worker w () =
-      Obs.with_span
+      (* [Trace.with_span] = timeline event pair on this worker's domain
+         row + the existing batch/batch.worker-k Obs aggregate. The
+         dequeue span makes idle gaps (waiting on the condition variable)
+         visible as time not spent inside batch.job. *)
+      Trace.with_span
         (Printf.sprintf "batch.worker-%d" w)
         (fun () ->
           let rec loop () =
-            match pop q with
+            match Trace.with_span "batch.dequeue" (fun () -> pop q) with
             | None -> ()
             | Some (lo, hi) ->
                 let s0 = Obs.now () in
@@ -99,6 +112,8 @@ let parallel_map ?domains ?wall_budget ?(chunk_size = 1) f xs =
                   run_one i
                 done;
                 busy.(w) <- busy.(w) +. (Obs.now () -. s0);
+                Trace.instant "batch.chunk-done"
+                  ~args:[ ("lo", Json.Int lo); ("hi", Json.Int hi) ];
                 loop ()
           in
           loop ())

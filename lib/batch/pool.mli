@@ -16,7 +16,11 @@
     - an optional {e wall-clock budget}: jobs not started when it expires
       are marked [Cancelled] (running jobs are never interrupted);
     - {!Socy_obs} aggregation: [batch.jobs*] counters, [batch.domains] and
-      [batch.speedup] gauges, one [batch.worker-k] span per worker.
+      [batch.speedup] gauges, one [batch.worker-k] span per worker — and,
+      through {!Socy_obs.Trace}, a per-domain timeline: worker lifetime
+      spans, [batch.dequeue] spans (idle gaps waiting for work),
+      per-[batch.job] spans carrying the job index, [batch.chunk-done] and
+      [batch.cancelled] instants.
 
     The submitting domain participates as worker 0, so
     [parallel_map ~domains:1] spawns no domain at all and degenerates to a
@@ -39,6 +43,11 @@ val default_domains : unit -> int
     for heavyweight jobs, raise it for many tiny ones. [wall_budget] is the
     batch's wall-clock budget in seconds.
 
+    [on_done i outcome] is called right after job [i] settles (including
+    [Cancelled] jobs), {e on the worker domain that ran it} — it must be
+    fast and thread-safe (an [Atomic] bump, a line of progress output
+    under a mutex). Exceptions it raises propagate out of that worker.
+
     [f] must not share mutable state across jobs; everything it mutates
     must be created inside the call (the pipeline does this naturally —
     each run builds its own DD managers). *)
@@ -46,6 +55,7 @@ val parallel_map :
   ?domains:int ->
   ?wall_budget:float ->
   ?chunk_size:int ->
+  ?on_done:(int -> 'b outcome -> unit) ->
   ('a -> 'b) ->
   'a array ->
   'b outcome array

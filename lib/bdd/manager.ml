@@ -153,6 +153,9 @@ let high m n =
 (* --- observability ------------------------------------------------------ *)
 
 module Obs = Socy_obs.Obs
+module Trace = Socy_obs.Trace
+module Memory = Socy_obs.Memory
+module Json = Socy_obs.Json
 
 (* Gauges are process-wide; with several managers alive they interleave
    samples, which is the (documented) intended reading: total engine load. *)
@@ -266,6 +269,7 @@ let hash3 a b c =
 let grow_store m =
   let cap = Array.length m.level in
   let ncap = 2 * cap in
+  Trace.instant "bdd.grow" ~args:[ ("slots", Json.Int ncap) ];
   let extend a fill =
     let b = Array.make ncap fill in
     Array.blit a 0 b 0 cap;
@@ -279,6 +283,7 @@ let grow_store m =
 
 let rehash m =
   let nbuckets = 2 * Array.length m.buckets in
+  Trace.instant "bdd.rehash" ~args:[ ("buckets", Json.Int nbuckets) ];
   m.buckets <- Array.make nbuckets (-1);
   m.bucket_mask <- nbuckets - 1;
   for i = 1 to m.used - 1 do
@@ -882,6 +887,7 @@ let collect m =
   (* Rebuild the unique table keeping only referenced slots; freed slots go
      to the free list. The computed cache may point at reclaimed slots, so
      flush it. *)
+  let reclaimed0 = m.reclaimed in
   Array.fill m.buckets 0 (Array.length m.buckets) (-1);
   for i = 1 to m.used - 1 do
     if m.level.(i) >= 0 then
@@ -900,6 +906,12 @@ let collect m =
   m.dead_count <- 0;
   Array.fill m.cache_f 0 (Array.length m.cache_f) (-1);
   m.gc_runs <- m.gc_runs + 1;
+  Trace.instant "bdd.gc"
+    ~args:
+      [
+        ("reclaimed", Json.Int (m.reclaimed - reclaimed0));
+        ("alive", Json.Int m.alive_count);
+      ];
   if Obs.enabled () then sample_gauges m
 
 let alive m = m.alive_count
@@ -936,6 +948,39 @@ let stats (m : t) =
     and_or_fast_hits = m.and_or_fast_hits;
   }
 
+(* Table-occupancy snapshot: walks the unique-table buckets and scans the
+   computed cache — linear in table size, so done only at [publish_obs]
+   checkpoints, never on the hot path. Chains include dead-but-uncollected
+   slots, which is the load the probe sequences actually traverse. *)
+let snapshot_occupancy m =
+  let nb = Array.length m.buckets in
+  let counts = ref (Array.make 8 0) in
+  let bump len =
+    if len >= Array.length !counts then begin
+      let c = Array.make (len + 1) 0 in
+      Array.blit !counts 0 c 0 (Array.length !counts);
+      counts := c
+    end;
+    !counts.(len) <- !counts.(len) + 1
+  in
+  for b = 0 to nb - 1 do
+    let len = ref 0 in
+    let i = ref m.buckets.(b) in
+    while !i >= 0 do
+      len := !len + 1;
+      i := m.next.(!i)
+    done;
+    bump !len
+  done;
+  Memory.record_occupancy ~name:"bdd.unique"
+    ~used:(m.alive_count + m.dead_count)
+    ~capacity:nb;
+  Memory.observe_chain_lengths ~name:"bdd.unique" !counts;
+  let cache_used = ref 0 in
+  Array.iter (fun f -> if f >= 0 then cache_used := !cache_used + 1) m.cache_f;
+  Memory.record_occupancy ~name:"bdd.cache" ~used:!cache_used
+    ~capacity:(Array.length m.cache_f)
+
 let publish_obs (m : t) =
   if Obs.enabled () then begin
     (* Publish only the delta since the last publish for this manager, so
@@ -954,7 +999,8 @@ let publish_obs (m : t) =
     m.pub_and_or_fast_hits <- m.and_or_fast_hits;
     m.pub_gc_runs <- m.gc_runs;
     m.pub_reclaimed <- m.reclaimed;
-    sample_gauges m
+    sample_gauges m;
+    snapshot_occupancy m
   end
 
 let to_dot m n =

@@ -8,6 +8,8 @@ module Scheme = Socy_order.Scheme
 module Model = Socy_defects.Model
 module Distribution = Socy_defects.Distribution
 module Obs = Socy_obs.Obs
+module Trace = Socy_obs.Trace
+module Memory = Socy_obs.Memory
 
 type config = {
   epsilon : float;
@@ -70,6 +72,7 @@ type report = {
   and_or_fast_hits : int;
   gc_runs : int;
   gc_reclaimed : int;
+  stage_gc : (string * Memory.gc_delta) list;
 }
 
 type failure =
@@ -142,19 +145,28 @@ module Artifacts = struct
     lethal : Model.lethal;
     m : int;
     stage_seconds : (string * float) list;
+    stage_gc : (string * Memory.gc_delta) list;
     mutable cond_unusable : float array option;
+    mutable traversal_gc : Memory.gc_delta option;
   }
 
-  (* Wall-clock a pipeline phase: always feeds [stage_seconds] (cheap — one
-     phase, two clock reads), and doubles as an Obs span for the trace. *)
-  let staged stages name f =
+  (* Wall-clock a pipeline phase: always feeds [stage_seconds] and
+     [stage_gc] (cheap — two clock reads, two Gc.quick_stat reads), and
+     doubles as a timeline span + Obs aggregate for the trace. *)
+  let staged stages gcs name f =
     let t0 = Obs.now () in
-    let r = Obs.with_span name f in
+    let s0 = Memory.sample () in
+    let r = Trace.with_span name f in
+    let d = Memory.delta_since s0 in
+    Memory.publish ~stage:name d;
     stages := (name, Obs.now () -. t0) :: !stages;
+    gcs := (name, d) :: !gcs;
     r
 
   let build ?(config = default_config) fault_tree lethal =
     let stages = ref [] in
+    let gcs = ref [] in
+    let staged stages name f = staged stages gcs name f in
     let m =
       staged stages "truncate" (fun () ->
           Model.truncation lethal ~epsilon:config.epsilon)
@@ -200,7 +212,9 @@ module Artifacts = struct
             lethal;
             m;
             stage_seconds = List.rev !stages;
+            stage_gc = List.rev !gcs;
             cond_unusable = None;
+            traversal_gc = None;
           }
 
   let probability_of_level t =
@@ -254,12 +268,15 @@ module Artifacts = struct
     | Some v -> v
     | None ->
         let nk, p = sweep_layout t in
-        let v =
-          Obs.with_span "traversal" (fun () ->
-              Mdd.probability_sweep t.mdd t.mdd_root ~nk ~p)
+        let v, d =
+          Memory.with_gc_delta (fun () ->
+              Trace.with_span "traversal" (fun () ->
+                  Mdd.probability_sweep t.mdd t.mdd_root ~nk ~p))
         in
+        Memory.publish ~stage:"traversal" d;
         Mdd.publish_obs t.mdd;
         t.cond_unusable <- Some v;
+        t.traversal_gc <- Some d;
         v
 
   let conditional_yields t =
@@ -301,12 +318,15 @@ module Artifacts = struct
       and_or_fast_hits = engine.B.and_or_fast_hits;
       gc_runs = engine.B.gc_runs;
       gc_reclaimed = engine.B.reclaimed;
+      stage_gc =
+        (t.stage_gc
+        @ match t.traversal_gc with None -> [] | Some d -> [ ("traversal", d) ]);
     }
 end
 
 let run_lethal ?(config = default_config) fault_tree lethal =
   let t0 = Sys.time () in
-  Obs.with_span "pipeline" (fun () ->
+  Trace.with_span "pipeline" (fun () ->
       match Artifacts.build ~config fault_tree lethal with
       | Error f -> Error f
       | Ok artifacts ->
@@ -314,8 +334,17 @@ let run_lethal ?(config = default_config) fault_tree lethal =
 
 let run ?(config = default_config) fault_tree model =
   let t0 = Obs.now () in
-  let lethal = Obs.with_span "lethal-map" (fun () -> Model.to_lethal model) in
+  let lethal, lethal_gc =
+    Memory.with_gc_delta (fun () ->
+        Trace.with_span "lethal-map" (fun () -> Model.to_lethal model))
+  in
   let lethal_s = Obs.now () -. t0 in
+  Memory.publish ~stage:"lethal-map" lethal_gc;
   Result.map
-    (fun r -> { r with stage_times = ("lethal-map", lethal_s) :: r.stage_times })
+    (fun r ->
+      {
+        r with
+        stage_times = ("lethal-map", lethal_s) :: r.stage_times;
+        stage_gc = ("lethal-map", lethal_gc) :: r.stage_gc;
+      })
     (run_lethal ~config fault_tree lethal)

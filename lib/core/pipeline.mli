@@ -104,6 +104,11 @@ type report = {
           the computed cache *)
   gc_runs : int;  (** garbage collections during the build *)
   gc_reclaimed : int;  (** dead nodes reclaimed by those collections *)
+  stage_gc : (string * Socy_obs.Memory.gc_delta) list;
+      (** OCaml-GC delta per pipeline phase (same keys and order as
+          [stage_times]) — minor/major collections, allocation volumes and
+          heap sizes over that phase. Populated whether or not
+          observability is enabled, like [stage_times]. *)
 }
 
 (** Why a run produced no report. One type shared by {!run}, {!run_lethal}
@@ -167,11 +172,17 @@ module Artifacts : sig
     stage_seconds : (string * float) list;
         (** wall seconds of the build phases ([truncate] … [romdd-convert]),
             in execution order; {!report} appends the traversal time. *)
+    stage_gc : (string * Socy_obs.Memory.gc_delta) list;
+        (** OCaml-GC deltas of the same build phases, same keys and order
+            as [stage_seconds]. *)
     mutable cond_unusable : float array option;
         (** memo of the single probability sweep:
             [| P(G=1 | W=0); …; P(G=1 | W=M+1) |] once {!report} or
             {!conditional_yields} has run. Both read it, so together they
             traverse the ROMDD exactly once. *)
+    mutable traversal_gc : Socy_obs.Memory.gc_delta option;
+        (** GC delta of the memoized sweep, recorded alongside
+            [cond_unusable]; {!report} appends it to its [stage_gc]. *)
   }
 
   (** Build everything up to the ROMDD; [Error] on node-budget exhaustion. *)

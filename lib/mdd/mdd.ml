@@ -1,4 +1,7 @@
 module Obs = Socy_obs.Obs
+module Trace = Socy_obs.Trace
+module Memory = Socy_obs.Memory
+module Json = Socy_obs.Json
 
 type spec = { name : string; domain : int }
 
@@ -92,6 +95,7 @@ let children t n =
 
 let grow t =
   let cap = Array.length t.levels in
+  Trace.instant "mdd.grow" ~args:[ ("slots", Json.Int (2 * cap)) ];
   let extend a fill =
     let b = Array.make (2 * cap) fill in
     Array.blit a 0 b 0 cap;
@@ -460,6 +464,19 @@ let stats (t : t) =
 let obs_apply_hits = Obs.counter "mdd.apply_cache_hits"
 let obs_apply_misses = Obs.counter "mdd.apply_cache_misses"
 
+(* Table-occupancy snapshot at publish time: [Hashtbl.stats] already
+   carries the chain-length distribution of the unique table; the APPLY
+   cache is a linear scan of its tag array. *)
+let snapshot_occupancy (t : t) =
+  let st = Tbl.stats t.table in
+  Memory.record_occupancy ~name:"mdd.unique" ~used:st.Hashtbl.num_bindings
+    ~capacity:st.Hashtbl.num_buckets;
+  Memory.observe_chain_lengths ~name:"mdd.unique" st.Hashtbl.bucket_histogram;
+  let cache_used = ref 0 in
+  Array.iter (fun op -> if op >= 0 then cache_used := !cache_used + 1) t.ap_op;
+  Memory.record_occupancy ~name:"mdd.cache" ~used:!cache_used
+    ~capacity:(t.ap_mask + 1)
+
 let publish_obs (t : t) =
   if Obs.enabled () then begin
     (* Delta against the last published snapshot, so calling this after
@@ -467,7 +484,8 @@ let publish_obs (t : t) =
     Obs.add obs_apply_hits (t.apply_hits - t.pub_apply_hits);
     Obs.add obs_apply_misses (t.apply_misses - t.pub_apply_misses);
     t.pub_apply_hits <- t.apply_hits;
-    t.pub_apply_misses <- t.apply_misses
+    t.pub_apply_misses <- t.apply_misses;
+    snapshot_occupancy t
   end
 
 let support t n =

@@ -131,6 +131,21 @@ let observe h v =
         if v < h.min_o then h.min_o <- v;
         if v > h.max_o then h.max_o <- v)
 
+let observe_many h v n =
+  if n < 0 then invalid_arg "Obs.observe_many: negative multiplicity";
+  if n > 0 && enabled () then
+    with_lock h.h_lock (fun () ->
+        let nb = Array.length h.bounds in
+        let i = ref 0 in
+        while !i < nb && v > h.bounds.(!i) do
+          Stdlib.incr i
+        done;
+        h.counts.(!i) <- h.counts.(!i) + n;
+        h.count <- h.count + n;
+        h.sum <- h.sum +. (v *. float_of_int n);
+        if v < h.min_o then h.min_o <- v;
+        if v > h.max_o then h.max_o <- v)
+
 let histogram_stat h =
   with_lock h.h_lock (fun () ->
       (* cumulative counts, Prometheus-style *)

@@ -99,6 +99,12 @@ val histogram : ?buckets:float array -> string -> histogram
 (** [observe h v] records [v] (no-op while disabled). *)
 val observe : histogram -> float -> unit
 
+(** [observe_many h v n] records [n] observations of [v] under one lock
+    acquisition — for pre-counted distributions such as hash-chain lengths,
+    where per-bucket {!observe} calls would lock a million times. Raises
+    [Invalid_argument] on negative [n]; no-op while disabled or [n = 0]. *)
+val observe_many : histogram -> float -> int -> unit
+
 type histogram_stat = {
   h_count : int;
   h_sum : float;

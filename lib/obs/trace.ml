@@ -1,0 +1,139 @@
+(* Per-domain append-only event buffers, flushed to Chrome trace-event
+   JSON. The record path touches only domain-local state (one DLS read, one
+   array store); the registry mutex guards the buffer list and the flush,
+   never an event append. *)
+
+type ev = {
+  e_ph : char; (* 'B' | 'E' | 'i' | 'C' *)
+  e_name : string;
+  e_ts : float; (* microseconds since the trace epoch *)
+  e_args : (string * Json.t) list;
+}
+
+let dummy_ev = { e_ph = ' '; e_name = ""; e_ts = 0.0; e_args = [] }
+
+type buf = {
+  b_tid : int;
+  mutable b_evs : ev array;
+  mutable b_len : int;
+  mutable b_dropped : int;
+}
+
+let capacity = 1 lsl 20
+let pid = 1
+
+let registry_lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let buffers : buf list ref = ref []
+
+(* The trace clock: timestamps are relative to this epoch so traces start
+   near t = 0 whatever the wall clock says. [clear] restarts it. *)
+let epoch = Atomic.make (Obs.now ())
+let now_us () = (Obs.now () -. Atomic.get epoch) *. 1e6
+
+let buf_key : buf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          b_tid = (Domain.self () :> int);
+          b_evs = Array.make 256 dummy_ev;
+          b_len = 0;
+          b_dropped = 0;
+        }
+      in
+      with_lock (fun () -> buffers := b :: !buffers);
+      b)
+
+let push ph name args =
+  let b = Domain.DLS.get buf_key in
+  if b.b_len >= capacity then b.b_dropped <- b.b_dropped + 1
+  else begin
+    if b.b_len = Array.length b.b_evs then begin
+      let evs = Array.make (2 * Array.length b.b_evs) dummy_ev in
+      Array.blit b.b_evs 0 evs 0 b.b_len;
+      b.b_evs <- evs
+    end;
+    b.b_evs.(b.b_len) <- { e_ph = ph; e_name = name; e_ts = now_us (); e_args = args };
+    b.b_len <- b.b_len + 1
+  end
+
+let with_span ?(args = []) name f =
+  if not (Obs.enabled ()) then f ()
+  else begin
+    push 'B' name args;
+    (* End the timeline event also on exceptions; Obs.with_span records the
+       aggregate on its own (it protects the body the same way). *)
+    Fun.protect
+      ~finally:(fun () -> push 'E' name [])
+      (fun () -> Obs.with_span name f)
+  end
+
+let instant ?(args = []) name = if Obs.enabled () then push 'i' name args
+let counter name v = if Obs.enabled () then push 'C' name [ ("value", Json.Float v) ]
+
+(* --- flushing ----------------------------------------------------------- *)
+
+let snapshot_buffers () = with_lock (fun () -> !buffers)
+
+let event_count () =
+  List.fold_left (fun acc b -> acc + b.b_len) 0 (snapshot_buffers ())
+
+let dropped_count () =
+  List.fold_left (fun acc b -> acc + b.b_dropped) 0 (snapshot_buffers ())
+
+let to_json () =
+  let bufs = snapshot_buffers () in
+  let events =
+    List.concat_map
+      (fun b ->
+        let n = b.b_len in
+        List.init n (fun i -> (b.b_tid, b.b_evs.(i))))
+      bufs
+  in
+  (* Stable sort: ties keep per-buffer (= per-domain) append order, so
+     back-to-back begin/end pairs of sub-microsecond spans stay nested. *)
+  let events =
+    List.stable_sort (fun (_, a) (_, b) -> Float.compare a.e_ts b.e_ts) events
+  in
+  let thread_meta =
+    List.sort compare (List.map (fun b -> b.b_tid) bufs)
+    |> List.map (fun tid ->
+           Json.Obj
+             [
+               ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int pid);
+               ("tid", Json.Int tid);
+               ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "domain-%d" tid)) ]);
+             ])
+  in
+  let ev_json (tid, e) =
+    Json.Obj
+      ([
+         ("name", Json.String e.e_name);
+         ("ph", Json.String (String.make 1 e.e_ph));
+         ("ts", Json.Float e.e_ts);
+         ("pid", Json.Int pid);
+         ("tid", Json.Int tid);
+       ]
+      @ (if e.e_ph = 'i' then [ ("s", Json.String "t") ] else [])
+      @ match e.e_args with [] -> [] | l -> [ ("args", Json.Obj l) ])
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (thread_meta @ List.map ev_json events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let clear () =
+  with_lock (fun () ->
+      List.iter
+        (fun b ->
+          b.b_len <- 0;
+          b.b_dropped <- 0)
+        !buffers);
+  Atomic.set epoch (Obs.now ())

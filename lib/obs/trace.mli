@@ -1,0 +1,70 @@
+(** Cross-domain timeline tracing in the Chrome trace-event format.
+
+    {!Obs} answers "how much, in total" — counters and span {e sums}. This
+    module answers "when, on which domain": every traced event lands in a
+    per-domain buffer stamped with a microsecond timestamp and the domain id
+    as [tid], and {!to_json} renders the whole process history as a Chrome
+    trace-event document ({!Json.t}) loadable in Perfetto or
+    [chrome://tracing]. A two-domain sweep renders as two labelled timeline
+    rows; an engine GC shows up as an instant on the row that ran it.
+
+    {2 Relationship to [Obs]}
+
+    Tracing sits behind the {e same} process-wide {!Obs.enabled} flag: while
+    the flag is off every function here is one load and one branch
+    ({!with_span} a direct call of its body), so the engines' hot paths pay
+    nothing extra. {!with_span} also feeds the {!Obs} span aggregates — one
+    call sites both the timeline event pair and the path-keyed sum, so
+    producers never instrument twice.
+
+    {2 Buffering}
+
+    Each domain owns a private append-only buffer (no synchronization on
+    the record path). A buffer is capped ({!capacity} events); events past
+    the cap are counted in {!dropped_count} instead of recorded, so a
+    runaway producer degrades the trace, never the process. Buffers of
+    joined domains survive until {!clear}, which also restarts the trace
+    clock. Call {!to_json}/{!clear} from a quiescent point (after the
+    workers joined) — flushing concurrently with writers yields a valid but
+    possibly truncated view of the still-running domains. *)
+
+(** {1 Recording} *)
+
+(** [with_span ?args name f] runs [f ()] between a begin/end event pair on
+    the calling domain's timeline {e and} inside an {!Obs.with_span} of the
+    same name (so the aggregate registry stays in agreement with the
+    timeline). The end event is emitted also when [f] raises. While
+    disabled this is a direct call of [f]. *)
+val with_span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+(** [instant name] records a zero-duration event (rendered as an arrow/dot
+    in Perfetto) — engine GCs, table resizes, cancellations. *)
+val instant : ?args:(string * Json.t) list -> string -> unit
+
+(** [counter name v] records a counter sample (Chrome ["ph": "C"]) that
+    Perfetto renders as a stacked area track, e.g. live decision-diagram
+    nodes over time. *)
+val counter : string -> float -> unit
+
+(** {1 Flushing} *)
+
+(** Per-domain event cap: events beyond it are dropped (and counted). *)
+val capacity : int
+
+(** [event_count ()] is the number of buffered events across all domains. *)
+val event_count : unit -> int
+
+(** [dropped_count ()] is the number of events dropped to the per-domain
+    cap since the last {!clear}. *)
+val dropped_count : unit -> int
+
+(** [to_json ()] is the whole recorded history as one Chrome trace-event
+    document: [{"traceEvents": [...], "displayTimeUnit": "ms"}], events
+    sorted by timestamp, each carrying [name]/[ph]/[ts]/[pid]/[tid] (and
+    [args] when given), preceded by one [thread_name] metadata event per
+    domain so Perfetto labels the rows. *)
+val to_json : unit -> Json.t
+
+(** [clear ()] empties every buffer, zeroes the drop counter and restarts
+    the trace clock — between benchmark sections, or in tests. *)
+val clear : unit -> unit

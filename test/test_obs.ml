@@ -203,6 +203,75 @@ let test_json_parser_details () =
       | v -> Alcotest.failf "accepted %S as %s" bad (Json.to_string v))
     [ "{"; "[1,]"; "\"unterminated"; "12 34"; "tru"; "" ]
 
+(* Property form of the round trip: for any value tree, printing (compact
+   or pretty) and parsing gives the value back — modulo the one documented
+   normalization, non-finite floats printing as null. *)
+let rec normalize = function
+  | Json.Float f when not (Float.is_finite f) -> Json.Null
+  | Json.List l -> Json.List (List.map normalize l)
+  | Json.Obj kvs -> Json.Obj (List.map (fun (k, v) -> (k, normalize v)) kvs)
+  | v -> v
+
+let json_gen =
+  let open QCheck.Gen in
+  (* raw bytes, control characters and multi-byte UTF-8 all stress the
+     escaper; the parser passes non-ASCII bytes through untouched *)
+  let string_gen =
+    oneof
+      [
+        string_size ~gen:printable (int_bound 12);
+        string_size ~gen:char (int_bound 12);
+        oneofl [ "\xc3\xa9 \xe2\x98\x83 \xf0\x9f\x90\xab"; "q\" b\\ n\n t\t"; "" ];
+      ]
+  in
+  let float_gen =
+    oneof
+      [ float; oneofl [ nan; infinity; neg_infinity; -0.0; 0.1; 1e300; 5e-324 ] ]
+  in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun f -> Json.Float f) float_gen;
+        map (fun s -> Json.String s) string_gen;
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (2, scalar);
+          (1, map (fun l -> Json.List l) (list_size (int_bound 4) (tree (depth - 1))));
+          ( 1,
+            map
+              (fun kvs -> Json.Obj kvs)
+              (list_size (int_bound 4) (pair string_gen (tree (depth - 1)))) );
+        ]
+  in
+  sized (fun n -> tree (1 + min 4 (n / 20)))
+
+let prop_json_round_trip =
+  QCheck.Test.make ~name:"print/parse round trip (compact and pretty)"
+    ~count:500
+    (QCheck.make ~print:Json.to_string json_gen)
+    (fun v ->
+      let expected = normalize v in
+      Json.of_string (Json.to_string v) = expected
+      && Json.of_string (Json.to_string_pretty v) = expected)
+
+let test_json_deep_nesting () =
+  let deep = ref (Json.Int 1) in
+  for _ = 1 to 500 do
+    deep := Json.List [ Json.Obj [ ("k", !deep) ] ]
+  done;
+  Alcotest.check json_testable "500 levels survive compact" !deep
+    (Json.of_string (Json.to_string !deep));
+  Alcotest.check json_testable "500 levels survive pretty" !deep
+    (Json.of_string (Json.to_string_pretty !deep))
+
 let test_json_accessors () =
   let v = Json.of_string {|{"a": {"b": 2}, "c": 1.5}|} in
   Alcotest.(check (option (float 0.0))) "nested member" (Some 2.0)
@@ -297,7 +366,9 @@ let () =
           Alcotest.test_case "round trip" `Quick (off test_json_round_trip);
           Alcotest.test_case "non-finite floats" `Quick (off test_json_non_finite_floats);
           Alcotest.test_case "parser details" `Quick (off test_json_parser_details);
+          Alcotest.test_case "deep nesting" `Quick (off test_json_deep_nesting);
           Alcotest.test_case "accessors" `Quick (off test_json_accessors);
+          QCheck_alcotest.to_alcotest prop_json_round_trip;
         ] );
       ( "sinks",
         [
