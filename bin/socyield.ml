@@ -4,6 +4,8 @@
    Subcommands:
      eval    evaluate the yield of a fault tree or built-in benchmark
      sweep   evaluate a grid of runs in parallel across domains
+     serve   long-running yield daemon over a Unix-domain socket
+     query   client for a running serve daemon
      report  pretty-print or diff metrics/trace JSON files
      mc      Monte Carlo baseline estimate
      orders  compare variable orderings on one instance
@@ -24,6 +26,9 @@ module Obs = Socy_obs.Obs
 module Sink = Socy_obs.Sink
 module Json = Socy_obs.Json
 module Trace = Socy_obs.Trace
+module Doc = Socy_obs.Doc
+module Proto = Socy_serve.Protocol
+module Server = Socy_serve.Server
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -169,22 +174,14 @@ let report_json ~source ~epsilon ~mv ~bits (r : P.report) =
             ("mv_order", Json.String (Scheme.mv_order_name mv));
             ("bit_order", Json.String (Scheme.bit_order_name bits));
           ] );
+      (* The deterministic fields come from the serve protocol's canonical
+         list, so a daemon reply's [result.report] and this document agree
+         key-for-key (the CI smoke test diffs them); [cpu_seconds] is
+         timing, which the protocol keeps out of cacheable payloads. *)
       ( "report",
         Json.Obj
-          [
-            ("yield_lower", Json.Float r.P.yield_lower);
-            ("yield_upper", Json.Float r.P.yield_upper);
-            ("p_unusable", Json.Float r.P.p_unusable);
-            ("m", Json.Int r.P.m);
-            ("p_lethal", Json.Float r.P.p_lethal);
-            ("cpu_seconds", Json.Float r.P.cpu_seconds);
-            ("robdd_peak", Json.Int r.P.robdd_peak);
-            ("robdd_size", Json.Int r.P.robdd_size);
-            ("romdd_size", Json.Int r.P.romdd_size);
-            ("num_binary_vars", Json.Int r.P.num_binary_vars);
-            ("num_groups", Json.Int r.P.num_groups);
-            ("gate_count", Json.Int r.P.gate_count);
-          ] );
+          (Proto.report_fields r @ [ ("cpu_seconds", Json.Float r.P.cpu_seconds) ])
+      );
       ( "stage_times_s",
         Json.Obj (List.map (fun (k, s) -> (k, Json.Float s)) r.P.stage_times) );
       ( "stage_gc",
@@ -673,89 +670,23 @@ let sweep_cmd =
 (* ------------------------------------------------------------------ *)
 
 (* Both --metrics-out and --trace files reduce to (probe path, number)
-   rows: a metrics document by flattening its numeric leaves, a trace
-   document by aggregating its events per name (count + summed B/E span
-   time). The same table then serves pretty-printing one file and diffing
-   two — the human-readable sibling of bench/compare.exe. *)
+   rows via Socy_obs.Doc — the validating reader, so a truncated or
+   malformed document is an exit-2 error, never a silently empty or
+   partial table. The same rows then serve pretty-printing one file and
+   diffing two — the human-readable sibling of bench/compare.exe. *)
 
-let read_json path =
+let read_rows path =
   let contents =
     try In_channel.with_open_bin path In_channel.input_all
     with Sys_error msg ->
       Printf.eprintf "socyield: %s\n" msg;
       exit 2
   in
-  try Json.of_string contents
-  with Json.Parse_error msg ->
-    Printf.eprintf "socyield: %s: %s\n" path msg;
-    exit 2
-
-let flatten_numeric json =
-  let rows = ref [] in
-  let rec go path v =
-    match v with
-    | Json.Int n -> rows := (path, float_of_int n) :: !rows
-    | Json.Float f -> rows := (path, f) :: !rows
-    | Json.Obj fields ->
-        List.iter
-          (fun (k, v) -> go (if path = "" then k else path ^ "." ^ k) v)
-          fields
-    | Json.List l -> List.iteri (fun i v -> go (Printf.sprintf "%s[%d]" path i) v) l
-    | Json.Null | Json.Bool _ | Json.String _ -> ()
-  in
-  go "" json;
-  List.rev !rows
-
-let trace_rows events =
-  let counts : (string, float) Hashtbl.t = Hashtbl.create 32 in
-  let totals : (string, float) Hashtbl.t = Hashtbl.create 32 in
-  (* One begin/end stack per tid: events of one domain are timestamp-ordered
-     in the file, so a matching E closes the innermost open B. *)
-  let stacks : (float, (string * float) list ref) Hashtbl.t = Hashtbl.create 8 in
-  let bump tbl k v =
-    Hashtbl.replace tbl k (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl k))
-  in
-  List.iter
-    (fun ev ->
-      let str k =
-        match Json.member k ev with Some (Json.String s) -> Some s | _ -> None
-      in
-      let num k = Option.bind (Json.member k ev) Json.to_float in
-      match (str "ph", str "name") with
-      | Some "M", _ | None, _ | _, None -> ()
-      | Some ph, Some name -> (
-          bump counts name 1.0;
-          let tid = Option.value ~default:0.0 (num "tid") in
-          let ts = Option.value ~default:0.0 (num "ts") in
-          let stack =
-            match Hashtbl.find_opt stacks tid with
-            | Some s -> s
-            | None ->
-                let s = ref [] in
-                Hashtbl.add stacks tid s;
-                s
-          in
-          match ph with
-          | "B" -> stack := (name, ts) :: !stack
-          | "E" -> (
-              match !stack with
-              | (n, t0) :: rest ->
-                  stack := rest;
-                  bump totals n (ts -. t0)
-              | [] -> ())
-          | _ -> ()))
-    events;
-  let rows = ref [] in
-  Hashtbl.iter (fun k v -> rows := ("trace." ^ k ^ ".events", v) :: !rows) counts;
-  Hashtbl.iter
-    (fun k us -> rows := ("trace." ^ k ^ ".total_ms", us /. 1e3) :: !rows)
-    totals;
-  List.sort compare !rows
-
-let rows_of_json json =
-  match Json.member "traceEvents" json with
-  | Some (Json.List evs) -> trace_rows evs
-  | _ -> flatten_numeric json
+  match Doc.rows_of_string contents with
+  | Ok rows -> rows
+  | Error msg ->
+      Printf.eprintf "socyield: %s: %s\n" path msg;
+      exit 2
 
 let report_cmd =
   let file_a =
@@ -771,14 +702,14 @@ let report_cmd =
   in
   let cell = function Some v -> Printf.sprintf "%.6g" v | None -> "-" in
   let run file_a file_b =
-    let rows_a = rows_of_json (read_json file_a) in
+    let rows_a = read_rows file_a in
     match file_b with
     | None ->
         let t = Text_table.create ~aligns:[ Left; Right ] [ "probe"; "value" ] in
         List.iter (fun (k, v) -> Text_table.add_row t [ k; cell (Some v) ]) rows_a;
         print_string (Text_table.render t)
     | Some fb ->
-        let rows_b = rows_of_json (read_json fb) in
+        let rows_b = read_rows fb in
         let tbl_a = Hashtbl.create 64 and tbl_b = Hashtbl.create 64 in
         List.iter (fun (k, v) -> Hashtbl.replace tbl_a k v) rows_a;
         List.iter (fun (k, v) -> Hashtbl.replace tbl_b k v) rows_b;
@@ -960,6 +891,241 @@ let dot_cmd =
   Cmd.v (Cmd.info "dot" ~doc:"Export Graphviz renderings of the artifacts") term
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let domains_arg =
+    let doc =
+      "Worker domains of the executor (default: recommended domain count \
+       minus one for the accept loop)."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc = "Capacity of the cross-request result cache (LRU entries)." in
+    Arg.(value & opt int 128 & info [ "cache-capacity" ] ~docv:"N" ~doc)
+  in
+  let max_inflight_arg =
+    let doc =
+      "Admission cap on submitted-but-unfinished runs (default 4 × domains); \
+       requests beyond it are rejected with admission-rejected."
+    in
+    Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let max_node_limit_arg =
+    let doc =
+      "Reject requests asking for a node budget above $(docv) (default: the \
+       --node-limit default, i.e. requests may only lower it)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-node-limit" ] ~docv:"N" ~doc)
+  in
+  let cpu_limit_arg =
+    let doc = "CPU-seconds budget applied to requests that omit one." in
+    Arg.(value & opt (some float) None & info [ "cpu-limit" ] ~docv:"S" ~doc)
+  in
+  let max_cpu_limit_arg =
+    let doc = "Reject requests asking for a CPU budget above $(docv) seconds." in
+    Arg.(value & opt (some float) None & info [ "max-cpu-limit" ] ~docv:"S" ~doc)
+  in
+  let force_arg =
+    let doc = "Remove a pre-existing socket file before binding." in
+    Arg.(value & flag & info [ "force" ] ~doc)
+  in
+  let run socket domains cache_capacity max_inflight node_limit max_node_limit
+      cpu_limit max_cpu_limit force trace_out =
+    if trace_out <> None then Obs.set_enabled true;
+    let cfg =
+      Server.config ?domains ~cache_capacity ?max_inflight
+        ~default_node_limit:node_limit ?max_node_limit
+        ?default_cpu_limit:cpu_limit ?max_cpu_limit ~unlink_existing:force
+        ~socket_path:socket ()
+    in
+    match Server.create cfg with
+    | exception Failure msg ->
+        prerr_endline msg;
+        exit 1
+    | server ->
+        let stop _signal = Server.stop server in
+        (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+         with Invalid_argument _ -> ());
+        (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+         with Invalid_argument _ -> ());
+        Printf.eprintf
+          "socyield serve: listening on %s (%d worker domain(s), cache %d)\n%!"
+          socket cfg.Server.domains cfg.Server.cache_capacity;
+        Server.run server;
+        write_trace trace_out;
+        let stats = Server.stats_json server in
+        (match Json.member "cache" stats with
+        | Some c ->
+            let n k =
+              match Json.member k c with Some (Json.Int i) -> i | _ -> 0
+            in
+            Printf.eprintf
+              "socyield serve: drained and stopped — cache: %d hit(s), %d \
+               miss(es), %d eviction(s)\n"
+              (n "hits") (n "misses") (n "evictions")
+        | None -> Printf.eprintf "socyield serve: drained and stopped\n")
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ domains_arg $ cache_arg $ max_inflight_arg
+      $ node_limit_arg $ max_node_limit_arg $ cpu_limit_arg $ max_cpu_limit_arg
+      $ force_arg $ trace_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the yield daemon: newline-delimited JSON requests over a \
+          Unix-domain socket, answered in parallel across worker domains \
+          with a cross-request result cache (protocol: docs/PROTOCOL.md; \
+          operations: docs/OPERATIONS.md)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let query_cmd =
+  let meth_conv =
+    let parse s =
+      match Proto.meth_of_name s with
+      | Some m -> Ok m
+      | None -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+    in
+    Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Proto.meth_name m))
+  in
+  let meth_arg =
+    let doc =
+      "Protocol method: eval, conditional-yields, importance, stats, health \
+       or shutdown."
+    in
+    Arg.(value & opt meth_conv Proto.Eval & info [ "method" ] ~docv:"METHOD" ~doc)
+  in
+  let node_limit_opt_arg =
+    let doc = "Requested live-node budget (omitted: the server's default)." in
+    Arg.(value & opt (some int) None & info [ "node-limit" ] ~docv:"N" ~doc)
+  in
+  let cpu_limit_opt_arg =
+    let doc = "Requested CPU-seconds budget (omitted: the server's default)." in
+    Arg.(value & opt (some float) None & info [ "cpu-limit" ] ~docv:"S" ~doc)
+  in
+  let twice_arg =
+    let doc =
+      "Send the identical request twice and assert the second reply is \
+       answered from the daemon's cache with a result bit-identical to the \
+       first (exit 1 otherwise) — the cache-coherence smoke test."
+    in
+    Arg.(value & flag & info [ "twice" ] ~doc)
+  in
+  let run socket meth fault_tree benchmark lambda alpha p_lethal epsilon mv bits
+      node_limit cpu_limit twice =
+    let query =
+      if not (Proto.is_evaluation meth) then None
+      else
+        let source =
+          match (fault_tree, benchmark) with
+          | Some _, Some _ ->
+              prerr_endline "--fault-tree and --benchmark are mutually exclusive";
+              exit 2
+          | None, None ->
+              Printf.eprintf
+                "method %s needs one of --fault-tree or --benchmark\n"
+                (Proto.meth_name meth);
+              exit 2
+          | Some expr, None -> Proto.Fault_tree expr
+          | None, Some b -> Proto.Benchmark b
+        in
+        Some
+          {
+            Proto.source;
+            lambda;
+            alpha;
+            p_lethal;
+            epsilon;
+            mv_order = mv;
+            bit_order = bits;
+            node_limit;
+            cpu_limit;
+          }
+    in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "socyield query: cannot connect to %s: %s\n" socket
+          (Unix.error_message e);
+        exit 2);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let roundtrip id =
+      let req = Proto.request_to_json { Proto.id = Json.Int id; meth; query } in
+      output_string oc (Json.to_string req);
+      output_char oc '\n';
+      flush oc;
+      match input_line ic with
+      | exception End_of_file ->
+          Printf.eprintf "socyield query: daemon closed the connection\n";
+          exit 2
+      | line -> (
+          match Json.of_string line with
+          | reply -> reply
+          | exception Json.Parse_error msg ->
+              Printf.eprintf "socyield query: malformed reply: %s\n" msg;
+              exit 2)
+    in
+    let status reply =
+      match Json.member "status" reply with
+      | Some (Json.String s) -> s
+      | _ -> "?"
+    in
+    let failed = ref false in
+    let first = roundtrip 1 in
+    print_endline (Json.to_string first);
+    if status first = "error" then failed := true;
+    if twice then begin
+      let second = roundtrip 2 in
+      print_endline (Json.to_string second);
+      if status second = "error" then failed := true;
+      let cache reply =
+        match Json.member "cache" reply with
+        | Some (Json.String s) -> Some s
+        | _ -> None
+      in
+      let result reply = Option.map Json.to_string (Json.member "result" reply) in
+      if cache second <> Some "hit" then begin
+        Printf.eprintf "socyield query: second reply was not a cache hit (%s)\n"
+          (Option.value ~default:"no cache field" (cache second));
+        failed := true
+      end;
+      if result first = None || result first <> result second then begin
+        Printf.eprintf
+          "socyield query: cached result is not bit-identical to the cold run\n";
+        failed := true
+      end
+    end;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if !failed then exit 1
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ meth_arg $ fault_tree_arg $ benchmark_arg
+      $ lambda_arg $ alpha_arg $ p_lethal_arg $ epsilon_arg $ mv_order_arg
+      $ bit_order_arg $ node_limit_opt_arg $ cpu_limit_opt_arg $ twice_arg)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Send one request to a running serve daemon and print the reply \
+          line(s); --twice asserts cache coherence")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* cutsets                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1006,6 +1172,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            eval_cmd; sweep_cmd; report_cmd; mc_cmd; orders_cmd; list_cmd;
-            dot_cmd; cutsets_cmd;
+            eval_cmd; sweep_cmd; serve_cmd; query_cmd; report_cmd; mc_cmd;
+            orders_cmd; list_cmd; dot_cmd; cutsets_cmd;
           ]))

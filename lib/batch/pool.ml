@@ -52,6 +52,123 @@ let pop q =
   Mutex.unlock q.mutex;
   r
 
+(* ------------------------------------------------------------------ *)
+(* Persistent executor                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Executor = struct
+  type t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    tasks : (unit -> unit) Queue.t;
+    mutable closed : bool;
+    mutable live : int;  (* submitted, not yet completed *)
+    mutable workers : unit Domain.t array;
+    n_domains : int;
+  }
+
+  let tasks_counter = Obs.counter "executor.tasks"
+
+  let create ?domains () =
+    let n =
+      match domains with
+      | Some d when d < 1 -> invalid_arg "Executor.create: domains < 1"
+      | Some d -> d
+      | None -> max 1 (default_domains () - 1)
+    in
+    let t =
+      {
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        tasks = Queue.create ();
+        closed = false;
+        live = 0;
+        workers = [||];
+        n_domains = n;
+      }
+    in
+    let worker k () =
+      Trace.with_span
+        (Printf.sprintf "executor.worker-%d" k)
+        (fun () ->
+          let rec loop () =
+            Mutex.lock t.mutex;
+            let rec take () =
+              match Queue.take_opt t.tasks with
+              | Some task -> Some task
+              | None ->
+                  if t.closed then None
+                  else begin
+                    Condition.wait t.nonempty t.mutex;
+                    take ()
+                  end
+            in
+            let task = take () in
+            Mutex.unlock t.mutex;
+            match task with
+            | None -> ()
+            | Some f ->
+                f ();
+                loop ()
+          in
+          loop ())
+    in
+    t.workers <- Array.init n (fun k -> Domain.spawn (worker k));
+    t
+
+  let domains t = t.n_domains
+  let in_flight t =
+    Mutex.lock t.mutex;
+    let n = t.live in
+    Mutex.unlock t.mutex;
+    n
+
+  let run t f =
+    (* Each submission carries its own result cell; the worker fills it
+       and signals, the caller sleeps on it. Exceptions travel in the
+       cell, so a raising thunk surfaces in its caller, not the worker. *)
+    let cell_mutex = Mutex.create () in
+    let cell_done = Condition.create () in
+    let result = ref None in
+    let task () =
+      let r = (try Ok (f ()) with e -> Error e) in
+      Mutex.lock t.mutex;
+      t.live <- t.live - 1;
+      Mutex.unlock t.mutex;
+      Mutex.lock cell_mutex;
+      result := Some r;
+      Condition.signal cell_done;
+      Mutex.unlock cell_mutex
+    in
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Executor.run: executor is shut down"
+    end;
+    t.live <- t.live + 1;
+    Queue.push task t.tasks;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex;
+    Obs.incr tasks_counter;
+    Mutex.lock cell_mutex;
+    while Option.is_none !result do
+      Condition.wait cell_done cell_mutex
+    done;
+    Mutex.unlock cell_mutex;
+    match !result with
+    | Some (Ok v) -> v
+    | Some (Error e) -> raise e
+    | None -> assert false
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    let first = not t.closed in
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    if first then Array.iter Domain.join t.workers
+end
+
 let jobs_counter = Obs.counter "batch.jobs"
 let domains_gauge = Obs.gauge "batch.domains"
 let speedup_gauge = Obs.gauge "batch.speedup"

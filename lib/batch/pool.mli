@@ -59,3 +59,45 @@ val parallel_map :
   ('a -> 'b) ->
   'a array ->
   'b outcome array
+
+(** {1 Long-lived pools}
+
+    {!parallel_map} owns its workers for the duration of one batch: spawn,
+    drain, join. A server cannot work that way — requests arrive one at a
+    time, from many client threads, over hours — so {!Executor} keeps the
+    same chunked-queue machinery alive across submissions: a fixed set of
+    worker domains consuming a thunk queue that any number of (sys)threads
+    feed concurrently. [socyield serve] schedules every pipeline run on one
+    of these. *)
+
+module Executor : sig
+  (** A persistent pool of worker domains executing submitted thunks. *)
+  type t
+
+  (** [create ~domains ()] spawns [domains] worker domains (default
+      [max 1 (default_domains () - 1)], leaving a core for the submitting
+      threads) that block on an empty queue until work arrives or
+      {!shutdown} is called. Raises [Invalid_argument] on [domains < 1]. *)
+  val create : ?domains:int -> unit -> t
+
+  (** Number of worker domains the executor was created with. *)
+  val domains : t -> int
+
+  (** [run t f] enqueues [f], blocks the {e calling thread} until a worker
+      has executed it, and returns its result. An exception raised by [f]
+      is re-raised in the caller; it never kills the worker. Safe to call
+      from any number of threads concurrently — results are matched to
+      callers, never crossed. Raises [Invalid_argument] after
+      {!shutdown}. *)
+  val run : t -> (unit -> 'a) -> 'a
+
+  (** [in_flight t] is the number of submitted thunks not yet completed
+      (queued + running) — the admission-control and gauge feed. *)
+  val in_flight : t -> int
+
+  (** [shutdown t] closes the queue, lets the workers {e drain every
+      already-submitted thunk}, and joins them; callers blocked in {!run}
+      all receive their results first. Subsequent {!run} calls raise;
+      subsequent [shutdown] calls are no-ops. *)
+  val shutdown : t -> unit
+end

@@ -1,0 +1,99 @@
+let ( let* ) = Result.bind
+
+let flatten_numeric json =
+  let rows = ref [] in
+  let rec go path v =
+    match v with
+    | Json.Int n -> rows := (path, float_of_int n) :: !rows
+    | Json.Float f -> rows := (path, f) :: !rows
+    | Json.Obj fields ->
+        List.iter
+          (fun (k, v) -> go (if path = "" then k else path ^ "." ^ k) v)
+          fields
+    | Json.List l ->
+        List.iteri (fun i v -> go (Printf.sprintf "%s[%d]" path i) v) l
+    | Json.Null | Json.Bool _ | Json.String _ -> ()
+  in
+  go "" json;
+  List.rev !rows
+
+let trace_rows events =
+  let counts : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let totals : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  (* One begin/end stack per tid: events of one domain are timestamp-ordered
+     in the file, so a matching E closes the innermost open B. *)
+  let stacks : (float, (string * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let bump tbl k v =
+    Hashtbl.replace tbl k (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl k))
+  in
+  List.iter
+    (fun ev ->
+      let str k =
+        match Json.member k ev with Some (Json.String s) -> Some s | _ -> None
+      in
+      let num k = Option.bind (Json.member k ev) Json.to_float in
+      match (str "ph", str "name") with
+      | Some "M", _ | None, _ | _, None -> ()
+      | Some ph, Some name -> (
+          bump counts name 1.0;
+          let tid = Option.value ~default:0.0 (num "tid") in
+          let ts = Option.value ~default:0.0 (num "ts") in
+          let stack =
+            match Hashtbl.find_opt stacks tid with
+            | Some s -> s
+            | None ->
+                let s = ref [] in
+                Hashtbl.add stacks tid s;
+                s
+          in
+          match ph with
+          | "B" -> stack := (name, ts) :: !stack
+          | "E" -> (
+              match !stack with
+              | (n, t0) :: rest ->
+                  stack := rest;
+                  bump totals n (ts -. t0)
+              | [] -> ())
+          | _ -> ()))
+    events;
+  let rows = ref [] in
+  Hashtbl.iter (fun k v -> rows := ("trace." ^ k ^ ".events", v) :: !rows) counts;
+  Hashtbl.iter
+    (fun k us -> rows := ("trace." ^ k ^ ".total_ms", us /. 1e3) :: !rows)
+    totals;
+  List.sort compare !rows
+
+let rows_of_json json =
+  match Json.member "traceEvents" json with
+  | Some (Json.List evs) ->
+      let* evs =
+        let rec check i = function
+          | [] -> Ok evs
+          | Json.Obj _ :: rest -> check (i + 1) rest
+          | _ :: _ ->
+              Error
+                (Printf.sprintf
+                   "traceEvents[%d] is not an object — truncated or corrupt \
+                    trace file?"
+                   i)
+        in
+        check 0 evs
+      in
+      Ok (trace_rows evs)
+  | Some _ -> Error "traceEvents is not a list — corrupt trace file?"
+  | None -> (
+      match json with
+      | Json.Obj _ -> (
+          match flatten_numeric json with
+          | [] ->
+              Error
+                "no numeric fields found — not a metrics or trace document?"
+          | rows -> Ok rows)
+      | _ ->
+          Error
+            "document is not a JSON object — not a metrics or trace document?")
+
+let rows_of_string s =
+  match Json.of_string s with
+  | json -> rows_of_json json
+  | exception Json.Parse_error msg -> Error msg

@@ -1,0 +1,31 @@
+(** Validated loading of the two JSON document kinds the toolchain emits
+    — [--metrics-out] instrument snapshots and [--trace] Chrome
+    trace-event timelines — reduced to (probe path, number) rows for
+    pretty-printing and diffing ([socyield report], bench comparisons).
+
+    The point of living here rather than in the CLI: malformed documents
+    are {e rejected}, not silently flattened into an empty or partial
+    table. A truncated trace, a trace whose [traceEvents] is not a list
+    of objects, or a "metrics" file with no numeric leaf at all each
+    produce an [Error] with a one-line diagnosis, so [socyield report]
+    can exit non-zero instead of printing a misleading document. *)
+
+(** [rows_of_json doc] classifies [doc] and reduces it to sorted
+    [(path, value)] rows.
+
+    A document with a [traceEvents] member is treated as a trace:
+    [traceEvents] must be a list of objects (else [Error]); events
+    aggregate per name into [trace.<name>.events] counts and
+    [trace.<name>.total_ms] summed B/E span times (metadata events are
+    skipped).
+
+    Any other document is treated as a metrics snapshot: its numeric
+    leaves flatten to dotted paths ([pipeline.robdd_peak],
+    [hist.buckets[3]], …). A document that is not a JSON object or
+    contains no numeric leaf yields [Error] — it is not something
+    [--metrics-out] could have produced. *)
+val rows_of_json : Json.t -> ((string * float) list, string) result
+
+(** [rows_of_string s] is {!rows_of_json} after parsing; a syntax error
+    becomes [Error] rather than an exception. *)
+val rows_of_string : string -> ((string * float) list, string) result

@@ -37,8 +37,11 @@
     disabled this is a direct call of [f]. *)
 val with_span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 
-(** [instant name] records a zero-duration event (rendered as an arrow/dot
-    in Perfetto) — engine GCs, table resizes, cancellations. *)
+(** [instant ?args name] records a zero-duration event (rendered as an
+    arrow/dot in Perfetto) — engine GCs, table resizes, cancellations,
+    served requests. [args] attaches a JSON payload shown in the event's
+    detail pane (e.g. the serve daemon tags each [serve.request] instant
+    with its method, cache disposition and latency). *)
 val instant : ?args:(string * Json.t) list -> string -> unit
 
 (** [counter name v] records a counter sample (Chrome ["ph": "C"]) that

@@ -1,0 +1,113 @@
+module Obs = Socy_obs.Obs
+
+(* Process-wide probes; all server caches (there is normally one) share
+   them. The per-instance stats below are what the stats endpoint uses. *)
+let hits_counter = Obs.counter "serve.cache.hits"
+let misses_counter = Obs.counter "serve.cache.misses"
+let evictions_counter = Obs.counter "serve.cache.evictions"
+let occupancy_gauge = Obs.gauge "serve.cache.occupancy"
+
+(* Intrusive doubly-linked recency list: [mru] is the front, [lru] the
+   back. A node is in the table iff it is linked. *)
+type 'a node = {
+  key : string;
+  value : 'a;
+  mutable prev : 'a node option;  (* toward MRU *)
+  mutable next : 'a node option;  (* toward LRU *)
+}
+
+type 'a t = {
+  mutex : Mutex.t;
+  table : (string, 'a node) Hashtbl.t;
+  cap : int;
+  mutable mru : 'a node option;
+  mutable lru : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create (min capacity 64);
+    cap = capacity;
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.mru;
+  n.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+  t.mru <- Some n
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n ->
+          t.hits <- t.hits + 1;
+          Obs.incr hits_counter;
+          unlink t n;
+          push_front t n;
+          Some n.value
+      | None ->
+          t.misses <- t.misses + 1;
+          Obs.incr misses_counter;
+          None)
+
+let add t key value =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.table key with
+      | Some old ->
+          unlink t old;
+          Hashtbl.remove t.table key
+      | None -> ());
+      let n = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      push_front t n;
+      if Hashtbl.length t.table > t.cap then begin
+        match t.lru with
+        | Some victim ->
+            unlink t victim;
+            Hashtbl.remove t.table victim.key;
+            t.evictions <- t.evictions + 1;
+            Obs.incr evictions_counter
+        | None -> assert false
+      end;
+      Obs.set occupancy_gauge (float_of_int (Hashtbl.length t.table)))
+
+let size t = locked t (fun () -> Hashtbl.length t.table)
+let capacity t = t.cap
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.table;
+        capacity = t.cap;
+      })

@@ -1,0 +1,62 @@
+(** The cross-request result cache: a mutex-guarded, bounded LRU map from
+    {!Protocol.cache_key} digests to computed reply payloads.
+
+    This is where the method pays for itself under traffic: one
+    ROBDD→ROMDD pipeline run can take seconds, while replaying its stored
+    payload is microseconds — and because the pipeline is deterministic,
+    the replayed payload is {e bit-identical} to what a cold run would
+    produce (asserted end-to-end in [test_serve] and by the CI smoke
+    test).
+
+    The cache is generic in the stored value so tests can exercise the
+    replacement policy with plain ints; the server stores its
+    payload-or-failure outcomes.
+
+    Thread safety: every operation takes the cache's internal mutex, so
+    connection threads share one instance without coordination. Lookups
+    and insertions are O(1) (hash table + intrusive doubly-linked recency
+    list). Concurrent misses on the same key may both compute and insert;
+    the second insertion wins and both callers hold identical values, so
+    determinism is unaffected — the race costs one duplicate run, never a
+    wrong answer.
+
+    Observability: hits, misses and evictions are counted both on
+    process-wide {!Socy_obs.Obs} counters ([serve.cache.hits] /
+    [.misses] / [.evictions], subject to the global enabled flag) and on
+    per-instance plain integers ({!stats}) that the [stats] endpoint
+    reports unconditionally. Occupancy lands on the
+    [serve.cache.occupancy] gauge. *)
+
+type 'a t
+
+(** [create ~capacity ()] is an empty cache holding at most [capacity]
+    entries (≥ 1; raises [Invalid_argument] otherwise). Insertion beyond
+    capacity evicts the least-recently-{e used} entry — a lookup hit
+    refreshes recency, an insertion counts as a use. *)
+val create : capacity:int -> unit -> 'a t
+
+(** [find t key] is the cached value, refreshing its recency; counts a
+    hit or a miss. *)
+val find : 'a t -> string -> 'a option
+
+(** [add t key v] inserts or replaces the binding and makes it the
+    most-recently-used one, evicting the LRU entry when over capacity. *)
+val add : 'a t -> string -> 'a -> unit
+
+(** Current number of entries. *)
+val size : 'a t -> int
+
+val capacity : 'a t -> int
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+(** Monotonic per-instance counters plus the current occupancy — the
+    [stats] endpoint's cache section. Counted whether or not the
+    observability flag is up. *)
+val stats : 'a t -> stats

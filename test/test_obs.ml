@@ -330,6 +330,54 @@ let test_null_sink () =
   Sink.null.Sink.emit (Obs.snapshot ())
 
 (* ------------------------------------------------------------------ *)
+(* Doc: validated metrics/trace document loading                       *)
+(* ------------------------------------------------------------------ *)
+
+module Doc = Socy_obs.Doc
+
+let test_doc_metrics_rows () =
+  match Doc.rows_of_string {|{"a": {"b": 2, "c": [1.5, true]}, "s": "skip"}|} with
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+  | Ok rows ->
+      Alcotest.(check (list (pair string (float 0.0))))
+        "numeric leaves flattened"
+        [ ("a.b", 2.0); ("a.c[0]", 1.5) ]
+        rows
+
+let test_doc_trace_rows () =
+  let doc =
+    {|{"traceEvents": [
+        {"ph": "M", "name": "process_name"},
+        {"ph": "B", "name": "stage", "tid": 1, "ts": 100.0},
+        {"ph": "E", "name": "stage", "tid": 1, "ts": 1100.0},
+        {"ph": "i", "name": "gc"}
+      ]}|}
+  in
+  match Doc.rows_of_string doc with
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+  | Ok rows ->
+      Alcotest.(check (option (float 1e-9)))
+        "span total aggregated" (Some 1.0)
+        (List.assoc_opt "trace.stage.total_ms" rows);
+      Alcotest.(check (option (float 0.0)))
+        "instant counted" (Some 1.0)
+        (List.assoc_opt "trace.gc.events" rows)
+
+(* The regression behind `socyield report` exiting non-zero: malformed
+   documents must be rejected, not flattened into an empty/partial table. *)
+let test_doc_rejects_malformed () =
+  let err s =
+    match Doc.rows_of_string s with
+    | Ok _ -> Alcotest.failf "accepted malformed document %s" s
+    | Error _ -> ()
+  in
+  err {|{"traceEvents": "oops"}|};
+  err {|{"traceEvents": [{"ph": "B"}, 42]}|};
+  err {|{"strings": "only", "null": null}|};
+  err {|[1, 2, 3]|};
+  err {|{"truncated": |}
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let on = with_obs ~enabled:true in
@@ -375,5 +423,12 @@ let () =
           Alcotest.test_case "json round trip" `Quick (on test_json_sink_round_trip);
           Alcotest.test_case "pretty output" `Quick (on test_pretty_sink_output);
           Alcotest.test_case "null" `Quick (on test_null_sink);
+        ] );
+      ( "doc",
+        [
+          Alcotest.test_case "metrics rows" `Quick (off test_doc_metrics_rows);
+          Alcotest.test_case "trace rows" `Quick (off test_doc_trace_rows);
+          Alcotest.test_case "rejects malformed" `Quick
+            (off test_doc_rejects_malformed);
         ] );
     ]

@@ -1,0 +1,465 @@
+(* Tests for the serve layer: codec round trips (qcheck), the LRU result
+   cache, cache-key discrimination, and the live daemon — cache hits
+   bit-identical to cold runs and to a direct pipeline run, budget and
+   admission error shapes, concurrent-client determinism, graceful
+   shutdown draining in-flight work, and the stats endpoint. *)
+
+module Proto = Socy_serve.Protocol
+module Cache = Socy_serve.Cache
+module Server = Socy_serve.Server
+module Json = Socy_obs.Json
+module P = Socy_core.Pipeline
+module S = Socy_benchmarks.Suite
+module Scheme = Socy_order.Scheme
+module H = Socy_order.Heuristics
+module Model = Socy_defects.Model
+
+(* ------------------------------------------------------------------ *)
+(* Codec round trip                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mv_orders =
+  [
+    Scheme.Wv;
+    Scheme.Wvr;
+    Scheme.Vw;
+    Scheme.Vrw;
+    Scheme.Heur H.Topology;
+    Scheme.Heur H.Weight;
+    Scheme.Heur H.H4;
+  ]
+
+let bit_orders =
+  [
+    Scheme.Ml;
+    Scheme.Lm;
+    Scheme.Heur_bits H.Topology;
+    Scheme.Heur_bits H.Weight;
+    Scheme.Heur_bits H.H4;
+  ]
+
+let gen_request =
+  QCheck.Gen.(
+    let* meth =
+      oneofl
+        [
+          Proto.Eval;
+          Proto.Conditional_yields;
+          Proto.Importance;
+          Proto.Stats;
+          Proto.Health;
+          Proto.Shutdown;
+        ]
+    in
+    let* id =
+      oneof
+        [
+          return Json.Null;
+          map (fun n -> Json.Int n) small_nat;
+          map (fun s -> Json.String ("req-" ^ string_of_int s)) small_nat;
+        ]
+    in
+    let* query =
+      if not (Proto.is_evaluation meth) then return None
+      else
+        let* source =
+          oneof
+            [
+              map (fun s -> Proto.Benchmark s) (oneofl [ "MS2"; "MS4"; "nope" ]);
+              map
+                (fun s -> Proto.Fault_tree s)
+                (oneofl [ "x0 & x1"; "x0 | atleast(2; x1, x2, x3)" ]);
+            ]
+        in
+        let* lambda = oneofl [ 0.5; 1.0; 10.0; 17.25; 3.141592653589793 ] in
+        let* alpha = oneofl [ 0.25; 1.0; 2.5 ] in
+        let* p_lethal = oneofl [ 0.01; 0.1; 0.97 ] in
+        let* epsilon = oneofl [ 1e-3; 1e-4; 0.125 ] in
+        let* mv_order = oneofl mv_orders in
+        let* bit_order = oneofl bit_orders in
+        let* node_limit = oneofl [ None; Some 1000; Some 40_000_000 ] in
+        let* cpu_limit = oneofl [ None; Some 1.5; Some 60.0 ] in
+        return
+          (Some
+             {
+               Proto.source;
+               lambda;
+               alpha;
+               p_lethal;
+               epsilon;
+               mv_order;
+               bit_order;
+               node_limit;
+               cpu_limit;
+             })
+    in
+    return { Proto.id; meth; query })
+
+let request_print r = Json.to_string (Proto.request_to_json r)
+let arb_request = QCheck.make ~print:request_print gen_request
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"request_of_json (request_to_json r) = Ok r" ~count:500
+    arb_request (fun r ->
+      match Proto.request_of_json (Proto.request_to_json r) with
+      | Ok r' -> r' = r
+      | Error (_, msg) -> QCheck.Test.fail_reportf "decode failed: %s" msg)
+
+let qcheck_wire_roundtrip =
+  QCheck.Test.make
+    ~name:"parse_request (to_string (request_to_json r)) = Ok r" ~count:500
+    arb_request (fun r ->
+      match Proto.parse_request (Json.to_string (Proto.request_to_json r)) with
+      | Ok r' -> r' = r
+      | Error (_, msg) -> QCheck.Test.fail_reportf "decode failed: %s" msg)
+
+let decode_error line =
+  match Proto.parse_request line with
+  | Ok _ -> Alcotest.failf "expected a decode error for %s" line
+  | Error (code, _) -> code
+
+let code =
+  Alcotest.testable
+    (fun fmt c -> Format.pp_print_string fmt (Proto.error_code_name c))
+    ( = )
+
+let test_decode_errors () =
+  Alcotest.check code "not JSON" Proto.Parse_error (decode_error "{nope");
+  Alcotest.check code "not an object" Proto.Invalid_request (decode_error "[1]");
+  Alcotest.check code "missing version" Proto.Invalid_request
+    (decode_error {|{"method":"health"}|});
+  Alcotest.check code "wrong version" Proto.Unsupported_version
+    (decode_error {|{"socyield-serve":2,"method":"health"}|});
+  Alcotest.check code "unknown method" Proto.Unknown_method
+    (decode_error {|{"socyield-serve":1,"method":"frobnicate"}|});
+  Alcotest.check code "eval without params" Proto.Invalid_request
+    (decode_error {|{"socyield-serve":1,"method":"eval"}|});
+  Alcotest.check code "both sources" Proto.Invalid_request
+    (decode_error
+       {|{"socyield-serve":1,"method":"eval","params":{"benchmark":"MS2","fault_tree":"x0"}}|});
+  Alcotest.check code "bad node_limit" Proto.Invalid_request
+    (decode_error
+       {|{"socyield-serve":1,"method":"eval","params":{"benchmark":"MS2","node_limit":-3}}|})
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Alcotest.(check (option int)) "a cached" (Some 1) (Cache.find c "a");
+  (* a is now more recent than b, so inserting c evicts b. *)
+  Cache.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Cache.find c "a");
+  Alcotest.(check (option int)) "c cached" (Some 3) (Cache.find c "c");
+  Alcotest.(check int) "size at capacity" 2 (Cache.size c);
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 3 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Alcotest.(check int) "evictions" 1 s.Cache.evictions
+
+let test_cache_replace () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c "k" 1;
+  Cache.add c "k" 2;
+  Alcotest.(check (option int)) "replaced" (Some 2) (Cache.find c "k");
+  Alcotest.(check int) "no duplicate entry" 1 (Cache.size c);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Cache.create: capacity < 1") (fun () ->
+      ignore (Cache.create ~capacity:0 ()))
+
+let base_query =
+  {
+    Proto.source = Proto.Benchmark "MS2";
+    lambda = 10.0;
+    alpha = S.alpha;
+    p_lethal = S.p_lethal;
+    epsilon = S.epsilon;
+    mv_order = Scheme.Heur H.Weight;
+    bit_order = Scheme.Ml;
+    node_limit = None;
+    cpu_limit = None;
+  }
+
+let test_cache_key_discriminates () =
+  let resolved =
+    match Proto.resolve base_query with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "resolve failed: %s" msg
+  in
+  let key ?(meth = Proto.Eval) ?(node_limit = 1000) ?cpu_limit q =
+    Proto.cache_key ~meth ~resolved ~node_limit ~cpu_limit q
+  in
+  Alcotest.(check string) "stable" (key base_query) (key base_query);
+  Alcotest.(check bool) "epsilon keyed" false
+    (key base_query = key { base_query with Proto.epsilon = 1e-4 });
+  Alcotest.(check bool) "lambda keyed" false
+    (key base_query = key { base_query with Proto.lambda = 10.5 });
+  Alcotest.(check bool) "ordering keyed" false
+    (key base_query = key { base_query with Proto.mv_order = Scheme.Wv });
+  Alcotest.(check bool) "method keyed" false
+    (key base_query = key ~meth:Proto.Conditional_yields base_query);
+  Alcotest.(check bool) "budget keyed" false
+    (key base_query = key ~node_limit:2000 base_query)
+
+(* ------------------------------------------------------------------ *)
+(* Live server helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ?(tweak = fun c -> c) f =
+  let path = Filename.temp_file "socy_serve" ".sock" in
+  Sys.remove path;
+  let cfg = tweak (Server.config ~domains:2 ~socket_path:path ()) in
+  let server = Server.create cfg in
+  let th = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join th;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path server)
+
+type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let disconnect c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send_line c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc
+
+let roundtrip c req =
+  send_line c (Json.to_string req);
+  Json.of_string (input_line c.ic)
+
+let with_client path f =
+  let c = connect path in
+  Fun.protect ~finally:(fun () -> disconnect c) (fun () -> f c)
+
+let request ?(id = 1) meth query =
+  Proto.request_to_json { Proto.id = Json.Int id; meth; query }
+
+let member_exn path j =
+  List.fold_left
+    (fun j k ->
+      match Json.member k j with
+      | Some v -> v
+      | None -> Alcotest.failf "reply missing %S" k)
+    j path
+
+let str_at path j =
+  match member_exn path j with
+  | Json.String s -> s
+  | _ -> Alcotest.failf "%s not a string" (String.concat "." path)
+
+(* ------------------------------------------------------------------ *)
+(* Live server tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The tentpole guarantee: the second identical query is answered from the
+   cache, bit-identically to the cold run, which itself matches a direct
+   pipeline run bit for bit. *)
+let test_cache_hit_bit_identical () =
+  with_server (fun path server ->
+      with_client path (fun c ->
+          let q = { base_query with Proto.node_limit = Some 10_000_000 } in
+          let req = request Proto.Eval (Some q) in
+          let first = roundtrip c req in
+          let second = roundtrip c req in
+          Alcotest.(check string) "first is a miss" "miss" (str_at [ "cache" ] first);
+          Alcotest.(check string) "second is a hit" "hit" (str_at [ "cache" ] second);
+          Alcotest.(check string)
+            "replayed result is bit-identical"
+            (Json.to_string (member_exn [ "result" ] first))
+            (Json.to_string (member_exn [ "result" ] second));
+          let served_yield =
+            match member_exn [ "result"; "report"; "yield_lower" ] first with
+            | Json.Float f -> f
+            | _ -> Alcotest.fail "yield_lower not a float"
+          in
+          let direct =
+            let resolved =
+              match Proto.resolve q with
+              | Ok r -> r
+              | Error msg -> Alcotest.failf "resolve: %s" msg
+            in
+            let config =
+              P.Config.make ~epsilon:q.Proto.epsilon ~mv_order:q.Proto.mv_order
+                ~bit_order:q.Proto.bit_order ~node_limit:10_000_000 ()
+            in
+            match P.run ~config resolved.Proto.circuit resolved.Proto.model with
+            | Ok r -> r.P.yield_lower
+            | Error f -> Alcotest.failf "direct run failed: %s" (P.failure_to_string f)
+          in
+          Alcotest.(check int64)
+            "served yield has the exact bits of a direct run"
+            (Int64.bits_of_float direct)
+            (Int64.bits_of_float served_yield);
+          (* One pipeline run happened, not two. *)
+          let stats = roundtrip c (request ~id:3 Proto.Stats None) in
+          let n path =
+            match member_exn path stats with
+            | Json.Int i -> i
+            | _ -> Alcotest.failf "%s not an int" (String.concat "." path)
+          in
+          Alcotest.(check int) "one cache hit" 1 (n [ "result"; "cache"; "hits" ]);
+          Alcotest.(check int) "one cache miss" 1 (n [ "result"; "cache"; "misses" ]);
+          ignore server))
+
+let test_budget_rejection_shape () =
+  with_server (fun path _server ->
+      with_client path (fun c ->
+          let q = { base_query with Proto.node_limit = Some 2000 } in
+          let reply = roundtrip c (request Proto.Eval (Some q)) in
+          Alcotest.(check string) "status" "error" (str_at [ "status" ] reply);
+          Alcotest.(check string) "code" "budget-exhausted"
+            (str_at [ "error"; "code" ] reply);
+          Alcotest.(check string) "kind" "node-budget"
+            (str_at [ "error"; "details"; "kind" ] reply);
+          (* Node-budget failures are deterministic, so they are cached too. *)
+          let again = roundtrip c (request ~id:2 Proto.Eval (Some q)) in
+          Alcotest.(check string) "failure replayed from cache" "hit"
+            (str_at [ "cache" ] again)))
+
+let test_admission_rejection () =
+  with_server
+    (* Through the builder, like the CLI: a cap below the stock default
+       must actually lower the cap (and the default with it). *)
+    ~tweak:(fun cfg ->
+      Server.config ~domains:2 ~max_node_limit:1_000_000
+        ~socket_path:cfg.Server.socket_path ())
+    (fun path _server ->
+      with_client path (fun c ->
+          let q = { base_query with Proto.node_limit = Some 2_000_000 } in
+          let reply = roundtrip c (request Proto.Eval (Some q)) in
+          Alcotest.(check string) "status" "error" (str_at [ "status" ] reply);
+          Alcotest.(check string) "code" "admission-rejected"
+            (str_at [ "error"; "code" ] reply);
+          (* Rejected before running: nothing was computed or cached. *)
+          let stats = roundtrip c (request ~id:2 Proto.Stats None) in
+          match member_exn [ "result"; "cache"; "size" ] stats with
+          | Json.Int 0 -> ()
+          | _ -> Alcotest.fail "rejected request must not populate the cache"))
+
+let test_invalid_query () =
+  with_server (fun path _server ->
+      with_client path (fun c ->
+          let q = { base_query with Proto.source = Proto.Benchmark "NOPE" } in
+          let reply = roundtrip c (request Proto.Eval (Some q)) in
+          Alcotest.(check string) "code" "invalid-request"
+            (str_at [ "error"; "code" ] reply)))
+
+(* Four clients, two distinct queries, two worker domains: every client
+   of one query sees the same bytes. *)
+let test_concurrent_clients_deterministic () =
+  with_server (fun path _server ->
+      let lambdas = [| 10.0; 12.0; 10.0; 12.0 |] in
+      let results = Array.make 4 "" in
+      let worker i =
+        with_client path (fun c ->
+            let q = { base_query with Proto.lambda = lambdas.(i) } in
+            let reply = roundtrip c (request ~id:i Proto.Eval (Some q)) in
+            results.(i) <- Json.to_string (member_exn [ "result" ] reply))
+      in
+      let threads = Array.init 4 (fun i -> Thread.create worker i) in
+      Array.iter Thread.join threads;
+      Alcotest.(check string) "lambda=10 clients agree" results.(0) results.(2);
+      Alcotest.(check string) "lambda=12 clients agree" results.(1) results.(3);
+      Alcotest.(check bool) "distinct queries differ" false
+        (results.(0) = results.(1)))
+
+(* stop() while a request is in flight: the reply still arrives, then the
+   daemon drains and run returns. *)
+let test_graceful_shutdown_drains () =
+  with_server (fun path server ->
+      with_client path (fun c ->
+          let q = { base_query with Proto.source = Proto.Benchmark "MS4" } in
+          send_line c (Json.to_string (request Proto.Eval (Some q)));
+          (* Let the request reach admission before initiating shutdown. *)
+          Thread.delay 0.1;
+          Server.stop server;
+          let reply = Json.of_string (input_line c.ic) in
+          Alcotest.(check string) "in-flight request still answered" "ok"
+            (str_at [ "status" ] reply)))
+
+let test_shutdown_method () =
+  with_server (fun path server ->
+      with_client path (fun c ->
+          let reply = roundtrip c (request Proto.Shutdown None) in
+          Alcotest.(check string) "ack" "ok" (str_at [ "status" ] reply));
+      (* run returns once the drain completes; bounded by alcotest's
+         per-test timeout rather than an explicit one here. *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait () =
+        match Json.member "uptime_s" (Server.stats_json server) with
+        | _ when not (Sys.file_exists path) -> ()
+        | _ ->
+            if Unix.gettimeofday () > deadline then
+              Alcotest.fail "socket file not unlinked after shutdown"
+            else begin
+              Thread.delay 0.05;
+              wait ()
+            end
+      in
+      wait ())
+
+let test_health_and_draining_reject () =
+  with_server (fun path server ->
+      with_client path (fun c ->
+          let reply = roundtrip c (request Proto.Health None) in
+          Alcotest.(check string) "ok" "ok" (str_at [ "status" ] reply);
+          Alcotest.(check string) "protocol name" "socyield-serve/1"
+            (str_at [ "result"; "protocol" ] reply);
+          Server.stop server;
+          (* The connection is already open; new work must be refused. *)
+          match roundtrip c (request ~id:2 Proto.Health None) with
+          | reply ->
+              Alcotest.(check string) "draining reply" "shutting-down"
+                (str_at [ "error"; "code" ] reply)
+          | exception End_of_file ->
+              (* The drain won the race and closed the connection first —
+                 equally correct: no new work was accepted. *)
+              ()))
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "socy_serve"
+    [
+      ( "codec",
+        qsuite [ qcheck_roundtrip; qcheck_wire_roundtrip ]
+        @ [ Alcotest.test_case "decode errors" `Quick test_decode_errors ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru;
+          Alcotest.test_case "replacement" `Quick test_cache_replace;
+          Alcotest.test_case "key discrimination" `Quick
+            test_cache_key_discriminates;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "cache hit is bit-identical" `Quick
+            test_cache_hit_bit_identical;
+          Alcotest.test_case "budget rejection shape" `Quick
+            test_budget_rejection_shape;
+          Alcotest.test_case "admission rejection" `Quick test_admission_rejection;
+          Alcotest.test_case "invalid query" `Quick test_invalid_query;
+          Alcotest.test_case "concurrent clients deterministic" `Quick
+            test_concurrent_clients_deterministic;
+          Alcotest.test_case "graceful shutdown drains" `Quick
+            test_graceful_shutdown_drains;
+          Alcotest.test_case "shutdown method" `Quick test_shutdown_method;
+          Alcotest.test_case "health and draining" `Quick
+            test_health_and_draining_reject;
+        ] );
+    ]
