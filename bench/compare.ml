@@ -17,6 +17,11 @@
      the `trace_*` and `gc_*` accounting fields (they describe the
      observability layer, not the workload) — all recorded for
      trend-reading only, never gated;
+   - node-count peaks (`robdd_peak` / `peak_nodes` fields) growing by more
+     than 10% on any row are a performance failure: peaks are
+     deterministic node counts, not timings, so growth means the ordering
+     or sifting logic regressed — raising the baseline must be a conscious
+     edit, not noise;
    - every offending row/field is reported before the non-zero exit, so
      one run lists the complete set of regressions;
    - any fresh record carrying `seq_yield_drift` (the curves section's
@@ -33,6 +38,8 @@ module Json = Socy_obs.Json
 let yield_tolerance = 1e-12
 let cpu_regression_factor = 1.25
 let cpu_noise_floor_s = 0.05
+let peak_regression_factor = 1.10
+let peak_fields = [ "robdd_peak"; "peak_nodes" ]
 
 (* The 25% gate applies to fields named `*_s` unless an exempt prefix
    matches: wall clock is co-tenancy noise, trace_*/gc_* are accounting. *)
@@ -122,7 +129,23 @@ let () =
                 | Some cb, None when cb >= cpu_noise_floor_s ->
                     fail "%s: %s missing from fresh run" label field
                 | _ -> ())
-            fields))
+            fields;
+          (* Peak-node gate: deterministic counts, so any growth beyond
+             the 10% allowance is a sifting/ordering regression. *)
+          List.iter
+            (fun field ->
+              match (number field b, number field f) with
+              | Some pb, Some pf ->
+                  if pf > pb *. peak_regression_factor then
+                    fail "%s: %s grew %.0f%% (%.0f -> %.0f nodes)" label field
+                      ((pf /. pb -. 1.0) *. 100.0)
+                      pb pf
+                  else
+                    Printf.printf "ok    %s: %s %.0f -> %.0f nodes\n" label
+                      field pb pf
+              | Some _, None -> fail "%s: %s missing from fresh run" label field
+              | None, _ -> ())
+            peak_fields))
     base;
   (* Sequential-equivalence gate: checked on the fresh run alone, so a
      drifting parallel batch fails even on the PR that introduces it. *)

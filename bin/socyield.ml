@@ -71,27 +71,75 @@ let node_limit_arg =
   let doc = "Live ROBDD node budget before the run is declared failed." in
   Arg.(value & opt int 40_000_000 & info [ "node-limit" ] ~docv:"N" ~doc)
 
+let reorder_arg =
+  let doc =
+    "Enable group-aware dynamic variable reordering (Rudell sifting) during \
+     the coded-ROBDD build. The order is walked back to the static scheme \
+     before the ROMDD conversion, so the yield is bit-identical; only the \
+     transient peak changes."
+  in
+  Arg.(value & flag & info [ "reorder" ] ~doc)
+
+let registry_arg =
+  let doc =
+    "Path of the tuned-ordering registry (the versioned text file written \
+     by 'socyield tune')."
+  in
+  Arg.(
+    value
+    & opt string "orderings.tsv"
+    & info [ "registry" ] ~docv:"FILE" ~doc)
+
+let tuned_arg =
+  let doc =
+    "Resolve the ordering scheme and reorder flag from the registry entry \
+     for the --benchmark family (see 'socyield tune'); overrides \
+     --mv-order/--bit-order/--reorder."
+  in
+  Arg.(value & flag & info [ "tuned" ] ~doc)
+
+(* --tuned resolution, shared by eval and query: the registry entry for
+   the benchmark family replaces the static flags. *)
+let resolve_tuned ~tuned ~registry ~benchmark ~mv ~bits ~reorder =
+  if not tuned then (mv, bits, reorder)
+  else
+    match benchmark with
+    | None ->
+        prerr_endline
+          "--tuned needs --benchmark (the registry is keyed by benchmark \
+           family)";
+        exit 2
+    | Some family -> (
+        let entries =
+          match Socy_order.Registry.load registry with
+          | entries -> entries
+          | exception Failure msg ->
+              prerr_endline msg;
+              exit 2
+        in
+        match Socy_order.Registry.find entries ~family with
+        | None ->
+            Printf.eprintf
+              "no tuned ordering for %S in %s — run 'socyield tune -b %s' \
+               first\n"
+              family registry family;
+            exit 2
+        | Some e ->
+            Socy_order.Registry.(e.mv, e.bit, e.reorder))
+
 let mv_order_conv =
-  let parse = function
-    | "wv" -> Ok Scheme.Wv
-    | "wvr" -> Ok Scheme.Wvr
-    | "vw" -> Ok Scheme.Vw
-    | "vrw" -> Ok Scheme.Vrw
-    | "t" -> Ok (Scheme.Heur H.Topology)
-    | "w" -> Ok (Scheme.Heur H.Weight)
-    | "h" -> Ok (Scheme.Heur H.H4)
-    | s -> Error (`Msg (Printf.sprintf "unknown mv ordering %S" s))
+  let parse s =
+    match Scheme.mv_order_of_name s with
+    | Some mv -> Ok mv
+    | None -> Error (`Msg (Printf.sprintf "unknown mv ordering %S" s))
   in
   Arg.conv (parse, fun fmt mv -> Format.pp_print_string fmt (Scheme.mv_order_name mv))
 
 let bit_order_conv =
-  let parse = function
-    | "ml" -> Ok Scheme.Ml
-    | "lm" -> Ok Scheme.Lm
-    | "t" -> Ok (Scheme.Heur_bits H.Topology)
-    | "w" -> Ok (Scheme.Heur_bits H.Weight)
-    | "h" -> Ok (Scheme.Heur_bits H.H4)
-    | s -> Error (`Msg (Printf.sprintf "unknown bit ordering %S" s))
+  let parse s =
+    match Scheme.bit_order_of_name s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown bit ordering %S" s))
   in
   Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt (Scheme.bit_order_name b))
 
@@ -157,7 +205,7 @@ let resolve ~fault_tree ~benchmark ~lambda ~alpha ~p_lethal =
 (* Run reports (--metrics)                                             *)
 (* ------------------------------------------------------------------ *)
 
-let report_json ~source ~epsilon ~mv ~bits (r : P.report) =
+let report_json ~source ~epsilon ~mv ~bits ~reorder (r : P.report) =
   let ite_calls = r.P.ite_cache_hits + r.P.ite_cache_misses in
   let hit_rate =
     if ite_calls = 0 then 0.0
@@ -173,6 +221,7 @@ let report_json ~source ~epsilon ~mv ~bits (r : P.report) =
             ("epsilon", Json.Float epsilon);
             ("mv_order", Json.String (Scheme.mv_order_name mv));
             ("bit_order", Json.String (Scheme.bit_order_name bits));
+            ("reorder", Json.Bool reorder);
           ] );
       (* The deterministic fields come from the serve protocol's canonical
          list, so a daemon reply's [result.report] and this document agree
@@ -249,7 +298,10 @@ let write_trace out =
 
 let eval_cmd =
   let run fault_tree benchmark lambda alpha p_lethal epsilon node_limit mv bits
-      metrics metrics_out trace_out =
+      reorder tuned registry metrics metrics_out trace_out =
+    let mv, bits, reorder =
+      resolve_tuned ~tuned ~registry ~benchmark ~mv ~bits ~reorder
+    in
     match resolve ~fault_tree ~benchmark ~lambda ~alpha ~p_lethal with
     | Error msg ->
         prerr_endline msg;
@@ -257,7 +309,8 @@ let eval_cmd =
     | Ok (circuit, model) -> (
         if metrics <> None || trace_out <> None then Obs.set_enabled true;
         let config =
-          P.Config.make ~epsilon ~node_limit ~mv_order:mv ~bit_order:bits ()
+          P.Config.make ~epsilon ~node_limit ~mv_order:mv ~bit_order:bits
+            ~reorder ()
         in
         let source =
           match (benchmark, fault_tree) with
@@ -309,6 +362,10 @@ let eval_cmd =
               Printf.printf "coded ROBDD     %s nodes (peak %s)\n"
                 (Text_table.group_thousands r.P.robdd_size)
                 (Text_table.group_thousands r.P.robdd_peak);
+              if reorder then
+                Printf.printf "reordering      %d sift run(s), %s swap(s)\n"
+                  r.P.reorder_runs
+                  (Text_table.group_thousands r.P.reorder_swaps);
               Printf.printf "ROMDD           %s nodes\n"
                 (Text_table.group_thousands r.P.romdd_size);
               Printf.printf "CPU time        %.2f s\n" r.P.cpu_seconds
@@ -317,7 +374,8 @@ let eval_cmd =
             | None -> ()
             | Some `Json ->
                 with_metrics_channel metrics_out (fun oc ->
-                    Json.to_channel oc (report_json ~source ~epsilon ~mv ~bits r))
+                    Json.to_channel oc
+                      (report_json ~source ~epsilon ~mv ~bits ~reorder r))
             | Some `Pretty ->
                 with_metrics_channel metrics_out (fun oc ->
                     Printf.fprintf oc "\nstage times:\n";
@@ -339,7 +397,8 @@ let eval_cmd =
     Term.(
       const run $ fault_tree_arg $ benchmark_arg $ lambda_arg $ alpha_arg
       $ p_lethal_arg $ epsilon_arg $ node_limit_arg $ mv_order_arg $ bit_order_arg
-      $ metrics_arg $ metrics_out_arg $ trace_arg)
+      $ reorder_arg $ tuned_arg $ registry_arg $ metrics_arg $ metrics_out_arg
+      $ trace_arg)
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate the yield of a fault-tolerant system-on-chip")
@@ -424,8 +483,8 @@ let sweep_cmd =
     Arg.(value & flag & info [ "progress" ] ~doc)
   in
   let run fault_tree benchmarks lambdas epsilons mvs bits alpha p_lethal node_limit
-      domains wall_budget check_seq output out metrics metrics_out trace_out
-      progress =
+      reorder domains wall_budget check_seq output out metrics metrics_out
+      trace_out progress =
     if metrics <> None || trace_out <> None then Obs.set_enabled true;
     let sources =
       match (fault_tree, benchmarks) with
@@ -476,7 +535,7 @@ let sweep_cmd =
                        (fun mv ->
                          let config =
                            P.Config.make ~epsilon ~node_limit ~mv_order:mv
-                             ~bit_order:bits ()
+                             ~bit_order:bits ~reorder ()
                          in
                          let label =
                            Printf.sprintf "%s l=%g e=%g %s" src lambda epsilon
@@ -655,14 +714,187 @@ let sweep_cmd =
     Term.(
       const run $ fault_tree_arg $ benchmarks_arg $ lambdas_arg $ epsilons_arg
       $ mv_orders_arg $ bit_order_arg $ alpha_arg $ p_lethal_arg $ node_limit_arg
-      $ domains_arg $ wall_budget_arg $ check_seq_arg $ output_arg $ out_arg
-      $ metrics_arg $ metrics_out_arg $ trace_arg $ progress_arg)
+      $ reorder_arg $ domains_arg $ wall_budget_arg $ check_seq_arg $ output_arg
+      $ out_arg $ metrics_arg $ metrics_out_arg $ trace_arg $ progress_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Evaluate a grid of (benchmark x lambda x epsilon x ordering) runs in \
           parallel across domains (cf. Tables 2-4 and the yield curves)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* tune                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The ordering autotuner: tournament the Table 2 static mv orderings,
+   each with and without dynamic reordering, per benchmark family, and
+   persist the winners to the on-disk registry that --tuned resolves.
+   The winner is deterministic: among completed runs, lowest ROBDD peak,
+   then lowest final size, then grid order — and the yields are
+   bit-identical across the whole grid row for a family (reordering is
+   walked back before the ROMDD conversion), so only memory is at stake. *)
+let tune_cmd =
+  let module Registry = Socy_order.Registry in
+  let benchmarks_arg =
+    let doc =
+      "Comma-separated benchmark families to tune, e.g. MS2,MS4,ESEN4x1."
+    in
+    Arg.(
+      required
+      & opt (some (list string)) None
+      & info [ "b"; "benchmarks" ] ~docv:"NAMES" ~doc)
+  in
+  let domains_arg =
+    let doc =
+      "Worker domains for the tournament; 0 means the runtime's recommended \
+       domain count."
+    in
+    Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let run benchmarks lambda alpha epsilon node_limit domains registry =
+    let instances =
+      List.map
+        (fun name ->
+          match S.by_name name with
+          | exception Not_found ->
+              Printf.eprintf "unknown benchmark %S\n" name;
+              exit 2
+          | i -> (name, i))
+        benchmarks
+    in
+    let existing =
+      match Registry.load registry with
+      | entries -> entries
+      | exception Failure msg ->
+          prerr_endline msg;
+          exit 2
+    in
+    (* One flat batch over families × mv orders × {static, sifted}: the
+       pool schedules across families, so one blown-up candidate doesn't
+       serialize the rest. *)
+    let grid =
+      List.concat_map
+        (fun (family, instance) ->
+          let model =
+            Model.create (D.negative_binomial ~mean:lambda ~alpha)
+              instance.S.affect
+          in
+          let lethal = Model.to_lethal model in
+          List.concat_map
+            (fun mv ->
+              List.map
+                (fun reorder ->
+                  let config =
+                    P.Config.make ~epsilon ~node_limit ~mv_order:mv
+                      ~bit_order:Scheme.Ml ~reorder ()
+                  in
+                  let label =
+                    Printf.sprintf "%s %s%s" family (Scheme.mv_order_name mv)
+                      (if reorder then "+sift" else "")
+                  in
+                  ( (family, mv, reorder),
+                    P.job ~config ~label instance.S.circuit lethal ))
+                [ false; true ])
+            Scheme.table2_mv_orders)
+        instances
+    in
+    let points, jobs = List.split grid in
+    let domains = if domains <= 0 then Pool.default_domains () else domains in
+    let results = P.run_batch ~domains jobs in
+    let rows = List.combine points results in
+    let t =
+      Text_table.create
+        ~aligns:[ Left; Left; Left; Right; Right; Right; Left ]
+        [ "family"; "mv"; "sift"; "peak"; "size"; "CPU (s)"; "status" ]
+    in
+    let tuned, missing =
+      List.fold_left
+        (fun (acc, missing) (family, _) ->
+          let candidates =
+            List.filter_map
+              (fun ((f, mv, reorder), result) ->
+                match result with
+                | Ok r when f = family -> Some (mv, reorder, r)
+                | _ -> None)
+              rows
+          in
+          let winner =
+            List.fold_left
+              (fun best (mv, reorder, r) ->
+                match best with
+                | Some (_, _, b)
+                  when (b.P.robdd_peak, b.P.robdd_size)
+                       <= (r.P.robdd_peak, r.P.robdd_size) ->
+                    best
+                | _ -> Some (mv, reorder, r))
+              None candidates
+          in
+          match winner with
+          | None ->
+              Printf.eprintf
+                "socyield tune: every candidate for %S failed its budget — \
+                 no registry entry written\n"
+                family;
+              (acc, true)
+          | Some (mv, reorder, r) ->
+              ( Registry.upsert acc
+                  {
+                    Registry.family;
+                    mv;
+                    bit = Scheme.Ml;
+                    reorder;
+                    peak_nodes = r.P.robdd_peak;
+                  },
+                missing ))
+        (existing, false) instances
+    in
+    List.iter
+      (fun ((family, mv, reorder), result) ->
+        let won =
+          match Registry.find tuned ~family with
+          | Some e -> e.Registry.mv = mv && e.Registry.reorder = reorder
+          | None -> false
+        in
+        let cells =
+          match result with
+          | Ok r ->
+              [
+                Text_table.group_thousands r.P.robdd_peak;
+                Text_table.group_thousands r.P.robdd_size;
+                Printf.sprintf "%.2f" r.P.cpu_seconds;
+                (if won then "ok *winner*" else "ok");
+              ]
+          | Error f -> [ "-"; "-"; "-"; P.failure_to_string f ]
+        in
+        Text_table.add_row t
+          (family
+          :: Scheme.mv_order_name mv
+          :: (if reorder then "yes" else "no")
+          :: cells))
+      rows;
+    print_string (Text_table.render t);
+    (match Registry.save registry tuned with
+    | () -> Printf.printf "registry: %s (%d entr%s)\n" registry
+              (List.length tuned)
+              (if List.length tuned = 1 then "y" else "ies")
+    | exception Sys_error msg ->
+        Printf.eprintf "socyield tune: cannot write registry: %s\n" msg;
+        exit 1);
+    if missing then exit 1
+  in
+  let term =
+    Term.(
+      const run $ benchmarks_arg $ lambda_arg $ alpha_arg $ epsilon_arg
+      $ node_limit_arg $ domains_arg $ registry_arg)
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Tournament static orderings with and without sifting per benchmark \
+          family and persist the winners to the --registry file consumed by \
+          'eval --tuned' and 'query --tuned'")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -938,6 +1170,32 @@ let serve_cmd =
   in
   let run socket domains cache_capacity max_inflight node_limit max_node_limit
       cpu_limit max_cpu_limit force trace_out =
+    (* Out-of-range flags die with a one-line usage error before any
+       socket exists — never as an uncaught Invalid_argument from deeper
+       layers with the listener already bound. *)
+    let usage_fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          Printf.eprintf "socyield serve: %s\n" msg;
+          exit 2)
+        fmt
+    in
+    let positive_int name = function
+      | Some n when n < 1 -> usage_fail "%s must be at least 1 (got %d)" name n
+      | _ -> ()
+    in
+    let positive_float name = function
+      | Some s when (not (Float.is_finite s)) || s <= 0.0 ->
+          usage_fail "%s must be a positive finite number (got %g)" name s
+      | _ -> ()
+    in
+    positive_int "--domains" domains;
+    positive_int "--cache-capacity" (Some cache_capacity);
+    positive_int "--max-inflight" max_inflight;
+    positive_int "--node-limit" (Some node_limit);
+    positive_int "--max-node-limit" max_node_limit;
+    positive_float "--cpu-limit" cpu_limit;
+    positive_float "--max-cpu-limit" max_cpu_limit;
     if trace_out <> None then Obs.set_enabled true;
     let cfg =
       Server.config ?domains ~cache_capacity ?max_inflight
@@ -1024,7 +1282,11 @@ let query_cmd =
     Arg.(value & flag & info [ "twice" ] ~doc)
   in
   let run socket meth fault_tree benchmark lambda alpha p_lethal epsilon mv bits
-      node_limit cpu_limit twice =
+      node_limit cpu_limit reorder tuned registry twice =
+    let mv, bits, reorder =
+      if tuned && not (Proto.is_evaluation meth) then (mv, bits, reorder)
+      else resolve_tuned ~tuned ~registry ~benchmark ~mv ~bits ~reorder
+    in
     let query =
       if not (Proto.is_evaluation meth) then None
       else
@@ -1052,6 +1314,7 @@ let query_cmd =
             bit_order = bits;
             node_limit;
             cpu_limit;
+            reorder;
           }
     in
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -1116,7 +1379,8 @@ let query_cmd =
     Term.(
       const run $ socket_arg $ meth_arg $ fault_tree_arg $ benchmark_arg
       $ lambda_arg $ alpha_arg $ p_lethal_arg $ epsilon_arg $ mv_order_arg
-      $ bit_order_arg $ node_limit_opt_arg $ cpu_limit_opt_arg $ twice_arg)
+      $ bit_order_arg $ node_limit_opt_arg $ cpu_limit_opt_arg $ reorder_arg
+      $ tuned_arg $ registry_arg $ twice_arg)
   in
   Cmd.v
     (Cmd.info "query"
@@ -1172,6 +1436,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            eval_cmd; sweep_cmd; serve_cmd; query_cmd; report_cmd; mc_cmd;
-            orders_cmd; list_cmd; dot_cmd; cutsets_cmd;
+            eval_cmd; sweep_cmd; tune_cmd; serve_cmd; query_cmd; report_cmd;
+            mc_cmd; orders_cmd; list_cmd; dot_cmd; cutsets_cmd;
           ]))

@@ -6,12 +6,26 @@ type stats = {
   final_size : int;
   created : int;
   gc_runs : int;
+  reorders : int;
+  reorder_swaps : int;
 }
 
-let of_circuit ?(gc_threshold = 500_000) m circuit ~var_of_input =
+let of_circuit ?(gc_threshold = 500_000) ?(reorder = false)
+    ?(reorder_threshold = 4_096) m circuit ~var_of_input =
   Manager.reset_peak m;
   let created_before = Manager.created_total m in
   let gc_before = Manager.gc_count m in
+  let rstats_before = Manager.reorder_stats m in
+  (* CUDD-style doubling schedule: sift once the live count crosses the
+     threshold, then push the threshold to twice the post-sift size so a
+     converged build stops paying for reordering. *)
+  let next_reorder = ref (max reorder_threshold 1) in
+  let maybe_reorder () =
+    if reorder && Manager.alive m >= !next_reorder then begin
+      Manager.sift m;
+      next_reorder := max (2 * Manager.alive m) (max reorder_threshold 1)
+    end
+  in
   let order = C.postorder circuit in
   let fanout = C.fanout circuit in
   (* Circuit ids are dense (allocated by a per-builder counter), so flat
@@ -90,15 +104,20 @@ let of_circuit ?(gc_threshold = 500_000) m circuit ~var_of_input =
                 bdd
           in
           bdd_of.(n.C.id) <- bdd;
-          if Manager.dead m >= gc_threshold then Manager.collect m)
+          if Manager.dead m >= gc_threshold then Manager.collect m;
+          maybe_reorder ())
         order);
   let root = lookup circuit.C.output in
+  let rstats_after = Manager.reorder_stats m in
   let stats =
     {
       peak_nodes = Manager.peak_alive m;
       final_size = Manager.size m root;
       created = Manager.created_total m - created_before;
       gc_runs = Manager.gc_count m - gc_before;
+      reorders = rstats_after.Manager.runs - rstats_before.Manager.runs;
+      reorder_swaps =
+        rstats_after.Manager.swaps - rstats_before.Manager.swaps;
     }
   in
   (root, stats)

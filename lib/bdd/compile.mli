@@ -11,6 +11,8 @@ type stats = {
   final_size : int;  (** nodes reachable from the result *)
   created : int;  (** total node creations (work measure) *)
   gc_runs : int;
+  reorders : int;  (** sift runs triggered during the build *)
+  reorder_swaps : int;  (** adjacent-level swaps performed by those runs *)
 }
 
 (** [of_circuit m circuit ~var_of_input] builds the ROBDD of the circuit
@@ -20,6 +22,14 @@ type stats = {
     [gc_threshold] (default [500_000]): a garbage collection runs between
     gates whenever at least that many dead nodes have accumulated.
 
+    [reorder] (default [false]): when set, {!Manager.sift} runs between
+    gates whenever the live-node count crosses a doubling threshold
+    (initially [reorder_threshold], default [4_096]; after each sift the
+    threshold becomes twice the post-sift size). In-place sifting keeps
+    every intermediate gate handle valid, so the build is unaffected apart
+    from the variable order. Honours any group metadata previously
+    installed with {!Manager.set_groups}.
+
     When {!Socy_obs.Obs} is enabled, the build runs inside a [bdd.compile]
     span with one nested span per gate kind ([gate.and], [gate.or], …) and
     counts processed gates in [bdd.compile.gates].
@@ -28,6 +38,8 @@ type stats = {
     hit. *)
 val of_circuit :
   ?gc_threshold:int ->
+  ?reorder:bool ->
+  ?reorder_threshold:int ->
   Manager.t ->
   Socy_logic.Circuit.t ->
   var_of_input:(int -> int) ->

@@ -19,6 +19,16 @@ type t = {
   node_limit : int;
   cpu_deadline : float; (* Sys.time () value after which mk raises; infinity = off *)
   mutable creations_until_clock_check : int;
+  (* Variable <-> level permutation. [level] entries in the node store are
+     LEVELS (depth in the diagram); the variable tested at a level is
+     [var_at_level]. Both arrays start as the identity and only dynamic
+     reordering changes them. *)
+  mutable var_at_level : int array;
+  mutable level_of_var : int array;
+  (* Group id per variable ([||] = every variable is its own group).
+     Sifting moves whole groups as units so grouped variables stay
+     contiguous. *)
+  mutable group_of_var : int array;
   (* Node store: parallel arrays indexed by physical slot. Slot 0 is the
      TRUE sink. [level] is [-1] for freed slots. [low]/[high] hold child
      handles — [low] always regular by the canonicity invariant. [next]
@@ -54,6 +64,9 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable and_or_fast_hits : int;
+  mutable reorder_runs : int;
+  mutable reorder_swaps : int;
+  mutable reorder_aborts : int;
   (* Last values pushed to the Obs registry; [publish_obs] adds only the
      delta since, so repeated publishes never double-count. *)
   mutable pub_created : int;
@@ -63,6 +76,9 @@ type t = {
   mutable pub_and_or_fast_hits : int;
   mutable pub_gc_runs : int;
   mutable pub_reclaimed : int;
+  mutable pub_reorder_runs : int;
+  mutable pub_reorder_swaps : int;
+  mutable pub_reorder_aborts : int;
 }
 
 let one = 0
@@ -96,6 +112,9 @@ let create ?(node_limit = max_int) ?cpu_limit ?(cache_bits = 18) ~num_vars () =
       cpu_deadline =
         (match cpu_limit with None -> infinity | Some s -> Sys.time () +. s);
       creations_until_clock_check = 65536;
+      var_at_level = Array.init num_vars (fun i -> i);
+      level_of_var = Array.init num_vars (fun i -> i);
+      group_of_var = [||];
       level = Array.make cap (-1);
       low = Array.make cap 0;
       high = Array.make cap 0;
@@ -121,6 +140,9 @@ let create ?(node_limit = max_int) ?cpu_limit ?(cache_bits = 18) ~num_vars () =
       cache_hits = 0;
       cache_misses = 0;
       and_or_fast_hits = 0;
+      reorder_runs = 0;
+      reorder_swaps = 0;
+      reorder_aborts = 0;
       pub_created = 0;
       pub_unique_hits = 0;
       pub_cache_hits = 0;
@@ -128,6 +150,9 @@ let create ?(node_limit = max_int) ?cpu_limit ?(cache_bits = 18) ~num_vars () =
       pub_and_or_fast_hits = 0;
       pub_gc_runs = 0;
       pub_reclaimed = 0;
+      pub_reorder_runs = 0;
+      pub_reorder_swaps = 0;
+      pub_reorder_aborts = 0;
     }
   in
   (* The sink: level below every variable, self-children, immortal. *)
@@ -149,6 +174,22 @@ let low m n =
 let high m n =
   if is_terminal n then invalid_arg "Manager.high: terminal node";
   m.high.(n lsr 1) lxor (n land 1)
+
+let var_at_level m lv =
+  if lv < 0 || lv >= m.nvars then invalid_arg "Manager.var_at_level: out of range";
+  m.var_at_level.(lv)
+
+let level_of_var m v =
+  if v < 0 || v >= m.nvars then invalid_arg "Manager.level_of_var: out of range";
+  m.level_of_var.(v)
+
+let current_order m = Array.copy m.var_at_level
+
+(* The variable tested by a (non-terminal) node — distinct from [level]
+   once dynamic reordering has permuted the order. *)
+let var_of m n =
+  if is_terminal n then invalid_arg "Manager.var_of: terminal node";
+  m.var_at_level.(m.level.(n lsr 1))
 
 (* --- observability ------------------------------------------------------ *)
 
@@ -173,6 +214,9 @@ let obs_cache_misses = Obs.counter "bdd.ite_cache_misses"
 let obs_and_or_fast_hits = Obs.counter "bdd.and_or_fast_hits"
 let obs_gc_runs = Obs.counter "bdd.gc_runs"
 let obs_reclaimed = Obs.counter "bdd.gc_reclaimed"
+let obs_reorder_runs = Obs.counter "bdd.reorder.runs"
+let obs_reorder_swaps = Obs.counter "bdd.reorder.swaps"
+let obs_reorder_aborts = Obs.counter "bdd.reorder.aborts"
 
 (* --- reference counting ------------------------------------------------ *)
 
@@ -363,11 +407,11 @@ let mk m lv lo hi =
    x is its complemented handle. *)
 let var m v =
   if v < 0 || v >= m.nvars then invalid_arg "Manager.var: out of range";
-  mk m v zero one
+  mk m m.level_of_var.(v) zero one
 
 let nvar m v =
   if v < 0 || v >= m.nvars then invalid_arg "Manager.nvar: out of range";
-  mk m v one zero
+  mk m m.level_of_var.(v) one zero
 
 let not_ m f =
   ref_ m f;
@@ -623,6 +667,7 @@ type rebuild_frame = {
 
 let restrict m f ~var ~value =
   if var < 0 || var >= m.nvars then invalid_arg "Manager.restrict: var out of range";
+  let var = m.level_of_var.(var) in
   let memo = Hashtbl.create 64 in
   (* Explicit frame stack instead of recursion; see [ite] for the pattern.
      Memoization is per handle: a slot reachable under both polarities is
@@ -679,7 +724,7 @@ let quantify m combine vars f =
   List.iter
     (fun v ->
       if v < 0 || v >= m.nvars then invalid_arg "Manager.quantify: var out of range";
-      vset.(v) <- true)
+      vset.(m.level_of_var.(v)) <- true)
     vars;
   let memo = Hashtbl.create 64 in
   (* Same explicit-stack discipline as [restrict]; the [combine] callback
@@ -799,7 +844,7 @@ let eval m n assignment =
   let rec go n =
     if n = zero then false
     else if n = one then true
-    else if assignment m.level.(n lsr 1) then go (hi_of m n)
+    else if assignment m.var_at_level.(m.level.(n lsr 1)) then go (hi_of m n)
     else go (lo_of m n)
   in
   go n
@@ -849,7 +894,7 @@ let probability m n ~p =
     for lv = m.nvars - 1 downto 0 do
       List.iter
         (fun x ->
-          let pv = p lv in
+          let pv = p m.var_at_level.(lv) in
           Hashtbl.replace value x
             ((pv *. handle_value m.high.(x))
             +. ((1.0 -. pv) *. handle_value m.low.(x))))
@@ -863,7 +908,8 @@ let sat_fraction m n = probability m n ~p:(fun _ -> 0.5)
 let support m n =
   let present = Array.make m.nvars false in
   iter_reachable m n (fun x ->
-      if not (is_terminal x) then present.(m.level.(x lsr 1)) <- true);
+      if not (is_terminal x) then
+        present.(m.var_at_level.(m.level.(x lsr 1))) <- true);
   let acc = ref [] in
   for v = m.nvars - 1 downto 0 do
     if present.(v) then acc := v :: !acc
@@ -876,8 +922,9 @@ let any_sat m n =
     if n = one then List.rev acc
     else
       let hi = hi_of m n in
-      if hi <> zero then go hi ((m.level.(n lsr 1), true) :: acc)
-      else go (lo_of m n) ((m.level.(n lsr 1), false) :: acc)
+      let v = m.var_at_level.(m.level.(n lsr 1)) in
+      if hi <> zero then go hi ((v, true) :: acc)
+      else go (lo_of m n) ((v, false) :: acc)
   in
   go n []
 
@@ -913,6 +960,674 @@ let collect m =
         ("alive", Json.Int m.alive_count);
       ];
   if Obs.enabled () then sample_gauges m
+
+(* --- dynamic reordering (Rudell sifting) --------------------------------- *)
+
+(* In-place adjacent-level swap: every physical slot keeps denoting the
+   same function with the same polarity, so external handles (including
+   the compiler's per-gate table) survive any amount of reordering. The
+   node store's [level] field keeps storing LEVELS; only the
+   var_at_level/level_of_var permutation records which variable a level
+   tests.
+
+   Discipline while a reorder is in progress:
+   - no dead nodes: [reorder_begin] collects, and [reorder_deref] frees
+     a slot the moment its refcount hits zero (deferred to the end of the
+     current swap so sibling loops never see recycled slots);
+   - the unique table is never rehashed mid-swap ([mk_reorder] skips the
+     load-factor trigger): levels being swapped are transiently unhooked
+     and a rehash would re-chain them with stale keys. The trigger is
+     re-checked between swaps;
+   - [mk_reorder] bypasses the node budget and the cpu deadline — a swap
+     is atomic; budgets are enforced at swap boundaries by the sift
+     driver (graceful abort) and [set_order] (raises). *)
+
+let bucket_insert m s =
+  let b = hash3 m.level.(s) m.low.(s) m.high.(s) land m.bucket_mask in
+  m.next.(s) <- m.buckets.(b);
+  m.buckets.(b) <- s
+
+(* Unhook [s] from its hash chain; tolerates a slot that is not hooked
+   (swaps unhook whole levels up front, deaths may revisit them). *)
+let bucket_remove m s =
+  let b = hash3 m.level.(s) m.low.(s) m.high.(s) land m.bucket_mask in
+  if m.buckets.(b) = s then m.buckets.(b) <- m.next.(s)
+  else begin
+    let p = ref m.buckets.(b) in
+    while !p >= 0 && m.next.(!p) <> s do
+      p := m.next.(!p)
+    done;
+    if !p >= 0 then m.next.(!p) <- m.next.(s)
+  end
+
+(* Tiny growable int vector (Socy_util.Int_vec has no reset). *)
+type lvec = { mutable la : int array; mutable ln : int }
+
+let lv_make () = { la = [||]; ln = 0 }
+
+let lv_push v s =
+  if v.ln = Array.length v.la then begin
+    let b = Array.make (max 8 (2 * v.ln)) 0 in
+    Array.blit v.la 0 b 0 v.ln;
+    v.la <- b
+  end;
+  v.la.(v.ln) <- s;
+  v.ln <- v.ln + 1
+
+(* Reorder context: per-level candidate slot lists (append-only, possibly
+   stale — a listed slot may have died or moved levels), a generation
+   stamp per slot to deduplicate when a level is consumed, and the slots
+   that died during the current swap (physically freed at its end). *)
+type rctx = {
+  rl : lvec array;
+  mutable stamp : int array;
+  mutable gen : int;
+  dead : lvec;
+}
+
+(* Exact live-slot list for level [lv]: filters stale entries (freed or
+   relocated slots) and deduplicates via the generation stamp. *)
+let take_level m ctx lv =
+  let v = ctx.rl.(lv) in
+  ctx.gen <- ctx.gen + 1;
+  let g = ctx.gen in
+  let out = lv_make () in
+  if Array.length ctx.stamp < Array.length m.level then begin
+    (* the store grew since the context was built *)
+    let b = Array.make (Array.length m.level) 0 in
+    Array.blit ctx.stamp 0 b 0 (Array.length ctx.stamp);
+    ctx.stamp <- b
+  end;
+  for k = 0 to v.ln - 1 do
+    let s = v.la.(k) in
+    if m.level.(s) = lv && ctx.stamp.(s) <> g then begin
+      ctx.stamp.(s) <- g;
+      lv_push out s
+    end
+  done;
+  out
+
+(* [mk] restricted to reorder use: no computed cache, no budget/clock
+   checks, no rehash; fresh slots are recorded in the level index. *)
+let mk_reorder m ctx lv lo hi =
+  if lo = hi then begin
+    ref_ m lo;
+    lo
+  end
+  else begin
+    let cb = lo land 1 in
+    let lo = lo lxor cb and hi = hi lxor cb in
+    let b = hash3 lv lo hi land m.bucket_mask in
+    let rec find i =
+      if i < 0 then -1
+      else if m.level.(i) = lv && m.low.(i) = lo && m.high.(i) = hi then i
+      else find m.next.(i)
+    in
+    let existing = find m.buckets.(b) in
+    if existing >= 0 then begin
+      m.unique_hits <- m.unique_hits + 1;
+      ref_ m (existing lsl 1);
+      (existing lsl 1) lor cb
+    end
+    else begin
+      let slot = alloc_slot m in
+      m.level.(slot) <- lv;
+      m.low.(slot) <- lo;
+      m.high.(slot) <- hi;
+      m.rc.(slot) <- 1;
+      m.next.(slot) <- m.buckets.(b);
+      m.buckets.(b) <- slot;
+      m.alive_count <- m.alive_count + 1;
+      m.created <- m.created + 1;
+      bump_alive m;
+      ref_ m lo;
+      ref_ m hi;
+      if Array.length ctx.stamp <= slot then begin
+        let b = Array.make (Array.length m.level) 0 in
+        Array.blit ctx.stamp 0 b 0 (Array.length ctx.stamp);
+        ctx.stamp <- b
+      end;
+      lv_push ctx.rl.(lv) slot;
+      (slot lsl 1) lor cb
+    end
+  end
+
+(* Deref during reorder: a slot whose count hits zero is unhooked and
+   queued for physical reclamation at the end of the current swap — the
+   no-dead-nodes invariant that keeps per-order sizes canonical. *)
+let reorder_deref m ctx n0 =
+  let work = ref [ n0 lsr 1 ] in
+  let rec drain () =
+    match !work with
+    | [] -> ()
+    | s :: rest ->
+        work := rest;
+        if s > 0 then begin
+          let c = m.rc.(s) in
+          m.rc.(s) <- c - 1;
+          if c = 1 then begin
+            bucket_remove m s;
+            m.alive_count <- m.alive_count - 1;
+            lv_push ctx.dead s;
+            work := (m.low.(s) lsr 1) :: (m.high.(s) lsr 1) :: !work
+          end
+        end;
+        drain ()
+  in
+  drain ()
+
+let flush_dead m ctx =
+  for k = 0 to ctx.dead.ln - 1 do
+    let s = ctx.dead.la.(k) in
+    m.level.(s) <- -1;
+    m.next.(s) <- m.free_head;
+    m.free_head <- s;
+    m.reclaimed <- m.reclaimed + 1
+  done;
+  ctx.dead.ln <- 0
+
+(* Swap levels [i] and [i+1] (variables X above Y become Y above X).
+   Writing X-nodes in place — new children, same slot — is what keeps
+   external handles valid. Else-edge canonicity survives because the new
+   stored else-edge mk(i+1, f00, f10) has a regular [lo] cofactor (f00
+   descends a stored — hence regular — else edge), and [mk] of a regular
+   [lo] returns a regular handle. *)
+let swap_adjacent m ctx i =
+  let li = take_level m ctx i in
+  let li1 = take_level m ctx (i + 1) in
+  ctx.rl.(i) <- lv_make ();
+  ctx.rl.(i + 1) <- lv_make ();
+  for k = 0 to li.ln - 1 do
+    bucket_remove m li.la.(k)
+  done;
+  for k = 0 to li1.ln - 1 do
+    bucket_remove m li1.la.(k)
+  done;
+  (* X-nodes not touching Y keep their fields and just sink one level;
+     hooking them first lets the dependent rewrites share them. A child of
+     an X-node can never be another X-node (levels are strict), so the
+     classification is stable while this loop relabels. *)
+  let deps = lv_make () in
+  for k = 0 to li.ln - 1 do
+    let s = li.la.(k) in
+    if m.level.(m.low.(s) lsr 1) = i + 1 || m.level.(m.high.(s) lsr 1) = i + 1
+    then lv_push deps s
+    else begin
+      m.level.(s) <- i + 1;
+      bucket_insert m s;
+      lv_push ctx.rl.(i + 1) s
+    end
+  done;
+  (* Dependent X-nodes: f = X ? f1 : f0 with a Y-cofactor; rebuild as
+     Y ? (X ? f11 : f01) : (X ? f10 : f00) in the same slot. *)
+  for k = 0 to deps.ln - 1 do
+    let s = deps.la.(k) in
+    let f0 = m.low.(s) and f1 = m.high.(s) in
+    let s0 = f0 lsr 1 and s1 = f1 lsr 1 in
+    let f00, f01 =
+      if m.level.(s0) = i + 1 then (m.low.(s0), m.high.(s0)) else (f0, f0)
+    in
+    let f10, f11 =
+      if m.level.(s1) = i + 1 then
+        (m.low.(s1) lxor (f1 land 1), m.high.(s1) lxor (f1 land 1))
+      else (f1, f1)
+    in
+    let t' = mk_reorder m ctx (i + 1) f01 f11 in
+    let e' = mk_reorder m ctx (i + 1) f00 f10 in
+    m.low.(s) <- e';
+    m.high.(s) <- t';
+    bucket_insert m s;
+    lv_push ctx.rl.(i) s;
+    reorder_deref m ctx f0;
+    reorder_deref m ctx f1
+  done;
+  (* Surviving Y-nodes rise to level i; the ones orphaned by the rewrites
+     are in [ctx.dead] with rc = 0 and get reclaimed below. *)
+  for k = 0 to li1.ln - 1 do
+    let s = li1.la.(k) in
+    if m.rc.(s) > 0 then begin
+      m.level.(s) <- i;
+      bucket_insert m s;
+      lv_push ctx.rl.(i) s
+    end
+  done;
+  flush_dead m ctx;
+  let vx = m.var_at_level.(i) and vy = m.var_at_level.(i + 1) in
+  m.var_at_level.(i) <- vy;
+  m.var_at_level.(i + 1) <- vx;
+  m.level_of_var.(vx) <- i + 1;
+  m.level_of_var.(vy) <- i;
+  m.reorder_swaps <- m.reorder_swaps + 1;
+  if m.alive_count > 2 * Array.length m.buckets then rehash m
+
+let reorder_begin m =
+  collect m;
+  let ctx =
+    {
+      rl = Array.init m.nvars (fun _ -> lv_make ());
+      stamp = Array.make (Array.length m.level) 0;
+      gen = 0;
+      dead = lv_make ();
+    }
+  in
+  for s = 1 to m.used - 1 do
+    let lv = m.level.(s) in
+    if lv >= 0 && lv < m.nvars then lv_push ctx.rl.(lv) s
+  done;
+  ctx
+
+(* The computed cache stays semantically valid under in-place swaps, but
+   entries may name slots that died and were recycled during the run. *)
+let reorder_end m =
+  Array.fill m.cache_f 0 (Array.length m.cache_f) (-1);
+  if Obs.enabled () then sample_gauges m
+
+let swap_levels m i =
+  if i < 0 || i + 1 >= m.nvars then
+    invalid_arg "Manager.swap_levels: level out of range";
+  let ctx = reorder_begin m in
+  swap_adjacent m ctx i;
+  reorder_end m
+
+let set_groups m groups =
+  if Array.length groups <> 0 && Array.length groups <> m.nvars then
+    invalid_arg "Manager.set_groups: length mismatch";
+  m.group_of_var <- Array.copy groups
+
+(* Blocks = maximal runs of same-group variables in the current order
+   (singletons when no groups are set). Raises if a group is split. *)
+let blocks_of m =
+  if Array.length m.group_of_var = 0 then
+    Array.init m.nvars (fun lv -> (lv, 1))
+  else begin
+    let seen = Hashtbl.create 16 in
+    let acc = ref [] in
+    let lv = ref 0 in
+    while !lv < m.nvars do
+      let g = m.group_of_var.(m.var_at_level.(!lv)) in
+      if Hashtbl.mem seen g then
+        invalid_arg "Manager.sift: group not contiguous in current order";
+      Hashtbl.add seen g ();
+      let j = ref (!lv + 1) in
+      while !j < m.nvars && m.group_of_var.(m.var_at_level.(!j)) = g do
+        incr j
+      done;
+      acc := (!lv, !j - !lv) :: !acc;
+      lv := !j
+    done;
+    Array.of_list (List.rev !acc)
+  end
+
+let sift ?(max_growth = 1.2) ?(max_passes = 8) m =
+  let blocks = blocks_of m in
+  let nb = Array.length blocks in
+  if nb > 1 then begin
+    let ctx = reorder_begin m in
+    m.reorder_runs <- m.reorder_runs + 1;
+    let start_size = m.alive_count in
+    let swaps0 = m.reorder_swaps in
+    Trace.instant "bdd.reorder.start" ~args:[ ("nodes", Json.Int start_size) ];
+    (* Position -> block id, block id -> size, position -> start level. *)
+    let order = Array.init nb (fun p -> p) in
+    let bsize = Array.map snd blocks in
+    let starts = Array.map fst blocks in
+    let aborted = ref false in
+    (* Swap the blocks at positions p and p+1: walk the upper block's
+       levels bottom-up, each one descending through the whole lower
+       block, so both blocks keep their internal variable order. *)
+    let swap_positions p =
+      let a = order.(p) and b = order.(p + 1) in
+      let sa = bsize.(a) and sb = bsize.(b) in
+      let st = starts.(p) in
+      for j = sa - 1 downto 0 do
+        for t = 0 to sb - 1 do
+          swap_adjacent m ctx (st + j + t)
+        done
+      done;
+      order.(p) <- b;
+      order.(p + 1) <- a;
+      starts.(p + 1) <- st + sb
+    in
+    (* Like [swap_positions], but if [alive] crosses [cap] mid-swap the
+       partial swap is undone (adjacent swaps are involutions, so
+       replaying them in reverse restores the exact starting state) and
+       the move is refused. Mid-swap orders interleave the two groups —
+       exactly the mixtures sifting exists to avoid — so an over-budget
+       transient is rolled back rather than ridden out; without this the
+       peak can overshoot the cap by several times inside one block swap. *)
+    let swap_positions_bounded ~cap p =
+      let a = order.(p) and b = order.(p + 1) in
+      let sa = bsize.(a) and sb = bsize.(b) in
+      let st = starts.(p) in
+      let undo = ref [] in
+      let over = ref false in
+      (try
+         for j = sa - 1 downto 0 do
+           for t = 0 to sb - 1 do
+             swap_adjacent m ctx (st + j + t);
+             undo := (st + j + t) :: !undo;
+             if m.alive_count > cap then raise Exit
+           done
+         done
+       with Exit -> over := true);
+      if !over then begin
+        List.iter (fun k -> swap_adjacent m ctx k) !undo;
+        false
+      end
+      else begin
+        order.(p) <- b;
+        order.(p + 1) <- a;
+        starts.(p + 1) <- st + sb;
+        true
+      end
+    in
+    let pos_of bid =
+      let p = ref 0 in
+      while order.(!p) <> bid do
+        incr p
+      done;
+      !p
+    in
+    (* Sift one block to its best seen position: explore toward the
+       nearer end first, then the other, bounded by [max_growth] per
+       direction; blowing through the manager's node budget aborts the
+       whole run (after walking the block back to its best position, so
+       an aborted sift still never ends worse than it started). *)
+    let sift_block bid =
+      let p0 = pos_of bid in
+      let size0 = m.alive_count in
+      let grow_cap =
+        int_of_float (max_growth *. float_of_int size0) + 16
+      in
+      let best_size = ref size0 and best_pos = ref p0 in
+      let cur = ref p0 in
+      let explore down =
+        let keep_going = ref true in
+        (* The growth cap and the manager's node budget are both enforced
+           mid-swap: a refused move rolls back, so the transient never
+           runs away inside a block swap. Refusal at the budget ceiling
+           aborts the whole run (old semantics); refusal at the growth
+           cap just ends this direction. *)
+        let cap = min grow_cap m.node_limit in
+        while
+          !keep_going && (not !aborted)
+          && (if down then !cur < nb - 1 else !cur > 0)
+        do
+          let moved =
+            swap_positions_bounded ~cap (if down then !cur else !cur - 1)
+          in
+          if moved then begin
+            if down then incr cur else decr cur;
+            if m.alive_count < !best_size then begin
+              best_size := m.alive_count;
+              best_pos := !cur
+            end
+          end
+          else begin
+            keep_going := false;
+            if m.node_limit <= grow_cap then aborted := true
+          end
+        done
+      in
+      let down_first = p0 >= (nb - 1) / 2 in
+      explore down_first;
+      if not !aborted then explore (not down_first);
+      (* Walk back to the best position; every order on the way was
+         already visited, so sizes just replay. *)
+      while !cur > !best_pos do
+        swap_positions (!cur - 1);
+        decr cur
+      done;
+      while !cur < !best_pos do
+        swap_positions !cur;
+        incr cur
+      done
+    in
+    let level_counts () =
+      let c = Array.make m.nvars 0 in
+      for s = 1 to m.used - 1 do
+        let lv = m.level.(s) in
+        if lv >= 0 && lv < m.nvars then c.(lv) <- c.(lv) + 1
+      done;
+      c
+    in
+    let improved = ref true in
+    let pass = ref 0 in
+    while !improved && not !aborted && !pass < max_passes do
+      incr pass;
+      let size_before = m.alive_count in
+      let counts = level_counts () in
+      let weight bid =
+        let p = pos_of bid in
+        let w = ref 0 in
+        for lv = starts.(p) to starts.(p) + bsize.(bid) - 1 do
+          w := !w + counts.(lv)
+        done;
+        !w
+      in
+      let candidates = Array.init nb (fun bid -> (weight bid, bid)) in
+      Array.sort
+        (fun (wa, ba) (wb, bb) ->
+          if wa <> wb then compare wb wa else compare ba bb)
+        candidates;
+      Array.iter
+        (fun (_, bid) -> if not !aborted then sift_block bid)
+        candidates;
+      improved := m.alive_count < size_before
+    done;
+    if !aborted then m.reorder_aborts <- m.reorder_aborts + 1;
+    reorder_end m;
+    Trace.instant "bdd.reorder.done"
+      ~args:
+        [
+          ("before", Json.Int start_size);
+          ("after", Json.Int m.alive_count);
+          ("swaps", Json.Int (m.reorder_swaps - swaps0));
+          ("aborted", Json.Bool !aborted);
+        ]
+  end
+
+(* Restore an explicit order: [target.(v)] is the level variable [v] must
+   end at. Checks the node budget at swap boundaries (a transient order en
+   route may be much bigger than either endpoint).
+
+   When groups are installed and both the current and the target order
+   keep them contiguous, the walk is group-aware: bits are first sorted
+   inside each block, then whole blocks move as units — intermediate
+   orders never interleave two groups, which keeps the transient close to
+   max(start, end) size instead of the arbitrary mixtures a variable-level
+   selection sort passes through. Otherwise it falls back to plain
+   variable-level selection sort (the caller owns the target). *)
+let set_order m target =
+  if Array.length target <> m.nvars then
+    invalid_arg "Manager.set_order: length mismatch";
+  let seen = Array.make (max 1 m.nvars) false in
+  Array.iter
+    (fun lv ->
+      if lv < 0 || lv >= m.nvars || seen.(lv) then
+        invalid_arg "Manager.set_order: not a permutation";
+      seen.(lv) <- true)
+    target;
+  let already = ref true in
+  Array.iteri (fun v lv -> if m.level_of_var.(v) <> lv then already := false) target;
+  (* Does [target] keep every installed group in one contiguous run? *)
+  let target_contiguous () =
+    Array.length m.group_of_var = m.nvars
+    &&
+    let tvar = Array.make m.nvars 0 in
+    Array.iteri (fun v lv -> tvar.(lv) <- v) target;
+    let ok = ref true in
+    let lv = ref 0 in
+    let seen_g = Hashtbl.create 16 in
+    while !ok && !lv < m.nvars do
+      let g = m.group_of_var.(tvar.(!lv)) in
+      if Hashtbl.mem seen_g g then ok := false
+      else begin
+        Hashtbl.add seen_g g ();
+        incr lv;
+        while !lv < m.nvars && m.group_of_var.(tvar.(!lv)) = g do
+          incr lv
+        done
+      end
+    done;
+    !ok
+  in
+  if not !already then begin
+    let ctx = reorder_begin m in
+    let checked_swap k =
+      swap_adjacent m ctx k;
+      if m.alive_count > m.node_limit then raise Node_limit_exceeded
+    in
+    Fun.protect
+      ~finally:(fun () -> reorder_end m)
+      (fun () ->
+        match if target_contiguous () then Some (blocks_of m) else None with
+        | exception Invalid_argument _ | None ->
+            (* Variable-level selection sort. *)
+            let want = Array.make m.nvars 0 in
+            Array.iteri (fun v lv -> want.(lv) <- v) target;
+            for lv = 0 to m.nvars - 2 do
+              let v = want.(lv) in
+              for k = m.level_of_var.(v) - 1 downto lv do
+                checked_swap k
+              done
+            done
+        | Some blocks ->
+            let nb = Array.length blocks in
+            (* Intra-block bubble sort by target level: swaps stay inside
+               one group's run, so contiguity is never broken. *)
+            Array.iter
+              (fun (st, sz) ->
+                for i = st + sz - 1 downto st + 1 do
+                  for k = st to i - 1 do
+                    if
+                      target.(m.var_at_level.(k))
+                      > target.(m.var_at_level.(k + 1))
+                    then checked_swap k
+                  done
+                done)
+              blocks;
+            (* Block selection sort toward the target group sequence,
+               moving whole blocks (same nested walk as sift). *)
+            let order = Array.init nb (fun p -> p) in
+            let bsize = Array.map snd blocks in
+            let starts = Array.map fst blocks in
+            let block_group =
+              Array.map (fun (st, _) -> m.group_of_var.(m.var_at_level.(st))) blocks
+            in
+            let swap_positions p =
+              let a = order.(p) and b = order.(p + 1) in
+              let sa = bsize.(a) and sb = bsize.(b) in
+              let st = starts.(p) in
+              for j = sa - 1 downto 0 do
+                for t = 0 to sb - 1 do
+                  checked_swap (st + j + t)
+                done
+              done;
+              order.(p) <- b;
+              order.(p + 1) <- a;
+              starts.(p + 1) <- st + sb
+            in
+            (* Group id at each target block position, in target order. *)
+            let desired =
+              let tvar = Array.make m.nvars 0 in
+              Array.iteri (fun v lv -> tvar.(lv) <- v) target;
+              let acc = ref [] in
+              let lv = ref 0 in
+              while !lv < m.nvars do
+                let g = m.group_of_var.(tvar.(!lv)) in
+                acc := g :: !acc;
+                while
+                  !lv < m.nvars && m.group_of_var.(tvar.(!lv)) = g
+                do
+                  incr lv
+                done
+              done;
+              Array.of_list (List.rev !acc)
+            in
+            Array.iteri
+              (fun k g ->
+                let p = ref k in
+                while block_group.(order.(!p)) <> g do
+                  incr p
+                done;
+                while !p > k do
+                  swap_positions (!p - 1);
+                  decr p
+                done)
+              desired)
+  end
+
+type reorder_stats = { runs : int; swaps : int; aborted : int }
+
+let reorder_stats m =
+  { runs = m.reorder_runs; swaps = m.reorder_swaps; aborted = m.reorder_aborts }
+
+(* Full structural validator for the test suite: canonicity (regular
+   stored else-edges, no redundant or duplicate nodes, strictly deeper
+   children), unique-table consistency (every live-or-dead slot hooked
+   exactly once, in the right bucket), refcount bookkeeping, and the
+   variable/level permutation being a proper inverse pair. O(n), so not
+   for hot paths. *)
+let check_invariants m =
+  let fail fmt =
+    Printf.ksprintf (fun s -> failwith ("Manager.check_invariants: " ^ s)) fmt
+  in
+  for v = 0 to m.nvars - 1 do
+    let lv = m.level_of_var.(v) in
+    if lv < 0 || lv >= m.nvars then fail "level_of_var(%d) out of range" v;
+    if m.var_at_level.(lv) <> v then
+      fail "var_at_level/level_of_var disagree at variable %d" v
+  done;
+  let alive = ref 0 and dead = ref 0 in
+  for s = 1 to m.used - 1 do
+    let lv = m.level.(s) in
+    if lv >= 0 then begin
+      if lv >= m.nvars then fail "slot %d: level %d out of range" s lv;
+      if m.rc.(s) > 0 then incr alive else incr dead;
+      let lo = m.low.(s) and hi = m.high.(s) in
+      if lo land 1 <> 0 then fail "slot %d: complemented stored else-edge" s;
+      if lo = hi then fail "slot %d: redundant node" s;
+      if lo lsr 1 >= m.used || hi lsr 1 >= m.used then
+        fail "slot %d: child out of bounds" s;
+      if m.level.(lo lsr 1) <= lv then
+        fail "slot %d: low child not strictly deeper" s;
+      if m.level.(hi lsr 1) <= lv then
+        fail "slot %d: high child not strictly deeper" s
+    end
+  done;
+  if !alive <> m.alive_count then
+    fail "alive_count %d but %d referenced slots" m.alive_count !alive;
+  if !dead <> m.dead_count then
+    fail "dead_count %d but %d unreferenced slots" m.dead_count !dead;
+  let hooked = Array.make m.used false in
+  for b = 0 to Array.length m.buckets - 1 do
+    let steps = ref 0 in
+    let i = ref m.buckets.(b) in
+    while !i >= 0 do
+      incr steps;
+      if !steps > m.used + 1 then fail "bucket %d: chain cycle" b;
+      let s = !i in
+      if s >= m.used || m.level.(s) < 0 then
+        fail "bucket %d: freed slot %d in chain" b s;
+      if hooked.(s) then fail "slot %d hooked twice" s;
+      hooked.(s) <- true;
+      if hash3 m.level.(s) m.low.(s) m.high.(s) land m.bucket_mask <> b then
+        fail "slot %d hooked in the wrong bucket" s;
+      i := m.next.(s)
+    done
+  done;
+  for s = 1 to m.used - 1 do
+    if m.level.(s) >= 0 && not hooked.(s) then fail "slot %d not hooked" s
+  done;
+  let tbl = Hashtbl.create 256 in
+  for s = 1 to m.used - 1 do
+    if m.level.(s) >= 0 then begin
+      let key = (m.level.(s), m.low.(s), m.high.(s)) in
+      if Hashtbl.mem tbl key then fail "duplicate node at slot %d" s;
+      Hashtbl.add tbl key ()
+    end
+  done
 
 let alive m = m.alive_count
 let peak_alive m = m.peak
@@ -992,6 +1707,9 @@ let publish_obs (m : t) =
     Obs.add obs_and_or_fast_hits (m.and_or_fast_hits - m.pub_and_or_fast_hits);
     Obs.add obs_gc_runs (m.gc_runs - m.pub_gc_runs);
     Obs.add obs_reclaimed (m.reclaimed - m.pub_reclaimed);
+    Obs.add obs_reorder_runs (m.reorder_runs - m.pub_reorder_runs);
+    Obs.add obs_reorder_swaps (m.reorder_swaps - m.pub_reorder_swaps);
+    Obs.add obs_reorder_aborts (m.reorder_aborts - m.pub_reorder_aborts);
     m.pub_created <- m.created;
     m.pub_unique_hits <- m.unique_hits;
     m.pub_cache_hits <- m.cache_hits;
@@ -999,6 +1717,9 @@ let publish_obs (m : t) =
     m.pub_and_or_fast_hits <- m.and_or_fast_hits;
     m.pub_gc_runs <- m.gc_runs;
     m.pub_reclaimed <- m.reclaimed;
+    m.pub_reorder_runs <- m.reorder_runs;
+    m.pub_reorder_swaps <- m.reorder_swaps;
+    m.pub_reorder_aborts <- m.reorder_aborts;
     sample_gauges m;
     snapshot_occupancy m
   end
@@ -1027,7 +1748,8 @@ let to_dot m n =
       if not (is_terminal x) then begin
         let s = x lsr 1 in
         Buffer.add_string buf
-          (Printf.sprintf "  n%d [label=\"x%d\"];\n" s m.level.(s));
+          (Printf.sprintf "  n%d [label=\"x%d\"];\n" s
+             m.var_at_level.(m.level.(s)));
         edge (Printf.sprintf "n%d" s) m.low.(s) ~dashed:true;
         edge (Printf.sprintf "n%d" s) m.high.(s) ~dashed:false
       end);

@@ -31,11 +31,32 @@
 
     {2 Variables and ordering}
 
-    A manager is created over a fixed number of variables; the variable
-    index {e is} the level: variable 0 is tested first on every path.
-    Callers that want a non-trivial ordering (all of them, in this
-    repository) permute their problem variables into levels before building
-    — see {!Socy_order}.
+    A manager is created over a fixed number of variables. A {e level} is
+    a depth in the diagram (level 0 is tested first on every path); which
+    variable is tested at a level is the manager's current order. The two
+    start out identical — variable [v] at level [v] — and only dynamic
+    reordering ({!sift}, {!set_order}, {!swap_levels}) changes the
+    mapping, maintained in {!var_at_level} / {!level_of_var}. Callers
+    that want a non-trivial {e static} ordering (all of them, in this
+    repository) permute their problem variables into manager variables
+    before building — see {!Socy_order}.
+
+    All variable-facing entry points ({!var}, {!restrict}, {!eval},
+    {!probability}, {!support}, …) speak {e variables} and translate
+    through the permutation internally, so client code is oblivious to
+    reordering.
+
+    {2 Dynamic reordering}
+
+    {!sift} runs Rudell's sifting in place: each physical slot keeps
+    denoting the same function with the same polarity through every
+    adjacent-level swap, so {e external handles stay valid across
+    reordering} — a build can interleave operations and sifting freely.
+    Sifting is group-aware: after {!set_groups}, variables of one group
+    move as a contiguous block. A sift never ends with more live nodes
+    than it started with (each block returns to the best position seen),
+    converges-and-stops, and aborts gracefully — never raising — when the
+    manager's node budget is hit mid-move.
 
     {2 Reference discipline}
 
@@ -147,8 +168,14 @@ val regular : node -> node
     flat arrays or bitsets indexed by handle. *)
 val handle_bound : t -> int
 
-(** [level m n] is the variable tested at [n]; [num_vars m] for terminals. *)
+(** [level m n] is the {e level} (depth) of [n]; [num_vars m] for
+    terminals. The variable tested there is [var_at_level m (level m n)]
+    (the two coincide until a reordering runs). *)
 val level : t -> node -> int
+
+(** [var_of m n] is the variable tested at [n]; raises [Invalid_argument]
+    on terminals. *)
+val var_of : t -> node -> int
 
 (** [low m n] / [high m n] are the else/then cofactors {e of the function
     [n] denotes}: the handle's complement parity is applied to the stored
@@ -198,6 +225,78 @@ val any_sat : t -> node -> (int * bool) list
     physical} node (as its regular handle), children before parents, sink
     included. *)
 val iter_reachable : t -> node -> (node -> unit) -> unit
+
+(** {1 Dynamic reordering} *)
+
+(** [var_at_level m lv] is the variable tested at level [lv] under the
+    current order. *)
+val var_at_level : t -> int -> int
+
+(** [level_of_var m v] is the level at which variable [v] is tested —
+    the inverse of {!var_at_level}. *)
+val level_of_var : t -> int -> int
+
+(** [current_order m] is a fresh copy of the level → variable map. *)
+val current_order : t -> int array
+
+(** [set_groups m g] declares [g.(v)] the group id of variable [v]
+    (length must be [num_vars m], or [[||]] to clear). {!sift} keeps each
+    group's variables contiguous and moves the whole group as a unit; the
+    variables of a group must already be contiguous in the current order
+    when {!sift} runs. Group ids are arbitrary ints, compared for
+    equality only. *)
+val set_groups : t -> int array -> unit
+
+(** [swap_levels m i] swaps levels [i] and [i+1] in place (a single
+    Rudell adjacent-level swap, ignoring groups) — primarily a test hook
+    for the invariant suite; {!sift} is the production driver. External
+    handles remain valid. *)
+val swap_levels : t -> int -> unit
+
+(** [sift m ()] runs group-aware Rudell sifting to shrink the live-node
+    count, in place: external handles remain valid and keep denoting the
+    same functions. Each block (group, or single variable without groups)
+    is moved through all positions — largest blocks first — and parked at
+    the best position seen; passes repeat until no pass improves the size
+    (converge-and-stop) or [max_passes] is reached. A direction of travel
+    is cut short once the table grows past [max_growth] × its size at the
+    block's start; blowing through the manager's [node_limit] aborts the
+    whole run {e gracefully} (the block walks back to its best seen
+    position; no exception, counted in {!reorder_stats}). Dead nodes are
+    collected and the computed cache is flushed as part of the run.
+    Deterministic: decisions depend only on table sizes, never on time or
+    randomness. *)
+val sift : ?max_growth:float -> ?max_passes:int -> t -> unit
+
+(** [set_order m target] restores an explicit order by adjacent swaps:
+    [target.(v)] is the level variable [v] must end at (must be a
+    permutation of [0 .. num_vars-1]). Used to return to the {e
+    requested} static order after a build sifted freely, so downstream
+    consumers see exactly the order they asked for. When groups are
+    installed and both the current and the target order keep them
+    contiguous, the walk is group-aware — bits sort inside their blocks,
+    then whole blocks move — so intermediate orders never interleave two
+    groups; otherwise it falls back to a variable-level selection sort.
+    Raises {!Node_limit_exceeded} if a transient order en route exceeds
+    the node budget (checked at swap boundaries; the manager remains
+    consistent). *)
+val set_order : t -> int array -> unit
+
+type reorder_stats = {
+  runs : int;  (** completed {!sift} invocations *)
+  swaps : int;  (** adjacent-level swaps performed (all reordering) *)
+  aborted : int;  (** sift runs cut short by the node budget *)
+}
+
+val reorder_stats : t -> reorder_stats
+
+(** Exhaustive structural validator (canonicity: regular stored
+    else-edges, strictly deeper children, no duplicate or redundant
+    nodes; unique-table and refcount consistency; the variable/level
+    permutation a proper inverse pair). Raises [Failure] with a
+    description on the first violation. O(table size) — meant for tests,
+    called after every qcheck-generated sift schedule. *)
+val check_invariants : t -> unit
 
 (** {1 Memory management and statistics} *)
 
@@ -249,8 +348,8 @@ val stats : t -> stats
 
 (** [publish_obs m] pushes the manager's statistics into the {!Socy_obs}
     registry (counters [bdd.created], [bdd.unique_hits], [bdd.ite_cache_*],
-    [bdd.and_or_fast_hits], [bdd.gc_*]; gauges [bdd.live_nodes] /
-    [bdd.peak_nodes]). Counters are cumulative across managers; each call
+    [bdd.and_or_fast_hits], [bdd.gc_*], [bdd.reorder.*]; gauges
+    [bdd.live_nodes] / [bdd.peak_nodes]). Counters are cumulative across managers; each call
     publishes only the {e delta} since the previous publish for this
     manager, so it is safe to call at any checkpoint and as often as wanted
     — repeated calls never double-count. A no-op while observability is

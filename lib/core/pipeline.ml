@@ -19,6 +19,7 @@ type config = {
   gc_threshold : int;
   cache_bits : int;
   cpu_limit : float option;
+  reorder : bool;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     gc_threshold = 2_000_000;
     cache_bits = 21;
     cpu_limit = None;
+    reorder = false;
   }
 
 module Config = struct
@@ -40,8 +42,17 @@ module Config = struct
   let make ?(epsilon = default.epsilon) ?(mv_order = default.mv_order)
       ?(bit_order = default.bit_order) ?(node_limit = default.node_limit)
       ?(gc_threshold = default.gc_threshold) ?(cache_bits = default.cache_bits)
-      ?cpu_limit () =
-    { epsilon; mv_order; bit_order; node_limit; gc_threshold; cache_bits; cpu_limit }
+      ?cpu_limit ?(reorder = default.reorder) () =
+    {
+      epsilon;
+      mv_order;
+      bit_order;
+      node_limit;
+      gc_threshold;
+      cache_bits;
+      cpu_limit;
+      reorder;
+    }
 
   let with_epsilon epsilon c = { c with epsilon }
   let with_mv_order mv_order c = { c with mv_order }
@@ -50,6 +61,7 @@ module Config = struct
   let with_gc_threshold gc_threshold c = { c with gc_threshold }
   let with_cache_bits cache_bits c = { c with cache_bits }
   let with_cpu_limit cpu_limit c = { c with cpu_limit }
+  let with_reorder reorder c = { c with reorder }
 end
 
 type report = {
@@ -72,6 +84,8 @@ type report = {
   and_or_fast_hits : int;
   gc_runs : int;
   gc_reclaimed : int;
+  reorder_runs : int;
+  reorder_swaps : int;
   stage_gc : (string * Memory.gc_delta) list;
 }
 
@@ -185,9 +199,37 @@ module Artifacts = struct
     in
     match
       staged stages "robdd-build" (fun () ->
-          Compile.of_circuit ~gc_threshold:config.gc_threshold bdd
-            problem.Problem.circuit
-            ~var_of_input:(fun i -> scheme.Scheme.level_of_input.(i)))
+          let nvars = Problem.num_binary_vars problem in
+          if config.reorder then
+            (* Manager variable [v] encodes circuit input
+               [scheme.input_of_level.(v)]; tagging it with that input's
+               multiple-valued group makes sifting move whole w/v bit
+               blocks, which the ROMDD conversion layout requires. *)
+            B.set_groups bdd
+              (Array.init nvars (fun v ->
+                   Problem.group_of_input problem
+                     scheme.Scheme.input_of_level.(v)));
+          let root, st =
+            Compile.of_circuit ~gc_threshold:config.gc_threshold
+              ~reorder:config.reorder bdd problem.Problem.circuit
+              ~var_of_input:(fun i -> scheme.Scheme.level_of_input.(i))
+          in
+          if config.reorder then begin
+            (* Walk the order back to the scheme's static layout so the
+               ROMDD conversion (and therefore the yield) is bit-identical
+               to a reorder-free run; sifting only bounded the transient
+               peak. The walk-back obeys the same node budget, and its
+               transient counts: peak and final size are re-captured after
+               it so reorder runs report what actually happened. *)
+            B.set_order bdd (Array.init nvars Fun.id);
+            ( root,
+              {
+                st with
+                Compile.peak_nodes = B.peak_alive bdd;
+                final_size = B.size bdd root;
+              } )
+          end
+          else (root, st))
     with
     | exception B.Node_limit_exceeded ->
         Error (Node_budget { stage = "coded-robdd"; peak = B.peak_alive bdd })
@@ -318,6 +360,8 @@ module Artifacts = struct
       and_or_fast_hits = engine.B.and_or_fast_hits;
       gc_runs = engine.B.gc_runs;
       gc_reclaimed = engine.B.reclaimed;
+      reorder_runs = t.bdd_stats.Compile.reorders;
+      reorder_swaps = t.bdd_stats.Compile.reorder_swaps;
       stage_gc =
         (t.stage_gc
         @ match t.traversal_gc with None -> [] | Some d -> [ ("traversal", d) ]);

@@ -39,6 +39,13 @@ type config = {
   cpu_limit : float option;
       (** CPU-seconds budget for the coded-ROBDD build; exceeding it is
           reported as a failure, like the node budget *)
+  reorder : bool;
+      (** enable group-aware dynamic variable reordering (Rudell sifting)
+          during the coded-ROBDD build. Bit-groups of each multiple-valued
+          variable sift as contiguous units, and the order is walked back
+          to the static scheme before the ROMDD conversion, so the yield
+          is bit-identical to a reorder-free run — only the transient
+          [robdd_peak] changes. Default [false]. *)
 }
 
 val default_config : config
@@ -64,6 +71,7 @@ module Config : sig
     ?gc_threshold:int ->
     ?cache_bits:int ->
     ?cpu_limit:float ->
+    ?reorder:bool ->
     unit ->
     t
 
@@ -76,6 +84,8 @@ module Config : sig
 
   val with_cpu_limit : float option -> t -> t
   (** Takes the option so a budget can also be cleared. *)
+
+  val with_reorder : bool -> t -> t
 end
 
 type report = {
@@ -104,6 +114,11 @@ type report = {
           the computed cache *)
   gc_runs : int;  (** garbage collections during the build *)
   gc_reclaimed : int;  (** dead nodes reclaimed by those collections *)
+  reorder_runs : int;
+      (** sift runs during the coded-ROBDD build (0 unless
+          [config.reorder]) *)
+  reorder_swaps : int;
+      (** adjacent-level swaps those sift runs performed *)
   stage_gc : (string * Socy_obs.Memory.gc_delta) list;
       (** OCaml-GC delta per pipeline phase (same keys and order as
           [stage_times]) — minor/major collections, allocation volumes and

@@ -26,7 +26,9 @@ let binomial ~n ~p =
   { kind = Binomial { n; p }; name = Printf.sprintf "binomial(n=%d, p=%g)" n p }
 
 let of_array q =
-  if Array.exists (fun x -> x < 0.0 || Float.is_nan x) q then
+  if Array.exists Float.is_nan q then
+    invalid_arg "Distribution.of_array: NaN mass";
+  if Array.exists (fun x -> x < 0.0) q then
     invalid_arg "Distribution.of_array: negative mass";
   let total = Array.fold_left ( +. ) 0.0 q in
   if (not (Float.is_finite total)) || total <= 0.0 then
@@ -41,8 +43,11 @@ let of_pmf ~name pmf = { kind = Custom { pmf }; name }
 
 let mixture weighted =
   if weighted = [] then invalid_arg "Distribution.mixture: empty mixture";
-  if List.exists (fun (w, _) -> w <= 0.0) weighted then
-    invalid_arg "Distribution.mixture: weights must be positive";
+  if List.exists (fun (w, _) -> Float.is_nan w) weighted then
+    invalid_arg "Distribution.mixture: NaN weight";
+  (* [w <= 0.0] alone would let NaN and +inf slip through normalization. *)
+  if List.exists (fun (w, _) -> not (Float.is_finite w) || w <= 0.0) weighted
+  then invalid_arg "Distribution.mixture: weights must be positive and finite";
   let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
   let parts = List.map (fun (w, d) -> (w /. total, d)) weighted in
   let name =

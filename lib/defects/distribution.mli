@@ -24,8 +24,10 @@ val poisson : mean:float -> t
 val binomial : n:int -> p:float -> t
 
 (** [of_array q] — finite distribution with [P(K=k) ∝ q.(k)]. Entries must
-    be nonnegative (and not NaN); the array is normalized by its total, which
-    must be positive and finite. Raises [Invalid_argument] otherwise. *)
+    be nonnegative; the array is normalized by its total, which must be
+    positive and finite. Raises [Invalid_argument] otherwise — NaN entries
+    are reported distinctly (["NaN mass"]) from negative ones (["negative
+    mass"]). *)
 val of_array : float array -> t
 
 (** [of_pmf ~name pmf] — arbitrary distribution given by its pmf; the pmf
@@ -33,7 +35,8 @@ val of_array : float array -> t
 val of_pmf : name:string -> (int -> float) -> t
 
 (** [mixture weighted] — the convex mixture Σ w_i · d_i. Weights must be
-    positive and are normalized. Mixtures model multi-population fabs
+    positive and finite (NaN is reported distinctly) and are normalized.
+    Mixtures model multi-population fabs
     (e.g. a mostly-clean process with an excursion mode) and remain within
     the paper's model class: the lethal mapping Eq. (1) commutes with
     mixing, which {!lethal} exploits by mapping each component

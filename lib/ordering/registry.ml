@@ -1,0 +1,109 @@
+type entry = {
+  family : string;
+  mv : Scheme.mv_order;
+  bit : Scheme.bit_order;
+  reorder : bool;
+  peak_nodes : int;
+}
+
+let header = "socyield-orderings/1"
+
+let fail path lineno fmt =
+  Printf.ksprintf (fun msg -> failwith (Printf.sprintf "%s:%d: %s" path lineno msg)) fmt
+
+let parse_line path lineno line =
+  match String.split_on_char '\t' line with
+  | [ family; mv_s; bit_s; reorder_s; peak_s ] ->
+      if family = "" then fail path lineno "empty family name";
+      let mv =
+        match Scheme.mv_order_of_name mv_s with
+        | Some mv -> mv
+        | None -> fail path lineno "unknown mv ordering %S" mv_s
+      in
+      let bit =
+        match Scheme.bit_order_of_name bit_s with
+        | Some b -> b
+        | None -> fail path lineno "unknown bit ordering %S" bit_s
+      in
+      let reorder =
+        match reorder_s with
+        | "0" -> false
+        | "1" -> true
+        | s -> fail path lineno "reorder flag must be 0 or 1, got %S" s
+      in
+      let peak_nodes =
+        match int_of_string_opt peak_s with
+        | Some p when p >= 0 -> p
+        | _ -> fail path lineno "bad peak-node count %S" peak_s
+      in
+      { family; mv; bit; reorder; peak_nodes }
+  | _ -> fail path lineno "expected 5 tab-separated fields"
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        (match input_line ic with
+        | h when h = header -> ()
+        | h -> fail path 1 "unknown registry header %S (want %S)" h header
+        | exception End_of_file -> fail path 1 "empty registry file");
+        let entries = ref [] in
+        let lineno = ref 1 in
+        (try
+           while true do
+             let line = input_line ic in
+             incr lineno;
+             if line <> "" then
+               entries := parse_line path !lineno line :: !entries
+           done
+         with End_of_file -> ());
+        List.rev !entries)
+  end
+
+let line_of e =
+  Printf.sprintf "%s\t%s\t%s\t%d\t%d" e.family
+    (Scheme.mv_order_name e.mv)
+    (Scheme.bit_order_name e.bit)
+    (if e.reorder then 1 else 0)
+    e.peak_nodes
+
+let save path entries =
+  let entries =
+    List.stable_sort (fun a b -> compare a.family b.family) entries
+  in
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "orderings" ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc header;
+     output_char oc '\n';
+     List.iter
+       (fun e ->
+         output_string oc (line_of e);
+         output_char oc '\n')
+       entries;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let find entries ~family = List.find_opt (fun e -> e.family = family) entries
+
+let upsert entries entry =
+  let replaced = ref false in
+  let entries =
+    List.map
+      (fun e ->
+        if e.family = entry.family then begin
+          replaced := true;
+          entry
+        end
+        else e)
+      entries
+  in
+  if !replaced then entries else entries @ [ entry ]

@@ -1,0 +1,47 @@
+(** On-disk registry of tuned variable orderings.
+
+    The autotuner ([socyield tune]) tournaments static ordering heuristics
+    with and without dynamic reordering per benchmark family and persists
+    the winners here; [eval]/[query]/[bench] can then resolve a family
+    name to the tuned scheme instead of re-running the tournament.
+
+    The format is a deliberately boring versioned text file — one header
+    line, then one tab-separated line per family:
+
+    {v
+    socyield-orderings/1
+    mult4-d100	w	ml	1	10432
+    c432	vw	lm	0	88211
+    v}
+
+    Columns: family, mv-order name, bit-order name, reorder flag ([0]/[1]),
+    and the peak live-node count observed when the entry was recorded
+    (informational — consumers only need the first four). Names are the
+    canonical {!Scheme.mv_order_name} / {!Scheme.bit_order_name}
+    spellings. *)
+
+type entry = {
+  family : string;  (** benchmark family name, the lookup key *)
+  mv : Scheme.mv_order;
+  bit : Scheme.bit_order;
+  reorder : bool;  (** sift during the coded-ROBDD build *)
+  peak_nodes : int;  (** observed ROBDD peak when tuned (informational) *)
+}
+
+(** [load path] parses the registry at [path]. A missing file is an empty
+    registry. Raises [Failure] with a [file:line]-prefixed message on an
+    unknown header, a malformed line, or an unknown ordering name, and
+    [Sys_error] on other I/O failures. *)
+val load : string -> entry list
+
+(** [save path entries] writes the registry atomically (temp file in the
+    same directory, then rename), sorted by family name so files diff
+    cleanly. Raises [Sys_error] on I/O failure. *)
+val save : string -> entry list -> unit
+
+(** [find entries ~family] is the entry for [family], if any. *)
+val find : entry list -> family:string -> entry option
+
+(** [upsert entries entry] replaces the entry with [entry.family]'s key,
+    or adds it. *)
+val upsert : entry list -> entry -> entry list

@@ -29,6 +29,24 @@ let bit_order_name = function
   | Heur_bits Heuristics.Weight -> "w"
   | Heur_bits Heuristics.H4 -> "h"
 
+let mv_order_of_name = function
+  | "wv" -> Some Wv
+  | "wvr" -> Some Wvr
+  | "vw" -> Some Vw
+  | "vrw" -> Some Vrw
+  | "t" -> Some (Heur Heuristics.Topology)
+  | "w" -> Some (Heur Heuristics.Weight)
+  | "h" -> Some (Heur Heuristics.H4)
+  | _ -> None
+
+let bit_order_of_name = function
+  | "ml" -> Some Ml
+  | "lm" -> Some Lm
+  | "t" -> Some (Heur_bits Heuristics.Topology)
+  | "w" -> Some (Heur_bits Heuristics.Weight)
+  | "h" -> Some (Heur_bits Heuristics.H4)
+  | _ -> None
+
 let table2_mv_orders =
   [
     Wv;

@@ -38,6 +38,14 @@ type t = {
 val mv_order_name : mv_order -> string
 val bit_order_name : bit_order -> string
 
+(** Inverses of the [_name] functions over the paper's short names
+    ([wv], [wvr], [vw], [vrw], [t], [w], [h] / [ml], [lm], [t], [w], [h]);
+    [None] on anything else. The CLI, wire protocol and ordering registry
+    all share these as the canonical spelling. *)
+val mv_order_of_name : string -> mv_order option
+
+val bit_order_of_name : string -> bit_order option
+
 (** All (mv, bit) combinations evaluated in the paper's Table 2 (with bit
     order ml) and Table 3 (mv order w with ml/lm/w bits). *)
 val table2_mv_orders : mv_order list

@@ -1,11 +1,17 @@
 module Obs = Socy_obs.Obs
 
-(* Process-wide probes; all server caches (there is normally one) share
-   them. The per-instance stats below are what the stats endpoint uses. *)
-let hits_counter = Obs.counter "serve.cache.hits"
-let misses_counter = Obs.counter "serve.cache.misses"
-let evictions_counter = Obs.counter "serve.cache.evictions"
-let occupancy_gauge = Obs.gauge "serve.cache.occupancy"
+(* Observability probes are per instance: [create ~probes:"serve.cache"]
+   registers [<probes>.hits/.misses/.evictions] counters and an
+   [<probes>.occupancy] gauge owned by that instance, so two caches never
+   cross-talk through a shared module global. Instances created without
+   [?probes] (tests, scratch caches) touch no Obs state at all; their
+   per-instance plain-integer stats below still count. *)
+type probes = {
+  p_hits : Obs.counter;
+  p_misses : Obs.counter;
+  p_evictions : Obs.counter;
+  p_occupancy : Obs.gauge;
+}
 
 (* Intrusive doubly-linked recency list: [mru] is the front, [lru] the
    back. A node is in the table iff it is linked. *)
@@ -20,6 +26,7 @@ type 'a t = {
   mutex : Mutex.t;
   table : (string, 'a node) Hashtbl.t;
   cap : int;
+  probes : probes option;
   mutable mru : 'a node option;
   mutable lru : 'a node option;
   mutable hits : int;
@@ -27,18 +34,32 @@ type 'a t = {
   mutable evictions : int;
 }
 
-let create ~capacity () =
+let create ?probes ~capacity () =
   if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+  let probes =
+    Option.map
+      (fun name ->
+        {
+          p_hits = Obs.counter (name ^ ".hits");
+          p_misses = Obs.counter (name ^ ".misses");
+          p_evictions = Obs.counter (name ^ ".evictions");
+          p_occupancy = Obs.gauge (name ^ ".occupancy");
+        })
+      probes
+  in
   {
     mutex = Mutex.create ();
     table = Hashtbl.create (min capacity 64);
     cap = capacity;
+    probes;
     mru = None;
     lru = None;
     hits = 0;
     misses = 0;
     evictions = 0;
   }
+
+let probe t f = match t.probes with None -> () | Some p -> f p
 
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
@@ -61,13 +82,13 @@ let find t key =
       match Hashtbl.find_opt t.table key with
       | Some n ->
           t.hits <- t.hits + 1;
-          Obs.incr hits_counter;
+          probe t (fun p -> Obs.incr p.p_hits);
           unlink t n;
           push_front t n;
           Some n.value
       | None ->
           t.misses <- t.misses + 1;
-          Obs.incr misses_counter;
+          probe t (fun p -> Obs.incr p.p_misses);
           None)
 
 let add t key value =
@@ -86,10 +107,11 @@ let add t key value =
             unlink t victim;
             Hashtbl.remove t.table victim.key;
             t.evictions <- t.evictions + 1;
-            Obs.incr evictions_counter
+            probe t (fun p -> Obs.incr p.p_evictions)
         | None -> assert false
       end;
-      Obs.set occupancy_gauge (float_of_int (Hashtbl.length t.table)))
+      probe t (fun p ->
+          Obs.set p.p_occupancy (float_of_int (Hashtbl.length t.table))))
 
 let size t = locked t (fun () -> Hashtbl.length t.table)
 let capacity t = t.cap

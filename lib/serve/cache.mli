@@ -20,20 +20,26 @@
     determinism is unaffected — the race costs one duplicate run, never a
     wrong answer.
 
-    Observability: hits, misses and evictions are counted both on
-    process-wide {!Socy_obs.Obs} counters ([serve.cache.hits] /
-    [.misses] / [.evictions], subject to the global enabled flag) and on
-    per-instance plain integers ({!stats}) that the [stats] endpoint
-    reports unconditionally. Occupancy lands on the
-    [serve.cache.occupancy] gauge. *)
+    Observability: hits, misses and evictions are counted on per-instance
+    plain integers ({!stats}) that the [stats] endpoint reports
+    unconditionally, and — only when the instance was created with
+    [?probes] — on {!Socy_obs.Obs} counters and an occupancy gauge named
+    after that instance ([<probes>.hits] / [.misses] / [.evictions] /
+    [.occupancy], subject to the global enabled flag). Probes belong to
+    the instance, so two caches never cross-talk; give each instance its
+    own name if both should be observable. *)
 
 type 'a t
 
-(** [create ~capacity ()] is an empty cache holding at most [capacity]
-    entries (≥ 1; raises [Invalid_argument] otherwise). Insertion beyond
-    capacity evicts the least-recently-{e used} entry — a lookup hit
-    refreshes recency, an insertion counts as a use. *)
-val create : capacity:int -> unit -> 'a t
+(** [create ?probes ~capacity ()] is an empty cache holding at most
+    [capacity] entries (≥ 1; raises [Invalid_argument] otherwise).
+    Insertion beyond capacity evicts the least-recently-{e used} entry —
+    a lookup hit refreshes recency, an insertion counts as a use.
+
+    [probes] names this instance's {!Socy_obs.Obs} probes (the server
+    passes ["serve.cache"]); omitted, the instance touches no Obs
+    state. *)
+val create : ?probes:string -> capacity:int -> unit -> 'a t
 
 (** [find t key] is the cached value, refreshing its recency; counts a
     hit or a miss. *)

@@ -25,6 +25,7 @@ type query = {
   bit_order : Scheme.bit_order;
   node_limit : int option;
   cpu_limit : float option;
+  reorder : bool;
 }
 
 type meth = Eval | Conditional_yields | Importance | Stats | Health | Shutdown
@@ -76,25 +77,13 @@ let error_code_name = function
 (* Orderings on the wire                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* The wire names are the CLI names: the Scheme.*_name strings. *)
+(* The wire names are the CLI names: the Scheme.*_name strings; parsing
+   delegates to the canonical Scheme inverses so every surface accepts
+   exactly the same spellings. *)
 
-let mv_order_of_name = function
-  | "wv" -> Some Scheme.Wv
-  | "wvr" -> Some Scheme.Wvr
-  | "vw" -> Some Scheme.Vw
-  | "vrw" -> Some Scheme.Vrw
-  | "t" -> Some (Scheme.Heur H.Topology)
-  | "w" -> Some (Scheme.Heur H.Weight)
-  | "h" -> Some (Scheme.Heur H.H4)
-  | _ -> None
+let mv_order_of_name = Scheme.mv_order_of_name
 
-let bit_order_of_name = function
-  | "ml" -> Some Scheme.Ml
-  | "lm" -> Some Scheme.Lm
-  | "t" -> Some (Scheme.Heur_bits H.Topology)
-  | "w" -> Some (Scheme.Heur_bits H.Weight)
-  | "h" -> Some (Scheme.Heur_bits H.H4)
-  | _ -> None
+let bit_order_of_name = Scheme.bit_order_of_name
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
@@ -119,10 +108,15 @@ let query_to_json q =
     @ (match q.node_limit with
       | None -> []
       | Some n -> [ ("node_limit", Json.Int n) ])
+    @ (match q.cpu_limit with
+      | None -> []
+      | Some s -> [ ("cpu_limit", Json.Float s) ])
     @
-    match q.cpu_limit with
-    | None -> []
-    | Some s -> [ ("cpu_limit", Json.Float s) ])
+    (* Emitted only when set, so requests from older clients round-trip
+       byte-identically. *)
+    match q.reorder with
+    | false -> []
+    | true -> [ ("reorder", Json.Bool true) ])
 
 let request_to_json r =
   Json.Obj
@@ -202,6 +196,12 @@ let query_of_json obj =
             | _ -> Error (Invalid_request, "\"cpu_limit\" must be a positive number")
         )
       in
+      let* reorder =
+        match Json.member "reorder" obj with
+        | None -> Ok false
+        | Some (Json.Bool b) -> Ok b
+        | Some _ -> Error (Invalid_request, "\"reorder\" must be a boolean")
+      in
       Ok
         {
           source;
@@ -213,6 +213,7 @@ let query_of_json obj =
           bit_order;
           node_limit;
           cpu_limit;
+          reorder;
         }
   | _ -> Error (Invalid_request, "\"params\" must be an object")
 
@@ -336,6 +337,8 @@ let report_fields (r : P.report) =
     ("num_binary_vars", Json.Int r.P.num_binary_vars);
     ("num_groups", Json.Int r.P.num_groups);
     ("gate_count", Json.Int r.P.gate_count);
+    ("reorder_runs", Json.Int r.P.reorder_runs);
+    ("reorder_swaps", Json.Int r.P.reorder_swaps);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -414,11 +417,16 @@ let cache_key ~meth ~resolved ~node_limit ~cpu_limit q =
   Array.iter
     (fun p -> Buffer.add_string buf (Printf.sprintf "%h," p))
     resolved.model.Model.affect;
+  (* The reorder flag keys on what the client *requested*, never on any
+     post-sift permutation: sifting is walked back to the static scheme
+     before evaluation, so results are bit-identical either way, but the
+     two runs differ in reported reorder statistics. *)
   Buffer.add_string buf
-    (Printf.sprintf "|e=%h|mv=%s|bit=%s|nl=%d|cl=%s|m=%s" q.epsilon
+    (Printf.sprintf "|e=%h|mv=%s|bit=%s|nl=%d|cl=%s|r=%d|m=%s" q.epsilon
        (Scheme.mv_order_name q.mv_order)
        (Scheme.bit_order_name q.bit_order)
        node_limit
        (match cpu_limit with None -> "-" | Some s -> Printf.sprintf "%h" s)
+       (if q.reorder then 1 else 0)
        (meth_name meth));
   Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -40,6 +40,11 @@ type query = {
   bit_order : Socy_order.Scheme.bit_order;
   node_limit : int option;  (** live-node budget; [None] = server default *)
   cpu_limit : float option;  (** CPU-seconds budget; [None] = server default *)
+  reorder : bool;
+      (** sift during the coded-ROBDD build. Results are bit-identical
+          either way (the order is walked back before evaluation); only
+          the transient peak and the [reorder_*] report fields change.
+          Encoded on the wire only when [true]. *)
 }
 
 (** The protocol methods. [Eval], [Conditional_yields] and [Importance]
@@ -141,10 +146,12 @@ val failure_error :
 (** The deterministic report fields, in canonical order: [yield_lower],
     [yield_upper], [p_unusable], [m], [p_lethal], [robdd_peak],
     [robdd_size], [romdd_size], [num_binary_vars], [num_groups],
-    [gate_count] — the {!Socy_core.Pipeline.report} minus every
-    timing/counter field, so two runs of the same query produce
-    bit-identical JSON. [socyield eval --metrics json] builds its
-    [report] object from the same list. *)
+    [gate_count], [reorder_runs], [reorder_swaps] — the
+    {!Socy_core.Pipeline.report} minus every timing/counter field, so two
+    runs of the same query produce bit-identical JSON (sifting is
+    deterministic, so the reorder counters replay bit-identically too).
+    [socyield eval --metrics json] builds its [report] object from the
+    same list. *)
 val report_fields : Socy_core.Pipeline.report -> (string * Json.t) list
 
 (** {1 Query resolution and cache keys} *)
@@ -166,9 +173,11 @@ val resolve : query -> (resolved, string) result
     digest over the {e structural} circuit serialization (so two
     expressions denoting the same DAG share entries), the exact bit
     patterns of the model parameters, the ordering scheme, ε, the
-    effective budgets and the method. [node_limit]/[cpu_limit] must be the
-    {e effective} values after the server applied its defaults, so a
-    defaulted and an explicit-equal request share one entry. *)
+    effective budgets, the {e requested} reorder flag and the method.
+    [node_limit]/[cpu_limit] must be the {e effective} values after the
+    server applied its defaults, so a defaulted and an explicit-equal
+    request share one entry. The reorder flag is keyed as requested —
+    never any post-sift permutation — so replay stays bit-identical. *)
 val cache_key :
   meth:meth ->
   resolved:resolved ->

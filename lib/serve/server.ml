@@ -142,7 +142,7 @@ let create cfg =
     cfg;
     listen_fd = fd;
     executor = Pool.Executor.create ~domains:cfg.domains ();
-    cache = Cache.create ~capacity:cfg.cache_capacity ();
+    cache = Cache.create ~probes:"serve.cache" ~capacity:cfg.cache_capacity ();
     lock = Mutex.create ();
     drained = Condition.create ();
     state = Running;
@@ -231,7 +231,8 @@ let compute meth (resolved : Proto.resolved) (q : Proto.query) ~node_limit
     ~cpu_limit =
   let pconfig =
     P.Config.make ~epsilon:q.Proto.epsilon ~mv_order:q.Proto.mv_order
-      ~bit_order:q.Proto.bit_order ~node_limit ?cpu_limit ()
+      ~bit_order:q.Proto.bit_order ~node_limit ?cpu_limit
+      ~reorder:q.Proto.reorder ()
   in
   match meth with
   | Proto.Eval -> (

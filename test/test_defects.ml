@@ -78,9 +78,13 @@ let test_of_array () =
       ignore (D.of_array [| 0.0; 0.0 |]));
   Alcotest.check_raises "infinite total" bad_total (fun () ->
       ignore (D.of_array [| 1.0; infinity |]));
+  (* NaN is its own failure mode, not a mislabelled "negative mass". *)
   Alcotest.check_raises "nan entry"
-    (Invalid_argument "Distribution.of_array: negative mass") (fun () ->
-      ignore (D.of_array [| nan; 1.0 |]))
+    (Invalid_argument "Distribution.of_array: NaN mass") (fun () ->
+      ignore (D.of_array [| nan; 1.0 |]));
+  Alcotest.check_raises "nan entry among negatives"
+    (Invalid_argument "Distribution.of_array: NaN mass") (fun () ->
+      ignore (D.of_array [| -1.0; nan |]))
 
 let test_custom_mean () =
   let d = D.of_array [| 0.5; 0.0; 0.5 |] in
@@ -97,9 +101,18 @@ let test_mixture () =
   check_float ~eps:1e-12 "mean" ((0.75 *. 1.0) +. (0.25 *. 5.0)) (D.mean m);
   Alcotest.check_raises "empty" (Invalid_argument "Distribution.mixture: empty mixture")
     (fun () -> ignore (D.mixture []));
-  Alcotest.check_raises "bad weight"
-    (Invalid_argument "Distribution.mixture: weights must be positive") (fun () ->
-      ignore (D.mixture [ (0.0, a) ]))
+  let bad_weight =
+    Invalid_argument "Distribution.mixture: weights must be positive and finite"
+  in
+  Alcotest.check_raises "bad weight" bad_weight (fun () ->
+      ignore (D.mixture [ (0.0, a) ]));
+  (* Both used to slip through the [w <= 0.0] check and poison the
+     normalized weights. *)
+  Alcotest.check_raises "infinite weight" bad_weight (fun () ->
+      ignore (D.mixture [ (infinity, a); (1.0, b) ]));
+  Alcotest.check_raises "nan weight"
+    (Invalid_argument "Distribution.mixture: NaN weight") (fun () ->
+      ignore (D.mixture [ (nan, a); (1.0, b) ]))
 
 let test_mixture_lethal_commutes () =
   (* Eq. (1) commutes with mixing: thinning the mixture = mixture of the

@@ -1,0 +1,420 @@
+(* Dynamic-reordering invariant suite (ISSUE 7): any sift schedule must
+   preserve the function (truth table and P(f) exactly), the stored
+   else-edge regularity / unique-table consistency (check_invariants),
+   and group contiguity; a budget abort mid-sift must leave the manager
+   consistent and never larger than it started. *)
+
+module M = Socy_bdd.Manager
+
+(* ------------------------------------------------------------------ *)
+(* Random formulas (same shape as test_bdd's generator)                *)
+(* ------------------------------------------------------------------ *)
+
+type rexpr =
+  | RVar of int
+  | RNot of rexpr
+  | RAnd of rexpr * rexpr
+  | ROr of rexpr * rexpr
+  | RXor of rexpr * rexpr
+
+let rec rexpr_print = function
+  | RVar i -> Printf.sprintf "x%d" i
+  | RNot e -> Printf.sprintf "!(%s)" (rexpr_print e)
+  | RAnd (a, b) -> Printf.sprintf "(%s&%s)" (rexpr_print a) (rexpr_print b)
+  | ROr (a, b) -> Printf.sprintf "(%s|%s)" (rexpr_print a) (rexpr_print b)
+  | RXor (a, b) -> Printf.sprintf "(%s^%s)" (rexpr_print a) (rexpr_print b)
+
+let rec rexpr_eval env = function
+  | RVar i -> env i
+  | RNot e -> not (rexpr_eval env e)
+  | RAnd (a, b) -> rexpr_eval env a && rexpr_eval env b
+  | ROr (a, b) -> rexpr_eval env a || rexpr_eval env b
+  | RXor (a, b) -> rexpr_eval env a <> rexpr_eval env b
+
+let rec rexpr_build m = function
+  | RVar i -> M.var m i
+  | RNot e -> M.not_ m (rexpr_build m e)
+  | RAnd (a, b) -> M.and_ m (rexpr_build m a) (rexpr_build m b)
+  | ROr (a, b) -> M.or_ m (rexpr_build m a) (rexpr_build m b)
+  | RXor (a, b) -> M.xor_ m (rexpr_build m a) (rexpr_build m b)
+
+let gen_rexpr num_vars =
+  QCheck.Gen.(
+    sized_size (int_bound 8)
+    @@ fix (fun self size ->
+           if size <= 0 then map (fun i -> RVar i) (int_bound (num_vars - 1))
+           else
+             frequency
+               [
+                 (1, map (fun i -> RVar i) (int_bound (num_vars - 1)));
+                 (1, map (fun e -> RNot e) (self (size - 1)));
+                 (2, map2 (fun a b -> RAnd (a, b)) (self (size / 2)) (self (size / 2)));
+                 (2, map2 (fun a b -> ROr (a, b)) (self (size / 2)) (self (size / 2)));
+                 (1, map2 (fun a b -> RXor (a, b)) (self (size / 2)) (self (size / 2)));
+               ]))
+
+let arb_rexpr n = QCheck.make ~print:rexpr_print (gen_rexpr n)
+let nv = 6
+
+let truth_table m node =
+  List.init (1 lsl nv) (fun mask -> M.eval m node (fun v -> (mask lsr v) land 1 = 1))
+
+let table_matches m node e =
+  List.for_all
+    (fun mask ->
+      let env v = (mask lsr v) land 1 = 1 in
+      rexpr_eval env e = M.eval m node env)
+    (List.init (1 lsl nv) Fun.id)
+
+(* Dyadic per-variable probabilities: every intermediate of the bottom-up
+   P(f) computation is an exact binary fraction at nv <= 6 variables, so
+   "preserves P(f) exactly" really is float equality here. *)
+let dyadic_p v = match v mod 3 with 0 -> 0.5 | 1 -> 0.25 | _ -> 0.75
+
+(* ------------------------------------------------------------------ *)
+(* Arbitrary swap schedules (the raw adjacent-level test hook)          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_swaps_preserve_function =
+  QCheck.Test.make ~name:"arbitrary swap schedule preserves f, P(f), invariants"
+    ~count:200
+    QCheck.(pair (arb_rexpr nv) (list_of_size Gen.(int_bound 20) (int_bound (nv - 2))))
+    (fun (e, schedule) ->
+      let m = M.create ~num_vars:nv () in
+      let node = rexpr_build m e in
+      let table0 = truth_table m node in
+      let p0 = M.probability m node ~p:dyadic_p in
+      List.iter (fun i -> M.swap_levels m i) schedule;
+      M.check_invariants m;
+      table0 = truth_table m node
+      && p0 = M.probability m node ~p:dyadic_p
+      && table_matches m node e)
+
+let prop_swap_is_involution =
+  QCheck.Test.make ~name:"swapping the same levels twice restores the order"
+    ~count:100
+    QCheck.(pair (arb_rexpr nv) (int_bound (nv - 2)))
+    (fun (e, i) ->
+      let m = M.create ~num_vars:nv () in
+      let node = rexpr_build m e in
+      let size0 = M.size m node in
+      let order0 = M.current_order m in
+      M.swap_levels m i;
+      M.swap_levels m i;
+      M.check_invariants m;
+      M.current_order m = order0 && M.size m node = size0 && table_matches m node e)
+
+(* ------------------------------------------------------------------ *)
+(* Sifting                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_sift_preserves_function =
+  QCheck.Test.make ~name:"sift preserves f, P(f), invariants; never grows"
+    ~count:150
+    QCheck.(pair (arb_rexpr nv) (arb_rexpr nv))
+    (fun (e1, e2) ->
+      let m = M.create ~num_vars:nv () in
+      let n1 = rexpr_build m e1 in
+      let n2 = rexpr_build m e2 in
+      let p1 = M.probability m n1 ~p:dyadic_p in
+      let p2 = M.probability m n2 ~p:dyadic_p in
+      let before = M.alive m in
+      M.sift m;
+      M.check_invariants m;
+      M.alive m <= before
+      && table_matches m n1 e1 && table_matches m n2 e2
+      && p1 = M.probability m n1 ~p:dyadic_p
+      && p2 = M.probability m n2 ~p:dyadic_p)
+
+let prop_sift_then_restore =
+  QCheck.Test.make ~name:"set_order restores the identity order after a sift"
+    ~count:100 (arb_rexpr nv)
+    (fun e ->
+      let m = M.create ~num_vars:nv () in
+      let node = rexpr_build m e in
+      let size0 = M.size m node in
+      M.sift m;
+      M.set_order m (Array.init nv Fun.id);
+      M.check_invariants m;
+      M.current_order m = Array.init nv Fun.id
+      && M.size m node = size0
+      && table_matches m node e)
+
+let prop_grouped_sift_contiguous =
+  QCheck.Test.make
+    ~name:"group contiguity survives arbitrary sift schedules" ~count:100
+    QCheck.(pair (pair (arb_rexpr nv) (arb_rexpr nv)) (int_range 1 3))
+    (fun ((e1, e2), group_size) ->
+      let m = M.create ~num_vars:nv () in
+      let n1 = rexpr_build m e1 in
+      let n2 = rexpr_build m e2 in
+      (* contiguous in the identity order by construction *)
+      M.set_groups m (Array.init nv (fun v -> v / group_size));
+      M.sift m;
+      M.sift m ~max_growth:2.0;
+      M.check_invariants m;
+      let order = M.current_order m in
+      (* each group's variables occupy consecutive levels *)
+      let contiguous =
+        let runs = ref [] in
+        Array.iter
+          (fun v ->
+            let g = v / group_size in
+            match !runs with
+            | last :: _ when last = g -> ()
+            | l -> runs := g :: l)
+          order;
+        List.length !runs = List.length (List.sort_uniq compare !runs)
+      in
+      (* and their relative order inside the group is untouched *)
+      let inside_ok =
+        let lv = Array.make nv 0 in
+        Array.iteri (fun l v -> lv.(v) <- l) order;
+        List.for_all
+          (fun v -> v mod group_size = 0 || lv.(v) = lv.(v - 1) + 1)
+          (List.init nv Fun.id)
+      in
+      contiguous && inside_ok && table_matches m n1 e1 && table_matches m n2 e2)
+
+let split_group_rejected () =
+  let m = M.create ~num_vars:4 () in
+  let f = M.and_ m (M.var m 0) (M.var m 3) in
+  ignore f;
+  (* group 0 = {x0, x2}: not contiguous in the identity order *)
+  M.set_groups m [| 0; 1; 0; 2 |];
+  Alcotest.check_raises "split group"
+    (Invalid_argument "Manager.sift: group not contiguous in current order")
+    (fun () -> M.sift m)
+
+(* ------------------------------------------------------------------ *)
+(* The disjoint-pairs family: f = OR_i (x_i AND x_{k+i}) under the
+   split order is the classic exponential-vs-linear ordering gap, which
+   makes both the sift win and the budget abort deterministic.          *)
+(* ------------------------------------------------------------------ *)
+
+let build_pairs m k =
+  let acc = ref M.zero in
+  for i = 0 to k - 1 do
+    let a = M.var m i and b = M.var m (k + i) in
+    let t = M.and_ m a b in
+    let n = M.or_ m !acc t in
+    M.deref m t;
+    M.deref m a;
+    M.deref m b;
+    M.deref m !acc;
+    acc := n
+  done;
+  !acc
+
+let pairs_eval k mask =
+  let bit v = (mask lsr v) land 1 = 1 in
+  let rec go i = i < k && ((bit i && bit (k + i)) || go (i + 1)) in
+  go 0
+
+let sift_shrinks_pairs () =
+  let k = 8 in
+  let m = M.create ~num_vars:(2 * k) () in
+  let f = build_pairs m k in
+  let before = M.alive m in
+  M.sift m;
+  M.check_invariants m;
+  let after = M.alive m in
+  Alcotest.(check bool)
+    (Printf.sprintf "sift shrinks >=30%% (%d -> %d)" before after)
+    true
+    (float_of_int after <= 0.7 *. float_of_int before);
+  (* spot-check the function on every 16-bit mask multiple of 257 *)
+  let ok = ref true in
+  let mask = ref 0 in
+  while !mask < 1 lsl (2 * k) do
+    if M.eval m f (fun v -> (!mask lsr v) land 1 = 1) <> pairs_eval k !mask then
+      ok := false;
+    mask := !mask + 257
+  done;
+  Alcotest.(check bool) "function preserved" true !ok
+
+(* f = AND_j (X_j == Y_j) over w-bit registers, pair j at variables
+   [j*2w, (j+1)*2w): x-bits then y-bits. In this layout any block hop
+   that slides a register past a foreign one must remember a whole
+   register (2^w states), so sifting it under a node budget is
+   guaranteed to trip the budget mid-move. *)
+let build_eq m ~w ~r =
+  let acc = ref M.one in
+  for j = 0 to r - 1 do
+    let base = j * 2 * w in
+    let cmp = ref M.one in
+    for b = 0 to w - 1 do
+      let x = M.var m (base + b) and y = M.var m (base + w + b) in
+      let xn = M.not_ m (M.xor_ m x y) in
+      let c = M.and_ m !cmp xn in
+      M.deref m x;
+      M.deref m y;
+      M.deref m xn;
+      M.deref m !cmp;
+      cmp := c
+    done;
+    let n = M.and_ m !acc !cmp in
+    M.deref m !acc;
+    M.deref m !cmp;
+    acc := n
+  done;
+  !acc
+
+let eq_eval ~w ~r mask =
+  let bit v = (mask lsr v) land 1 in
+  let rec pair j =
+    j >= r
+    ||
+    let base = j * 2 * w in
+    let rec bits b =
+      b >= w || (bit (base + b) = bit (base + w + b) && bits (b + 1))
+    in
+    bits 0 && pair (j + 1)
+  in
+  pair 0
+
+let budget_abort_consistent () =
+  (* 20 pairs of 9-bit registers: ~31k live nodes, and the first block
+     move that slides a register past a foreign one blows through the
+     200k node budget (the table transiently needs 2^18+ nodes). The
+     sift must abort gracefully — and leave a consistent, not-larger
+     manager behind. *)
+  let w = 9 and r = 20 in
+  let nvars = r * 2 * w in
+  let m = M.create ~num_vars:nvars ~node_limit:200_000 () in
+  let f = build_eq m ~w ~r in
+  M.set_groups m (Array.init nvars (fun v -> v / w));
+  let before = M.alive m in
+  M.sift m ~max_growth:1_000_000.0;
+  M.check_invariants m;
+  let stats = M.reorder_stats m in
+  Alcotest.(check bool)
+    (Printf.sprintf "aborted (runs=%d swaps=%d aborted=%d)" stats.runs
+       stats.swaps stats.aborted)
+    true (stats.aborted >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "never worse (%d -> %d)" before (M.alive m))
+    true
+    (M.alive m <= before);
+  (* deterministic spot checks, biased toward near-satisfying inputs *)
+  let ok = ref true in
+  let x = ref 123456789 in
+  for i = 1 to 200 do
+    x := (!x * 1103515245) + 12345;
+    let mask =
+      if i mod 2 = 0 then 0 lxor (1 lsl (!x mod (nvars - 1) |> abs))
+      else !x land ((1 lsl 30) - 1)
+    in
+    if
+      M.eval m f (fun v -> (mask lsr v) land 1 = 1) <> eq_eval ~w ~r mask
+    then ok := false
+  done;
+  Alcotest.(check bool) "function preserved after abort" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end acceptance (ISSUE 7): on a Table 4 family, sifting must
+   cut peak_nodes by >= 30% against the same static heuristic while
+   reproducing its yield bit-for-bit, and a run whose static build dies
+   on the node budget must complete with reordering on.                 *)
+(* ------------------------------------------------------------------ *)
+
+module P = Socy_core.Pipeline
+module Suite = Socy_benchmarks.Suite
+
+let ms2_vrw ?node_limit ~reorder () =
+  let row = List.hd (Suite.table_rows ()) (* MS2, lambda = 10 *) in
+  let config =
+    P.Config.make ~mv_order:Socy_order.Scheme.Vrw ?node_limit ~reorder ()
+  in
+  P.run ~config row.Suite.instance.Suite.circuit (Suite.model row)
+
+let sift_peak_acceptance () =
+  (* vrw is the paper's weakest static heuristic on MS2; the sifted build
+     must undercut its peak by >= 30% and replay its yield exactly (the
+     walk-back restores the scheme order, so the ROMDD is identical). *)
+  match (ms2_vrw ~reorder:false (), ms2_vrw ~reorder:true ()) with
+  | Ok static, Ok sifted ->
+      Alcotest.(check bool)
+        (Printf.sprintf "peak cut >= 30%% (%d -> %d)" static.P.robdd_peak
+           sifted.P.robdd_peak)
+        true
+        (float_of_int sifted.P.robdd_peak
+        <= 0.7 *. float_of_int static.P.robdd_peak);
+      Alcotest.(check (float 0.0))
+        "yield_lower bit-identical" static.P.yield_lower sifted.P.yield_lower;
+      Alcotest.(check (float 0.0))
+        "yield_upper bit-identical" static.P.yield_upper sifted.P.yield_upper;
+      Alcotest.(check int) "final size identical" static.P.robdd_size
+        sifted.P.robdd_size;
+      Alcotest.(check bool) "sift actually ran" true (sifted.P.reorder_runs > 0)
+  | Error f, _ | _, Error f ->
+      Alcotest.failf "pipeline failed: %s" (P.failure_to_string f)
+
+let sift_rescues_budget_killed_row () =
+  (* Static vrw on MS2 peaks above 1M nodes, so a 600k budget kills it;
+     the sifted build stays under the same budget and completes with the
+     same yield as the unconstrained static run. *)
+  let budget = 600_000 in
+  (match ms2_vrw ~node_limit:budget ~reorder:false () with
+  | Error (P.Node_budget { stage; _ }) ->
+      Alcotest.(check string) "static dies in robdd build" "coded-robdd" stage
+  | Ok _ -> Alcotest.fail "static vrw unexpectedly fit the budget"
+  | Error f -> Alcotest.failf "wrong failure: %s" (P.failure_to_string f));
+  match (ms2_vrw ~node_limit:budget ~reorder:true (), ms2_vrw ~reorder:false ())
+  with
+  | Ok rescued, Ok unconstrained ->
+      Alcotest.(check bool)
+        (Printf.sprintf "peak %d under budget %d" rescued.P.robdd_peak budget)
+        true
+        (rescued.P.robdd_peak <= budget);
+      Alcotest.(check (float 0.0))
+        "yield matches the unconstrained static run" unconstrained.P.yield_lower
+        rescued.P.yield_lower
+  | Error f, _ | _, Error f ->
+      Alcotest.failf "pipeline failed: %s" (P.failure_to_string f)
+
+let handles_survive_sift () =
+  (* In-place reordering: the handle held across the sift stays valid and
+     keeps denoting the same function — no translation table needed. *)
+  let k = 6 in
+  let m = M.create ~num_vars:(2 * k) () in
+  let f = build_pairs m k in
+  let g = M.and_ m (M.var m 0) (M.var m k) in
+  M.sift m;
+  let h = M.and_ m f (M.not_ m g) in
+  let ok = ref true in
+  for mask = 0 to (1 lsl (2 * k)) - 1 do
+    let env v = (mask lsr v) land 1 = 1 in
+    let expect = pairs_eval k mask && not (env 0 && env k) in
+    if M.eval m h env <> expect then ok := false
+  done;
+  Alcotest.(check bool) "post-sift ops on pre-sift handles" true !ok
+
+let () =
+  Alcotest.run "socy_bdd reorder"
+    [
+      ( "qcheck",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_swaps_preserve_function;
+            prop_swap_is_involution;
+            prop_sift_preserves_function;
+            prop_sift_then_restore;
+            prop_grouped_sift_contiguous;
+          ] );
+      ( "unit",
+        [
+          Alcotest.test_case "split group rejected" `Quick split_group_rejected;
+          Alcotest.test_case "sift shrinks pairs >=30%" `Quick sift_shrinks_pairs;
+          Alcotest.test_case "200k budget abort stays consistent" `Quick
+            budget_abort_consistent;
+          Alcotest.test_case "handles survive sift" `Quick handles_survive_sift;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "sift cuts MS2/vrw peak >=30%, yield bit-identical"
+            `Slow sift_peak_acceptance;
+          Alcotest.test_case "sift completes a budget-killed row" `Slow
+            sift_rescues_budget_killed_row;
+        ] );
+    ]

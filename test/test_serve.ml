@@ -79,6 +79,7 @@ let gen_request =
         let* bit_order = oneofl bit_orders in
         let* node_limit = oneofl [ None; Some 1000; Some 40_000_000 ] in
         let* cpu_limit = oneofl [ None; Some 1.5; Some 60.0 ] in
+        let* reorder = QCheck.Gen.bool in
         return
           (Some
              {
@@ -91,6 +92,7 @@ let gen_request =
                bit_order;
                node_limit;
                cpu_limit;
+               reorder;
              })
     in
     return { Proto.id; meth; query })
@@ -171,6 +173,38 @@ let test_cache_replace () =
     (Invalid_argument "Cache.create: capacity < 1") (fun () ->
       ignore (Cache.create ~capacity:0 ()))
 
+(* Probes are per instance: traffic on one cache must never show up on
+   another's counters or gauge, and instance stats stay independent. *)
+let test_cache_probe_isolation () =
+  let module Obs = Socy_obs.Obs in
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled false)
+    (fun () ->
+      let a = Cache.create ~probes:"test.cache_iso.a" ~capacity:1 () in
+      let b = Cache.create ~probes:"test.cache_iso.b" ~capacity:1 () in
+      let a_hits = Obs.counter "test.cache_iso.a.hits" in
+      let b_hits = Obs.counter "test.cache_iso.b.hits" in
+      let b_misses = Obs.counter "test.cache_iso.b.misses" in
+      let a0 = Obs.counter_value a_hits in
+      let b0 = Obs.counter_value b_hits in
+      let bm0 = Obs.counter_value b_misses in
+      Cache.add a "k" 1;
+      ignore (Cache.find a "k");
+      ignore (Cache.find a "k");
+      Alcotest.(check int) "a counted its hits" (a0 + 2) (Obs.counter_value a_hits);
+      Alcotest.(check int) "b hits untouched" b0 (Obs.counter_value b_hits);
+      Alcotest.(check int) "b misses untouched" bm0 (Obs.counter_value b_misses);
+      Alcotest.(check int) "b instance stats untouched" 0 (Cache.stats b).Cache.hits;
+      Alcotest.(check int) "a instance stats counted" 2 (Cache.stats a).Cache.hits;
+      (* An unnamed instance counts instance stats without any probe. *)
+      let quiet = Cache.create ~capacity:1 () in
+      Cache.add quiet "k" 1;
+      ignore (Cache.find quiet "k");
+      Alcotest.(check int) "unnamed counts locally" 1 (Cache.stats quiet).Cache.hits;
+      Alcotest.(check int) "unnamed leaves a's probe alone" (a0 + 2)
+        (Obs.counter_value a_hits))
+
 let base_query =
   {
     Proto.source = Proto.Benchmark "MS2";
@@ -182,6 +216,7 @@ let base_query =
     bit_order = Scheme.Ml;
     node_limit = None;
     cpu_limit = None;
+    reorder = false;
   }
 
 let test_cache_key_discriminates () =
@@ -443,6 +478,7 @@ let () =
         [
           Alcotest.test_case "lru eviction" `Quick test_cache_lru;
           Alcotest.test_case "replacement" `Quick test_cache_replace;
+          Alcotest.test_case "probe isolation" `Quick test_cache_probe_isolation;
           Alcotest.test_case "key discrimination" `Quick
             test_cache_key_discriminates;
         ] );
