@@ -25,9 +25,16 @@
    - every offending row/field is reported before the non-zero exit, so
      one run lists the complete set of regressions;
    - any fresh record carrying `seq_yield_drift` (the curves section's
-     |parallel - one-domain| yield delta) above 1e-12 is a correctness
-     failure — parallel batches must be bit-identical to sequential runs.
-     This is checked on the fresh file alone, no baseline needed;
+     |parallel - one-domain| yield delta) or `par_yield_drift` (the par
+     section's |domain-team - sequential| delta on one problem) above
+     1e-12 is a correctness failure — parallel runs must be bit-identical
+     to sequential runs. This is checked on the fresh file alone, no
+     baseline needed;
+   - any fresh record carrying `par_domains >= 4` must also carry
+     `par_speedup >= 1.5`: the intra-problem domain team must actually
+     pay for itself on a 4-way host. Hosts with fewer cores never emit
+     the record, so the gate self-disables there (fresh file alone, no
+     baseline needed);
    - a row present in the baseline but missing from the fresh run is a
      failure (a silently dropped benchmark is a regression too).
    Rows only present in the fresh run are reported but never fail: adding
@@ -36,6 +43,8 @@
 module Json = Socy_obs.Json
 
 let yield_tolerance = 1e-12
+let par_speedup_floor = 1.5
+let par_gate_min_domains = 4.0
 let cpu_regression_factor = 1.25
 let cpu_noise_floor_s = 0.05
 let peak_regression_factor = 1.10
@@ -158,7 +167,23 @@ let () =
               fail "%s/%s: %s = %.3e (parallel run not equivalent to sequential)"
                 section row field d
           | _ -> ())
-        [ "seq_yield_drift"; "seq_yield_drift_max" ])
+        [ "seq_yield_drift"; "seq_yield_drift_max"; "par_yield_drift" ];
+      (* Intra-problem parallelism gate: with a 4-way team the sharded
+         store + parallel apply must beat the sequential engine by 1.5x
+         on the same problem. Fresh-only, and only when the run actually
+         had >= 4 domains — smaller hosts never emit the record. *)
+      match (number "par_domains" r, number "par_speedup" r) with
+      | Some d, Some s when d >= par_gate_min_domains ->
+          if s < par_speedup_floor then
+            fail "%s/%s: par_speedup %.2fx below the %.1fx floor at %.0f domains"
+              section row s par_speedup_floor d
+          else
+            Printf.printf "ok    %s/%s: par_speedup %.2fx at %.0f domains\n"
+              section row s d
+      | Some d, None when d >= par_gate_min_domains ->
+          fail "%s/%s: par_domains = %.0f but no par_speedup recorded" section
+            row d
+      | _ -> ())
     fresh;
   List.iter
     (fun (key, _) ->

@@ -80,6 +80,32 @@ let reorder_arg =
   in
   Arg.(value & flag & info [ "reorder" ] ~doc)
 
+let par_domains_arg =
+  let doc =
+    "Domains used INSIDE one evaluation: the coded-ROBDD build runs on the \
+     concurrent engine (sharded unique table, frontier-split APPLY) and the \
+     ROMDD conversion distributes each layer across the team. Results — \
+     yield, diagram sizes, node ids — are bit-identical to the sequential \
+     engine. 1 (the default) is the pure sequential path. Ignored with \
+     --reorder (sifting needs the sequential manager); a warning is printed."
+  in
+  Arg.(value & opt int 1 & info [ "par-domains" ] ~docv:"N" ~doc)
+
+(* Shared --par-domains validation: out-of-range dies as a usage error;
+   the reorder clash downgrades to sequential with a warning, matching
+   the pipeline's own reorder-wins rule. *)
+let check_par_domains ~reorder par_domains =
+  if par_domains < 1 then begin
+    Printf.eprintf "socyield: --par-domains must be at least 1 (got %d)\n"
+      par_domains;
+    exit 2
+  end;
+  if reorder && par_domains > 1 then
+    Printf.eprintf
+      "socyield: --reorder takes precedence over --par-domains — the build \
+       stays sequential (in-place sifting and the concurrent store are \
+       mutually exclusive)\n%!"
+
 let registry_arg =
   let doc =
     "Path of the tuned-ordering registry (the versioned text file written \
@@ -298,10 +324,11 @@ let write_trace out =
 
 let eval_cmd =
   let run fault_tree benchmark lambda alpha p_lethal epsilon node_limit mv bits
-      reorder tuned registry metrics metrics_out trace_out =
+      reorder par_domains tuned registry metrics metrics_out trace_out =
     let mv, bits, reorder =
       resolve_tuned ~tuned ~registry ~benchmark ~mv ~bits ~reorder
     in
+    check_par_domains ~reorder par_domains;
     match resolve ~fault_tree ~benchmark ~lambda ~alpha ~p_lethal with
     | Error msg ->
         prerr_endline msg;
@@ -310,7 +337,7 @@ let eval_cmd =
         if metrics <> None || trace_out <> None then Obs.set_enabled true;
         let config =
           P.Config.make ~epsilon ~node_limit ~mv_order:mv ~bit_order:bits
-            ~reorder ()
+            ~reorder ~par_domains ()
         in
         let source =
           match (benchmark, fault_tree) with
@@ -397,8 +424,8 @@ let eval_cmd =
     Term.(
       const run $ fault_tree_arg $ benchmark_arg $ lambda_arg $ alpha_arg
       $ p_lethal_arg $ epsilon_arg $ node_limit_arg $ mv_order_arg $ bit_order_arg
-      $ reorder_arg $ tuned_arg $ registry_arg $ metrics_arg $ metrics_out_arg
-      $ trace_arg)
+      $ reorder_arg $ par_domains_arg $ tuned_arg $ registry_arg $ metrics_arg
+      $ metrics_out_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate the yield of a fault-tolerant system-on-chip")
@@ -483,9 +510,10 @@ let sweep_cmd =
     Arg.(value & flag & info [ "progress" ] ~doc)
   in
   let run fault_tree benchmarks lambdas epsilons mvs bits alpha p_lethal node_limit
-      reorder domains wall_budget check_seq output out metrics metrics_out
-      trace_out progress =
+      reorder par_domains domains wall_budget check_seq output out metrics
+      metrics_out trace_out progress =
     if metrics <> None || trace_out <> None then Obs.set_enabled true;
+    check_par_domains ~reorder par_domains;
     let sources =
       match (fault_tree, benchmarks) with
       | Some _, _ :: _ ->
@@ -535,7 +563,7 @@ let sweep_cmd =
                        (fun mv ->
                          let config =
                            P.Config.make ~epsilon ~node_limit ~mv_order:mv
-                             ~bit_order:bits ~reorder ()
+                             ~bit_order:bits ~reorder ~par_domains ()
                          in
                          let label =
                            Printf.sprintf "%s l=%g e=%g %s" src lambda epsilon
@@ -714,8 +742,9 @@ let sweep_cmd =
     Term.(
       const run $ fault_tree_arg $ benchmarks_arg $ lambdas_arg $ epsilons_arg
       $ mv_orders_arg $ bit_order_arg $ alpha_arg $ p_lethal_arg $ node_limit_arg
-      $ reorder_arg $ domains_arg $ wall_budget_arg $ check_seq_arg $ output_arg
-      $ out_arg $ metrics_arg $ metrics_out_arg $ trace_arg $ progress_arg)
+      $ reorder_arg $ par_domains_arg $ domains_arg $ wall_budget_arg
+      $ check_seq_arg $ output_arg $ out_arg $ metrics_arg $ metrics_out_arg
+      $ trace_arg $ progress_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -1164,12 +1193,21 @@ let serve_cmd =
     let doc = "Reject requests asking for a CPU budget above $(docv) seconds." in
     Arg.(value & opt (some float) None & info [ "max-cpu-limit" ] ~docv:"S" ~doc)
   in
+  let serve_par_domains_arg =
+    let doc =
+      "Intra-problem team size applied to requests that omit par_domains \
+       (default 1 = sequential). Parallel runs reuse the executor's worker \
+       domains — the daemon never spawns a second domain team (see \
+       docs/OPERATIONS.md)."
+    in
+    Arg.(value & opt int 1 & info [ "par-domains" ] ~docv:"N" ~doc)
+  in
   let force_arg =
     let doc = "Remove a pre-existing socket file before binding." in
     Arg.(value & flag & info [ "force" ] ~doc)
   in
   let run socket domains cache_capacity max_inflight node_limit max_node_limit
-      cpu_limit max_cpu_limit force trace_out =
+      cpu_limit max_cpu_limit par_domains force trace_out =
     (* Out-of-range flags die with a one-line usage error before any
        socket exists — never as an uncaught Invalid_argument from deeper
        layers with the listener already bound. *)
@@ -1196,11 +1234,13 @@ let serve_cmd =
     positive_int "--max-node-limit" max_node_limit;
     positive_float "--cpu-limit" cpu_limit;
     positive_float "--max-cpu-limit" max_cpu_limit;
+    positive_int "--par-domains" (Some par_domains);
     if trace_out <> None then Obs.set_enabled true;
     let cfg =
       Server.config ?domains ~cache_capacity ?max_inflight
         ~default_node_limit:node_limit ?max_node_limit
-        ?default_cpu_limit:cpu_limit ?max_cpu_limit ~unlink_existing:force
+        ?default_cpu_limit:cpu_limit ?max_cpu_limit
+        ~default_par_domains:par_domains ~unlink_existing:force
         ~socket_path:socket ()
     in
     match Server.create cfg with
@@ -1234,7 +1274,7 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ domains_arg $ cache_arg $ max_inflight_arg
       $ node_limit_arg $ max_node_limit_arg $ cpu_limit_arg $ max_cpu_limit_arg
-      $ force_arg $ trace_arg)
+      $ serve_par_domains_arg $ force_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1281,8 +1321,14 @@ let query_cmd =
     in
     Arg.(value & flag & info [ "twice" ] ~doc)
   in
+  let par_domains_opt_arg =
+    let doc =
+      "Requested intra-problem team size (omitted: the server's default)."
+    in
+    Arg.(value & opt (some int) None & info [ "par-domains" ] ~docv:"N" ~doc)
+  in
   let run socket meth fault_tree benchmark lambda alpha p_lethal epsilon mv bits
-      node_limit cpu_limit reorder tuned registry twice =
+      node_limit cpu_limit reorder par_domains tuned registry twice =
     let mv, bits, reorder =
       if tuned && not (Proto.is_evaluation meth) then (mv, bits, reorder)
       else resolve_tuned ~tuned ~registry ~benchmark ~mv ~bits ~reorder
@@ -1315,6 +1361,7 @@ let query_cmd =
             node_limit;
             cpu_limit;
             reorder;
+            par_domains;
           }
     in
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -1380,7 +1427,7 @@ let query_cmd =
       const run $ socket_arg $ meth_arg $ fault_tree_arg $ benchmark_arg
       $ lambda_arg $ alpha_arg $ p_lethal_arg $ epsilon_arg $ mv_order_arg
       $ bit_order_arg $ node_limit_opt_arg $ cpu_limit_opt_arg $ reorder_arg
-      $ tuned_arg $ registry_arg $ twice_arg)
+      $ par_domains_opt_arg $ tuned_arg $ registry_arg $ twice_arg)
   in
   Cmd.v
     (Cmd.info "query"

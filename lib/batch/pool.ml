@@ -160,6 +160,79 @@ module Executor = struct
     | Some (Error e) -> raise e
     | None -> assert false
 
+  let run_detached t f =
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Executor.run_detached: executor is shut down"
+    end;
+    t.live <- t.live + 1;
+    (* No caller waits on a detached thunk, so an exception has nowhere
+       to surface; swallow it rather than kill the worker domain. *)
+    Queue.push
+      (fun () ->
+        (try f () with _ -> ());
+        Mutex.lock t.mutex;
+        t.live <- t.live - 1;
+        Mutex.unlock t.mutex)
+      t.tasks;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex;
+    Obs.incr tasks_counter
+
+  let parallel_tasks t tasks =
+    let n = Array.length tasks in
+    if n > 0 then begin
+      (* Shared claim counter + caller participation: the caller drains
+         the counter itself, so every task completes even when all worker
+         domains are busy with other submissions — the detached helper
+         drainers then find the counter spent and no-op. This is what lets
+         [socyield serve] point {!Socy_bdd.Par.of_runner} at the batch
+         executor without risking a saturation deadlock. *)
+      let next = Atomic.make 0 in
+      let cell_mutex = Mutex.create () in
+      let cell_done = Condition.create () in
+      let completed = ref 0 in
+      let failure = ref None in
+      let drain () =
+        let did = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else begin
+            (try tasks.(i) ()
+             with e ->
+               Mutex.lock cell_mutex;
+               if !failure = None then failure := Some e;
+               Mutex.unlock cell_mutex);
+            incr did
+          end
+        done;
+        if !did > 0 then begin
+          Mutex.lock cell_mutex;
+          completed := !completed + !did;
+          if !completed = n then Condition.broadcast cell_done;
+          Mutex.unlock cell_mutex
+        end
+      in
+      let helpers = min t.n_domains (n - 1) in
+      (* A concurrent shutdown between submissions is not an error for the
+         caller: it drains everything itself either way. *)
+      (try
+         for _ = 1 to helpers do
+           run_detached t drain
+         done
+       with Invalid_argument _ -> ());
+      drain ();
+      Mutex.lock cell_mutex;
+      while !completed < n do
+        Condition.wait cell_done cell_mutex
+      done;
+      Mutex.unlock cell_mutex;
+      match !failure with Some e -> raise e | None -> ()
+    end
+
   let shutdown t =
     Mutex.lock t.mutex;
     let first = not t.closed in

@@ -95,6 +95,22 @@ module Executor : sig
       (queued + running) — the admission-control and gauge feed. *)
   val in_flight : t -> int
 
+  (** [run_detached t f] enqueues [f] without waiting for it. Exceptions
+      [f] raises are swallowed (there is no caller to surface them in);
+      wrap [f] if its failures matter. Raises [Invalid_argument] after
+      {!shutdown}. *)
+  val run_detached : t -> (unit -> unit) -> unit
+
+  (** [parallel_tasks t tasks] runs every task exactly once and returns
+      when all are done, re-raising the first task exception afterwards.
+      Tasks are claimed from a shared counter by up to [domains t]
+      detached helper drainers {e and by the calling thread}, which
+      drains regardless — so completion is guaranteed even when the
+      executor is saturated by enclosing jobs (the helpers then no-op).
+      This is the {!Socy_bdd.Par.runner} hook [socyield serve] installs
+      to reuse its batch workers for intra-problem parallelism. *)
+  val parallel_tasks : t -> (unit -> unit) array -> unit
+
   (** [shutdown t] closes the queue, lets the workers {e drain every
       already-submitted thunk}, and joins them; callers blocked in {!run}
       all receive their results first. Subsequent {!run} calls raise;

@@ -121,3 +121,63 @@ let of_circuit ?(gc_threshold = 500_000) ?(reorder = false)
     }
   in
   (root, stats)
+
+(* Parallel compilation: the same postorder gate walk, but over [Pbdd]
+   operations into the concurrent store — no refcounting, no GC, no
+   reordering (the store is append-only; [peak_nodes] = [created] is the
+   honest peak analog). The finished root is imported into [m], so the
+   caller receives exactly what [of_circuit] would have handed it: an
+   owned root in a sequential manager, plus build stats. *)
+let of_circuit_par pb m circuit ~var_of_input =
+  Manager.reset_peak m;
+  let order = C.postorder circuit in
+  let max_id = List.fold_left (fun acc (n : C.node) -> max acc n.C.id) 0 order in
+  let bdd_of = Array.make (max_id + 1) (-1) in
+  let lookup (n : C.node) = bdd_of.(n.C.id) in
+  let fold_op op (args : C.node array) =
+    let acc = ref (lookup args.(0)) in
+    for i = 1 to Array.length args - 1 do
+      acc := op pb !acc (lookup args.(i))
+    done;
+    !acc
+  in
+  let compile_gate kind args =
+    match (kind : C.gate_kind) with
+    | C.And -> fold_op Pbdd.and_ args
+    | C.Or -> fold_op Pbdd.or_ args
+    | C.Xor -> fold_op Pbdd.xor_ args
+    | C.Not -> Pbdd.not_ pb (lookup args.(0))
+    | C.Nand -> fold_op Pbdd.and_ args lxor 1
+    | C.Nor -> fold_op Pbdd.or_ args lxor 1
+    | C.Xnor -> fold_op Pbdd.xor_ args lxor 1
+  in
+  let gates_counter = Obs.counter "bdd.compile.gates" in
+  Obs.with_span "bdd.compile.par" (fun () ->
+      List.iter
+        (fun (n : C.node) ->
+          let bdd =
+            match n.C.desc with
+            | C.Input i -> Pbdd.var pb (var_of_input i)
+            | C.Const false -> Pbdd.zero
+            | C.Const true -> Pbdd.one
+            | C.Gate (kind, args) ->
+                let r = compile_gate kind args in
+                Obs.incr gates_counter;
+                r
+          in
+          bdd_of.(n.C.id) <- bdd)
+        order);
+  let proot = lookup circuit.C.output in
+  let root = Obs.with_span "bdd.import" (fun () -> Pbdd.import pb proot m) in
+  let created = Pbdd.created pb in
+  let stats =
+    {
+      peak_nodes = created;
+      final_size = Manager.size m root;
+      created;
+      gc_runs = 0;
+      reorders = 0;
+      reorder_swaps = 0;
+    }
+  in
+  (root, stats)

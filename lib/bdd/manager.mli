@@ -107,6 +107,13 @@ val var : t -> int -> node
     share one physical node. *)
 val nvar : t -> int -> node
 
+(** [mk m lv lo hi] — the raw hash-consing entry point: the canonical
+    (owned) handle for "level [lv] ? [hi] : [lo]". Note the first
+    argument is a LEVEL, not a variable. Exposed for bulk importers
+    ([Pbdd.import] re-creates a parallel-built diagram node by node);
+    ordinary clients should build through {!var} and the operations. *)
+val mk : t -> int -> node -> node -> node
+
 (** {1 Reference counting} *)
 
 (** [ref_ m n] takes an additional owned reference on [n]. *)

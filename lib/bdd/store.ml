@@ -1,0 +1,390 @@
+(* Concurrent hash-cons node store: the parallel counterpart of the node
+   arrays inside [Manager]. Same handle encoding — [handle = slot lsl 1
+   lor cbit], slot 0 the single TRUE sink, stored else-edges always
+   regular — but the unique table is lock-striped across shards so
+   several OCaml domains can [mk] into one diagram at once.
+
+   Memory-model discipline (documented in ARCHITECTURE.md): every node
+   field is written inside the critical section of the shard that
+   publishes the slot, so any domain that learns a slot either found it
+   in that shard's chain (same mutex — happens-before) or received the
+   handle through a work-queue mutex after the creating [mk] returned.
+   Plain reads of [level]/[low]/[high] on such handles are therefore
+   race-free without per-field atomics. The only lock-free state is the
+   chunk cursor, the batched creation counter, and the abort flag — all
+   [Atomic], all insensitive to staleness (a stale creation count only
+   delays the budget trip by one batch).
+
+   There is no refcounting and no GC: the store is append-only for the
+   duration of one parallel build, and [created] — every slot ever
+   handed out — is the honest peak analog the reports use. The finished
+   diagram is imported into a sequential [Manager] (see [Pbdd.import])
+   and the store is dropped wholesale. *)
+
+module Obs = Socy_obs.Obs
+
+type node = int
+
+let one = 0
+let zero = 1
+let is_terminal n = n < 2
+
+(* Slots live in fixed-size chunks so the store grows without ever
+   reallocating an array a concurrent reader might hold: the top-level
+   chunk tables are allocated once, and a chunk pointer is written
+   before any slot in it is published through a shard lock. *)
+let chunk_bits = 16
+let chunk_size = 1 lsl chunk_bits
+let chunk_mask = chunk_size - 1
+let max_chunks = 4096 (* 2^28 slots: comfortably above every node budget *)
+
+let n_shards = 128
+let shard_mask = n_shards - 1
+let initial_shard_buckets = 256
+
+type shard = {
+  lock : Mutex.t;
+  mutable buckets : int array; (* slot chain heads, -1 empty *)
+  mutable mask : int;
+  mutable count : int;
+  (* telemetry, mutated under [lock] only *)
+  mutable inserts : int;
+  mutable hits : int;
+  mutable contended : int;
+  mutable rehashes : int;
+}
+
+type t = {
+  id : int; (* distinguishes stores for the per-domain allocator/cache DLS *)
+  num_vars : int;
+  node_limit : int;
+  cpu_deadline : float; (* Sys.time () value; infinity = no budget *)
+  level : int array array;
+  low : int array array;
+  high : int array array;
+  next : int array array; (* unique-chain links, indexed by slot *)
+  next_chunk : int Atomic.t;
+  (* Creation count, flushed in batches from the per-domain allocators:
+     approximate between flushes, exact once the build quiesces. *)
+  created_approx : int Atomic.t;
+  (* 0 = live, 1 = node budget tripped, 2 = cpu budget tripped. Set once
+     (CAS from 0) by whichever domain trips first; every other domain
+     observes it at its next allocation batch or task boundary and
+     raises the matching exception, so a parallel abort converges. *)
+  abort : int Atomic.t;
+  (* false until some domain's allocator claims the tail of chunk 0
+     (slot 0 is the sink); losers fall through to fresh chunks. *)
+  chunk0_claimed : bool Atomic.t;
+  shards : shard array;
+}
+
+exception Node_limit_exceeded = Manager.Node_limit_exceeded
+exception Cpu_limit_exceeded = Manager.Cpu_limit_exceeded
+
+let next_store_id = Atomic.make 0
+
+let create ?(node_limit = max_int) ?cpu_limit ~num_vars () =
+  if num_vars < 0 then invalid_arg "Store.create: negative num_vars";
+  let t =
+    {
+      id = Atomic.fetch_and_add next_store_id 1;
+      num_vars;
+      node_limit;
+      cpu_deadline =
+        (match cpu_limit with None -> infinity | Some s -> Sys.time () +. s);
+      level = Array.make max_chunks [||];
+      low = Array.make max_chunks [||];
+      high = Array.make max_chunks [||];
+      next = Array.make max_chunks [||];
+      next_chunk = Atomic.make 1;
+      created_approx = Atomic.make 0;
+      abort = Atomic.make 0;
+      chunk0_claimed = Atomic.make false;
+      shards =
+        Array.init n_shards (fun _ ->
+            {
+              lock = Mutex.create ();
+              buckets = Array.make initial_shard_buckets (-1);
+              mask = initial_shard_buckets - 1;
+              count = 0;
+              inserts = 0;
+              hits = 0;
+              contended = 0;
+              rehashes = 0;
+            });
+    }
+  in
+  (* Chunk 0 carries the sink at slot 0; the creating domain's allocator
+     starts at slot 1 (see [allocator]). *)
+  t.level.(0) <- Array.make chunk_size (-1);
+  t.low.(0) <- Array.make chunk_size 0;
+  t.high.(0) <- Array.make chunk_size 0;
+  t.next.(0) <- Array.make chunk_size (-1);
+  t.level.(0).(0) <- num_vars;
+  t
+
+let id t = t.id
+let num_vars t = t.num_vars
+
+(* Slot-indexed accessors (parity folding is the caller's business). *)
+let level_of_slot t s = t.level.(s lsr chunk_bits).(s land chunk_mask)
+let low_of_slot t s = t.low.(s lsr chunk_bits).(s land chunk_mask)
+let high_of_slot t s = t.high.(s lsr chunk_bits).(s land chunk_mask)
+
+(* Handle-indexed accessors, parity-adjusted like [Manager.low]/[high]. *)
+let level t n = level_of_slot t (n lsr 1)
+let low t n = low_of_slot t (n lsr 1) lxor (n land 1)
+let high t n = high_of_slot t (n lsr 1) lxor (n land 1)
+
+(* Exclusive upper bound on slot indexes ever handed out. Meaningful for
+   sizing scratch arrays once the build has quiesced. *)
+let slot_bound t = Atomic.get t.next_chunk lsl chunk_bits
+
+let created t =
+  Array.fold_left (fun acc sh -> acc + sh.inserts) 0 t.shards
+
+let created_approx t = Atomic.get t.created_approx
+
+let abort_exn = function
+  | 1 -> Node_limit_exceeded
+  | _ -> Cpu_limit_exceeded
+
+let check_abort t =
+  let a = Atomic.get t.abort in
+  if a <> 0 then raise (abort_exn a)
+
+let trip t reason =
+  ignore (Atomic.compare_and_set t.abort 0 reason);
+  raise (abort_exn (Atomic.get t.abort))
+
+(* --- per-domain allocation ---------------------------------------------- *)
+
+(* Each domain carves slots out of chunks it owns, so allocation is a
+   cursor bump; only grabbing a fresh chunk touches shared state. The
+   budget (node limit, cpu deadline, abort flag) is polled every
+   [flush_batch] allocations — cheap, and bounds the overshoot of a
+   parallel abort to [domains * flush_batch] nodes. *)
+type alloc = {
+  sid : int; (* owning store *)
+  mutable cursor : int; (* next slot index *)
+  mutable room : int; (* slots left in the current chunk *)
+  mutable pending : int; (* creations not yet flushed to [created_approx] *)
+  mutable known : int; (* global creation count at the last flush *)
+}
+
+let flush_batch = 256
+
+let alloc_key : alloc option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let grab_chunk t a =
+  let c = Atomic.fetch_and_add t.next_chunk 1 in
+  if c >= max_chunks then trip t 1;
+  t.level.(c) <- Array.make chunk_size (-1);
+  t.low.(c) <- Array.make chunk_size 0;
+  t.high.(c) <- Array.make chunk_size 0;
+  t.next.(c) <- Array.make chunk_size (-1);
+  a.cursor <- c lsl chunk_bits;
+  a.room <- chunk_size
+
+let allocator t =
+  let r = Domain.DLS.get alloc_key in
+  match !r with
+  | Some a when a.sid = t.id -> a
+  | _ ->
+      let a = { sid = t.id; cursor = 0; room = 0; pending = 0; known = 0 } in
+      r := Some a;
+      a
+
+let claim_chunk0 t a =
+  if
+    (not (Atomic.get t.chunk0_claimed))
+    && Atomic.compare_and_set t.chunk0_claimed false true
+  then begin
+    a.cursor <- 1;
+    a.room <- chunk_size - 1
+  end
+
+let flush t a =
+  let p = a.pending in
+  a.pending <- 0;
+  a.known <- Atomic.fetch_and_add t.created_approx p + p;
+  if a.known >= t.node_limit then trip t 1;
+  if Sys.time () > t.cpu_deadline then trip t 2;
+  check_abort t
+
+let new_slot t a =
+  if a.room = 0 then begin
+    claim_chunk0 t a;
+    if a.room = 0 then grab_chunk t a
+  end;
+  let s = a.cursor in
+  a.cursor <- s + 1;
+  a.room <- a.room - 1;
+  a.pending <- a.pending + 1;
+  if a.pending >= flush_batch || a.known + a.pending >= t.node_limit then
+    flush t a;
+  s
+
+(* --- hashing (same mix as Manager.hash3) -------------------------------- *)
+
+let hash3 a b c =
+  let h = a * 0x2545F4914F6CDD1D in
+  let h = (h lxor (h lsr 31) lxor b) * 0x165667B19E3779F9 in
+  let h = (h lxor (h lsr 29) lxor c) * 0x27D4EB2F165667C5 in
+  (h lxor (h lsr 32)) land max_int
+
+(* --- hash-consing -------------------------------------------------------- *)
+
+let rehash_shard t sh =
+  let nb = 2 * Array.length sh.buckets in
+  let buckets = Array.make nb (-1) in
+  let mask = nb - 1 in
+  let old = sh.buckets in
+  (* Re-chain every slot of the old chains into the new table. *)
+  Array.iter
+    (fun head ->
+      let i = ref head in
+      while !i >= 0 do
+        let s = !i in
+        let nxt = t.next.(s lsr chunk_bits) in
+        let follow = nxt.(s land chunk_mask) in
+        let b = hash3 (level_of_slot t s) (low_of_slot t s) (high_of_slot t s) land mask in
+        nxt.(s land chunk_mask) <- buckets.(b);
+        buckets.(b) <- s;
+        i := follow
+      done)
+    old;
+  sh.buckets <- buckets;
+  sh.mask <- mask;
+  sh.rehashes <- sh.rehashes + 1
+
+(* [mk ~alloc] — canonical hash-consing, identical normalization to
+   [Manager.mk]: [lo = hi] short-circuits, a complemented else-edge is
+   pushed to the returned handle so stored else-edges stay regular. The
+   shard mutex covers lookup, node-field writes, and chain publication;
+   [try_lock] first so contention is a counted event, not a guess. *)
+let mk t alloc lv lo hi =
+  if lo = hi then lo
+  else begin
+    let cb = lo land 1 in
+    let lo = lo lxor cb and hi = hi lxor cb in
+    let h = hash3 lv lo hi in
+    let sh = t.shards.((h lsr 48) land shard_mask) in
+    if not (Mutex.try_lock sh.lock) then begin
+      Mutex.lock sh.lock;
+      sh.contended <- sh.contended + 1
+    end;
+    let b = h land sh.mask in
+    let rec find i =
+      if i < 0 then -1
+      else if
+        level_of_slot t i = lv && low_of_slot t i = lo && high_of_slot t i = hi
+      then i
+      else find t.next.(i lsr chunk_bits).(i land chunk_mask)
+    in
+    let existing = find sh.buckets.(b) in
+    let r =
+      if existing >= 0 then begin
+        sh.hits <- sh.hits + 1;
+        (existing lsl 1) lor cb
+      end
+      else begin
+        let s =
+          match new_slot t alloc with
+          | s -> s
+          | exception e ->
+              Mutex.unlock sh.lock;
+              raise e
+        in
+        let ci = s lsr chunk_bits and co = s land chunk_mask in
+        t.level.(ci).(co) <- lv;
+        t.low.(ci).(co) <- lo;
+        t.high.(ci).(co) <- hi;
+        t.next.(ci).(co) <- sh.buckets.(b);
+        sh.buckets.(b) <- s;
+        sh.count <- sh.count + 1;
+        sh.inserts <- sh.inserts + 1;
+        if sh.count > 2 * Array.length sh.buckets then rehash_shard t sh;
+        (s lsl 1) lor cb
+      end
+    in
+    Mutex.unlock sh.lock;
+    r
+  end
+
+let var t alloc v =
+  if v < 0 || v >= t.num_vars then invalid_arg "Store.var: out of range";
+  mk t alloc v zero one
+
+(* --- invariants (test support) ------------------------------------------ *)
+
+(* Quiesced-store check: canonical uniqueness, regular else-edges,
+   strictly increasing levels toward the sink. Call only when no domain
+   is mutating the store. *)
+let check_invariants t =
+  let seen = Hashtbl.create 1024 in
+  let nchunks = Atomic.get t.next_chunk in
+  for c = 0 to nchunks - 1 do
+    let levels = t.level.(c) in
+    if Array.length levels > 0 then
+      for o = 0 to chunk_size - 1 do
+        let lv = levels.(o) in
+        if lv >= 0 && not (c = 0 && o = 0) then begin
+          let s = (c lsl chunk_bits) lor o in
+          let lo = low_of_slot t s and hi = high_of_slot t s in
+          if lo land 1 <> 0 then
+            failwith (Printf.sprintf "slot %d: complemented else-edge" s);
+          if lo = hi then failwith (Printf.sprintf "slot %d: redundant" s);
+          if level_of_slot t (lo lsr 1) <= lv || level_of_slot t (hi lsr 1) <= lv
+          then failwith (Printf.sprintf "slot %d: child level not deeper" s);
+          let key = (lv, lo, hi) in
+          if Hashtbl.mem seen key then
+            failwith (Printf.sprintf "slot %d: duplicate node" s);
+          Hashtbl.add seen key ()
+        end
+      done
+  done
+
+(* --- observability ------------------------------------------------------- *)
+
+let obs_inserts = Obs.counter "bdd.shard.inserts"
+let obs_hits = Obs.counter "bdd.shard.hits"
+let obs_contended = Obs.counter "bdd.shard.contended"
+let obs_rehashes = Obs.counter "bdd.shard.rehashes"
+
+(* Stores are single-build objects published once at the end of the
+   build, so unlike [Manager.publish_obs] there is no delta bookkeeping. *)
+let publish_obs t =
+  if Obs.enabled () then begin
+    let inserts = ref 0 and hits = ref 0 and cont = ref 0 and reh = ref 0 in
+    Array.iter
+      (fun sh ->
+        inserts := !inserts + sh.inserts;
+        hits := !hits + sh.hits;
+        cont := !cont + sh.contended;
+        reh := !reh + sh.rehashes)
+      t.shards;
+    Obs.add obs_inserts !inserts;
+    Obs.add obs_hits !hits;
+    Obs.add obs_contended !cont;
+    Obs.add obs_rehashes !reh
+  end
+
+type stats = {
+  s_created : int;
+  s_unique_hits : int;
+  s_contended : int;
+  s_rehashes : int;
+}
+
+let stats t =
+  let inserts = ref 0 and hits = ref 0 and cont = ref 0 and reh = ref 0 in
+  Array.iter
+    (fun sh ->
+      inserts := !inserts + sh.inserts;
+      hits := !hits + sh.hits;
+      cont := !cont + sh.contended;
+      reh := !reh + sh.rehashes)
+    t.shards;
+  { s_created = !inserts; s_unique_hits = !hits; s_contended = !cont; s_rehashes = !reh }

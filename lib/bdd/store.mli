@@ -1,0 +1,91 @@
+(** Concurrent hash-cons node store for parallel diagram construction.
+
+    Shares the [Manager] handle encoding ([handle = slot lsl 1 lor
+    complement_bit], slot 0 = the TRUE sink, stored else-edges regular)
+    but stripes the unique table across mutex-guarded shards so several
+    OCaml domains can build one diagram concurrently. Append-only: no
+    refcounts, no GC — build, then import into a sequential {!Manager}
+    via [Pbdd.import] and drop the store.
+
+    Thread-safety contract: [mk] and the accessors are safe from any
+    domain, provided handles travel between domains only through [mk]
+    results and mutex-protected queues (both establish the necessary
+    happens-before edges — see the "Concurrent engine" section of
+    ARCHITECTURE.md). [check_invariants], [created], [stats] and
+    [publish_obs] require a quiesced store. *)
+
+type t
+type node = int
+
+val one : node
+val zero : node
+val is_terminal : node -> bool
+
+(** Raised (also on other domains, at their next allocation batch or
+    [check_abort]) once any domain trips the corresponding budget. Both
+    are aliases of the [Manager] exceptions so callers need one handler. *)
+exception Node_limit_exceeded
+exception Cpu_limit_exceeded
+
+val create : ?node_limit:int -> ?cpu_limit:float -> num_vars:int -> unit -> t
+
+val id : t -> int
+(** Unique per store; keys the per-domain caches in [Pbdd]. *)
+
+val num_vars : t -> int
+
+val level : t -> node -> int
+val low : t -> node -> node
+val high : t -> node -> node
+
+val level_of_slot : t -> int -> int
+val low_of_slot : t -> int -> node
+val high_of_slot : t -> int -> node
+
+val slot_bound : t -> int
+(** Exclusive upper bound on allocated slot indexes (quiesced store). *)
+
+type alloc
+(** Per-domain slot allocator (chunk cursor + budget bookkeeping). *)
+
+val allocator : t -> alloc
+(** The calling domain's allocator for this store, created on first use
+    (domain-local storage). Never share an [alloc] across domains. *)
+
+val mk : t -> alloc -> int -> node -> node -> node
+(** [mk t alloc lv lo hi] — canonical hash-consed (lv ? hi : lo), with
+    exactly the [Manager.mk] complement-edge normalization. Raises
+    {!Node_limit_exceeded} / {!Cpu_limit_exceeded} on budget trips. *)
+
+val var : t -> alloc -> int -> node
+
+val hash3 : int -> int -> int -> int
+(** The engine's avalanche mix (same as [Manager]'s), for the algorithm
+    layer's cache indexing. *)
+
+val check_abort : t -> unit
+(** Re-raise the budget exception if another domain already tripped it;
+    call at task boundaries so aborts converge quickly. *)
+
+val created : t -> int
+(** Exact number of nodes ever created (quiesced store) — the parallel
+    build's peak analog, since the store never frees. *)
+
+val created_approx : t -> int
+(** Batched creation counter: cheap, may lag by a few hundred. *)
+
+val check_invariants : t -> unit
+(** Failwith on canonicity violations (quiesced store; test support). *)
+
+type stats = {
+  s_created : int;
+  s_unique_hits : int;
+  s_contended : int;
+  s_rehashes : int;
+}
+
+val stats : t -> stats
+
+val publish_obs : t -> unit
+(** Push shard counters ([bdd.shard.inserts|hits|contended|rehashes])
+    into the [Socy_obs] registry. Publish once per store. *)

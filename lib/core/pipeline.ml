@@ -1,5 +1,7 @@
 module C = Socy_logic.Circuit
 module B = Socy_bdd.Manager
+module Par = Socy_bdd.Par
+module Pbdd = Socy_bdd.Pbdd
 module Compile = Socy_bdd.Compile
 module Mdd = Socy_mdd.Mdd
 module Conversion = Socy_mdd.Conversion
@@ -20,6 +22,8 @@ type config = {
   cache_bits : int;
   cpu_limit : float option;
   reorder : bool;
+  par_domains : int;
+  par_runner : Par.runner option;
 }
 
 let default_config =
@@ -32,6 +36,8 @@ let default_config =
     cache_bits = 21;
     cpu_limit = None;
     reorder = false;
+    par_domains = 1;
+    par_runner = None;
   }
 
 module Config = struct
@@ -42,7 +48,10 @@ module Config = struct
   let make ?(epsilon = default.epsilon) ?(mv_order = default.mv_order)
       ?(bit_order = default.bit_order) ?(node_limit = default.node_limit)
       ?(gc_threshold = default.gc_threshold) ?(cache_bits = default.cache_bits)
-      ?cpu_limit ?(reorder = default.reorder) () =
+      ?cpu_limit ?(reorder = default.reorder)
+      ?(par_domains = default.par_domains) ?par_runner () =
+    if par_domains < 1 then
+      invalid_arg "Config.make: par_domains must be >= 1";
     {
       epsilon;
       mv_order;
@@ -52,6 +61,8 @@ module Config = struct
       cache_bits;
       cpu_limit;
       reorder;
+      par_domains;
+      par_runner;
     }
 
   let with_epsilon epsilon c = { c with epsilon }
@@ -62,6 +73,13 @@ module Config = struct
   let with_cache_bits cache_bits c = { c with cache_bits }
   let with_cpu_limit cpu_limit c = { c with cpu_limit }
   let with_reorder reorder c = { c with reorder }
+
+  let with_par_domains par_domains c =
+    if par_domains < 1 then
+      invalid_arg "Config.with_par_domains: par_domains must be >= 1";
+    { c with par_domains }
+
+  let with_par_runner par_runner c = { c with par_runner }
 end
 
 type report = {
@@ -197,67 +215,116 @@ module Artifacts = struct
         ~num_vars:(Problem.num_binary_vars problem)
         ()
     in
-    match
-      staged stages "robdd-build" (fun () ->
-          let nvars = Problem.num_binary_vars problem in
-          if config.reorder then
-            (* Manager variable [v] encodes circuit input
-               [scheme.input_of_level.(v)]; tagging it with that input's
-               multiple-valued group makes sifting move whole w/v bit
-               blocks, which the ROMDD conversion layout requires. *)
-            B.set_groups bdd
-              (Array.init nvars (fun v ->
-                   Problem.group_of_input problem
-                     scheme.Scheme.input_of_level.(v)));
-          let root, st =
-            Compile.of_circuit ~gc_threshold:config.gc_threshold
-              ~reorder:config.reorder bdd problem.Problem.circuit
-              ~var_of_input:(fun i -> scheme.Scheme.level_of_input.(i))
-          in
-          if config.reorder then begin
-            (* Walk the order back to the scheme's static layout so the
-               ROMDD conversion (and therefore the yield) is bit-identical
-               to a reorder-free run; sifting only bounded the transient
-               peak. The walk-back obeys the same node budget, and its
-               transient counts: peak and final size are re-captured after
-               it so reorder runs report what actually happened. *)
-            B.set_order bdd (Array.init nvars Fun.id);
-            ( root,
+    (* Dynamic reordering mutates levels in place, which the concurrent
+       store does not support — reorder wins and the build stays
+       sequential (the CLI warns when both are requested). *)
+    let use_par = config.par_domains > 1 && not config.reorder in
+    let team =
+      if not use_par then None
+      else
+        Some
+          (match config.par_runner with
+          | Some call -> Par.of_runner ~domains:config.par_domains call
+          | None -> Par.spawn ~domains:config.par_domains)
+    in
+    (* On a parallel budget trip the sequential manager is still empty;
+       the concurrent store's creation count is the honest peak figure. *)
+    let par_peak = ref 0 in
+    (* A spawned team parks domains; join them on every exit path. *)
+    Fun.protect
+      ~finally:(fun () -> Option.iter Par.shutdown team)
+      (fun () ->
+        match
+          staged stages "robdd-build" (fun () ->
+              let nvars = Problem.num_binary_vars problem in
+              let var_of_input i = scheme.Scheme.level_of_input.(i) in
+              match team with
+              | Some team ->
+                  let pb =
+                    Pbdd.create ~node_limit:config.node_limit
+                      ?cpu_limit:config.cpu_limit
+                      ~cache_bits:config.cache_bits ~team ~num_vars:nvars ()
+                  in
+                  let root, st =
+                    try
+                      Compile.of_circuit_par pb bdd problem.Problem.circuit
+                        ~var_of_input
+                    with e ->
+                      par_peak := Pbdd.created pb;
+                      Pbdd.publish_obs pb;
+                      raise e
+                  in
+                  Pbdd.publish_obs pb;
+                  (root, st)
+              | None ->
+                  if config.reorder then
+                    (* Manager variable [v] encodes circuit input
+                       [scheme.input_of_level.(v)]; tagging it with that
+                       input's multiple-valued group makes sifting move
+                       whole w/v bit blocks, which the ROMDD conversion
+                       layout requires. *)
+                    B.set_groups bdd
+                      (Array.init nvars (fun v ->
+                           Problem.group_of_input problem
+                             scheme.Scheme.input_of_level.(v)));
+                  let root, st =
+                    Compile.of_circuit ~gc_threshold:config.gc_threshold
+                      ~reorder:config.reorder bdd problem.Problem.circuit
+                      ~var_of_input
+                  in
+                  if config.reorder then begin
+                    (* Walk the order back to the scheme's static layout so
+                       the ROMDD conversion (and therefore the yield) is
+                       bit-identical to a reorder-free run; sifting only
+                       bounded the transient peak. The walk-back obeys the
+                       same node budget, and its transient counts: peak and
+                       final size are re-captured after it so reorder runs
+                       report what actually happened. *)
+                    B.set_order bdd (Array.init nvars Fun.id);
+                    ( root,
+                      {
+                        st with
+                        Compile.peak_nodes = B.peak_alive bdd;
+                        final_size = B.size bdd root;
+                      } )
+                  end
+                  else (root, st))
+        with
+        | exception B.Node_limit_exceeded ->
+            Error
+              (Node_budget
+                 {
+                   stage = "coded-robdd";
+                   peak = (if !par_peak > 0 then !par_peak else B.peak_alive bdd);
+                 })
+        | exception B.Cpu_limit_exceeded ->
+            Error
+              (Cpu_budget
+                 { stage = "coded-robdd"; elapsed = Sys.time () -. cpu0 })
+        | bdd_root, bdd_stats ->
+            let mdd = Mdd.create (mdd_specs problem scheme) in
+            let mdd_root =
+              staged stages "romdd-convert" (fun () ->
+                  Conversion.run ?team bdd bdd_root mdd
+                    (layout_of_scheme problem scheme))
+            in
+            B.publish_obs bdd;
+            Ok
               {
-                st with
-                Compile.peak_nodes = B.peak_alive bdd;
-                final_size = B.size bdd root;
-              } )
-          end
-          else (root, st))
-    with
-    | exception B.Node_limit_exceeded ->
-        Error (Node_budget { stage = "coded-robdd"; peak = B.peak_alive bdd })
-    | exception B.Cpu_limit_exceeded ->
-        Error (Cpu_budget { stage = "coded-robdd"; elapsed = Sys.time () -. cpu0 })
-    | bdd_root, bdd_stats ->
-        let mdd = Mdd.create (mdd_specs problem scheme) in
-        let mdd_root =
-          staged stages "romdd-convert" (fun () ->
-              Conversion.run bdd bdd_root mdd (layout_of_scheme problem scheme))
-        in
-        B.publish_obs bdd;
-        Ok
-          {
-            problem;
-            scheme;
-            bdd;
-            bdd_root;
-            bdd_stats;
-            mdd;
-            mdd_root;
-            lethal;
-            m;
-            stage_seconds = List.rev !stages;
-            stage_gc = List.rev !gcs;
-            cond_unusable = None;
-            traversal_gc = None;
-          }
+                problem;
+                scheme;
+                bdd;
+                bdd_root;
+                bdd_stats;
+                mdd;
+                mdd_root;
+                lethal;
+                m;
+                stage_seconds = List.rev !stages;
+                stage_gc = List.rev !gcs;
+                cond_unusable = None;
+                traversal_gc = None;
+              })
 
   let probability_of_level t =
     let w = Model.w_pmf t.lethal ~m:t.m in

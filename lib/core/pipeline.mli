@@ -46,6 +46,23 @@ type config = {
           to the static scheme before the ROMDD conversion, so the yield
           is bit-identical to a reorder-free run — only the transient
           [robdd_peak] changes. Default [false]. *)
+  par_domains : int;
+      (** number of domains used {e inside} one evaluation: the coded-ROBDD
+          build runs on {!Socy_bdd.Pbdd} (sharded concurrent unique table,
+          frontier-split APPLY) and the ROMDD conversion distributes each
+          layer's codeword simulations, with the finished diagram imported
+          into the ordinary sequential manager — so results, node ids
+          included, are bit-identical to the sequential engine's.
+          [1] (the default) is the pure sequential path, byte-for-byte the
+          code that has always run. Ignored (sequential build) when
+          [reorder] is also set: in-place sifting and the append-only
+          concurrent store are mutually exclusive, and reorder wins. *)
+  par_runner : Socy_bdd.Par.runner option;
+      (** external work-distribution hook for the parallel build; when set
+          (e.g. by [socyield serve], which re-uses its batch
+          [Pool.Executor] domains), no second domain team is spawned.
+          [None] (default): [par_domains > 1] spawns its own short-lived
+          team for the run. *)
 }
 
 val default_config : config
@@ -72,8 +89,11 @@ module Config : sig
     ?cache_bits:int ->
     ?cpu_limit:float ->
     ?reorder:bool ->
+    ?par_domains:int ->
+    ?par_runner:Socy_bdd.Par.runner ->
     unit ->
     t
+  (** Raises [Invalid_argument] if [par_domains < 1]. *)
 
   val with_epsilon : float -> t -> t
   val with_mv_order : Socy_order.Scheme.mv_order -> t -> t
@@ -86,6 +106,12 @@ module Config : sig
   (** Takes the option so a budget can also be cleared. *)
 
   val with_reorder : bool -> t -> t
+
+  val with_par_domains : int -> t -> t
+  (** Raises [Invalid_argument] if the argument is [< 1]. *)
+
+  val with_par_runner : Socy_bdd.Par.runner option -> t -> t
+  (** Takes the option so a runner can also be cleared. *)
 end
 
 type report = {

@@ -1,4 +1,5 @@
 module B = Socy_bdd.Manager
+module Par = Socy_bdd.Par
 module Obs = Socy_obs.Obs
 
 type layout = {
@@ -7,7 +8,12 @@ type layout = {
   codeword : int -> int -> bool array;
 }
 
-let run bdd root mdd layout =
+(* Entry lists below a minimum size are not worth a team barrier. *)
+let par_layer_threshold = 64
+
+let obs_par_layers = Obs.counter "mdd.convert.par_layers"
+
+let run ?team bdd root mdd layout =
   let num_groups = Array.length layout.levels_of_group in
   if num_groups <> Mdd.num_mvars mdd then
     invalid_arg "Conversion.run: group count must match the MDD manager";
@@ -66,10 +72,46 @@ let run bdd root mdd layout =
   in
   if not (B.is_terminal root) then mark root;
   Obs.with_span "mdd.convert.scan" (fun () -> scan root);
+  (* A cross-group edge marks its target once per incoming edge, so the
+     entry lists carry duplicates. Materialize each list keeping the
+     FIRST occurrence in list order — exactly the subsequence on which
+     the former duplicate-skipping loop called [Mdd.mk] — so ROMDD node
+     ids stay bit-identical to what this pass always produced, with or
+     without a team. *)
+  let dedup = Socy_util.Bitset.create (B.handle_bound bdd) in
+  let entries =
+    Array.map
+      (fun l ->
+        let keep =
+          List.filter
+            (fun n ->
+              if Socy_util.Bitset.mem dedup n then false
+              else begin
+                Socy_util.Bitset.add dedup n;
+                true
+              end)
+            l
+        in
+        Array.of_list keep)
+      entries
+  in
   (* Pass 2: process layers bottom-up. [mapping] associates processed entry
      nodes (and terminals) with ROMDD nodes; -1 marks "not yet mapped"
      (ROMDD handles are nonnegative). Indexed by BDD handle, so the entry
-     parity is part of the key — see the pass-1 comment. *)
+     parity is part of the key — see the pass-1 comment.
+
+     Each layer splits into two phases. (a) For every entry, simulate the
+     codewords through the BDD and resolve the child ROMDD handles — pure
+     reads of the frozen BDD and of [mapping] slots written by DEEPER
+     layers (simulation targets are terminals or entries of already
+     processed layers, never this one), so entries are independent and the
+     phase partitions across the team, one chunk per task, with the
+     [Par.run] join as the per-level barrier. (b) [Mdd.mk] every entry in
+     the fixed array order — sequential, because the MDD hash-cons table
+     is not thread-safe, and deterministic, so node ids never depend on
+     the team size. Without a team (or under the size threshold) both
+     phases run fused on the caller, which is the same code path the
+     sequential engine always took. *)
   let mapping = Array.make (max 2 (B.handle_bound bdd)) (-1) in
   mapping.(B.zero) <- Mdd.zero;
   mapping.(B.one) <- Mdd.one;
@@ -85,31 +127,51 @@ let run bdd root mdd layout =
     in
     follow entry
   in
+  let child g entry value =
+    let target = simulate g entry value in
+    let mnode = mapping.(target) in
+    if mnode < 0 then
+      (* Unreachable in a correct layout: targets are terminals or
+         entries of deeper, already processed layers. *)
+      invalid_arg
+        "Conversion.run: simulation escaped to an unprocessed node; is the \
+         layout group-contiguous?";
+    mnode
+  in
   let entry_counter = Obs.counter "mdd.convert.entry_nodes" in
   let layer_hist = Obs.histogram "mdd.convert.layer_entries" in
   for g = num_groups - 1 downto 0 do
     Obs.with_span "mdd.convert.layer" (fun () ->
-        Obs.add entry_counter (List.length entries.(g));
-        Obs.observe layer_hist (float_of_int (List.length entries.(g)));
+        let ents = entries.(g) in
+        let n = Array.length ents in
+        Obs.add entry_counter n;
+        Obs.observe layer_hist (float_of_int n);
         let domain = (Mdd.spec mdd g).domain in
-        List.iter
-          (fun entry ->
-            if mapping.(entry) < 0 then begin
-              let kids =
-                Array.init domain (fun j ->
-                    let target = simulate g entry j in
-                    let mnode = mapping.(target) in
-                    if mnode < 0 then
-                      (* Unreachable in a correct layout: targets are
-                         terminals or entries of deeper, already processed
-                         layers. *)
-                      invalid_arg
-                        "Conversion.run: simulation escaped to an \
-                         unprocessed node; is the layout group-contiguous?";
-                    mnode)
-              in
-              mapping.(entry) <- Mdd.mk mdd g kids
-            end)
-          entries.(g))
+        match team with
+        | Some team when n >= par_layer_threshold && Par.domains team > 1 ->
+            Obs.incr obs_par_layers;
+            let kids = Array.make n [||] in
+            let nchunks = 4 * Par.domains team in
+            let chunk = (n + nchunks - 1) / nchunks in
+            let tasks =
+              Array.init ((n + chunk - 1) / chunk) (fun ti ->
+                  fun () ->
+                    let i0 = ti * chunk in
+                    let i1 = min n (i0 + chunk) in
+                    for i = i0 to i1 - 1 do
+                      let entry = ents.(i) in
+                      kids.(i) <- Array.init domain (child g entry)
+                    done)
+            in
+            Par.run team tasks;
+            for i = 0 to n - 1 do
+              mapping.(ents.(i)) <- Mdd.mk mdd g kids.(i)
+            done
+        | _ ->
+            Array.iter
+              (fun entry ->
+                mapping.(entry) <-
+                  Mdd.mk mdd g (Array.init domain (child g entry)))
+              ents)
   done;
   mapping.(root)

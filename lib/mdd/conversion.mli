@@ -29,8 +29,25 @@ type layout = {
     encode no domain value are never created (the paper instead creates and
     then prunes them; the result is the same reduced diagram).
 
+    With [?team], layers are processed layer-parallel: the per-entry
+    codeword simulations of each layer — independent given the already
+    processed deeper layers — are partitioned across the team's domains
+    (the [Par.run] join is the per-level barrier), then the [Mdd.mk]
+    calls run sequentially in a fixed order. The produced ROMDD — node
+    ids included — is bit-identical to the teamless run: only the
+    simulation phase, which touches no shared mutable state, is
+    distributed. Layers below an entry-count threshold stay on the
+    caller.
+
     When {!Socy_obs.Obs} is enabled, the entry-node sweep runs in a
     [mdd.convert.scan] span, each layer in a [mdd.convert.layer] span, and
     the per-layer entry-node counts feed the [mdd.convert.entry_nodes]
-    counter and the [mdd.convert.layer_entries] histogram. *)
-val run : Socy_bdd.Manager.t -> Socy_bdd.Manager.node -> Mdd.t -> layout -> Mdd.node
+    counter and the [mdd.convert.layer_entries] histogram; parallel
+    layers are counted in [mdd.convert.par_layers]. *)
+val run :
+  ?team:Socy_bdd.Par.t ->
+  Socy_bdd.Manager.t ->
+  Socy_bdd.Manager.node ->
+  Mdd.t ->
+  layout ->
+  Mdd.node

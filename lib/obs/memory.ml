@@ -26,8 +26,14 @@ let delta_since (s0 : sample) =
     minor_words = s1.minor_words -. s0.minor_words;
     promoted_words = s1.promoted_words -. s0.promoted_words;
     major_words = s1.major_words -. s0.major_words;
-    heap_words = s1.heap_words;
-    top_heap_words = s1.top_heap_words;
+    (* Deltas like every other field: a stage's heap growth, not the
+       process-global absolute (which made every per-stage reading
+       identical and meaningless in reports). [heap_words] can be
+       negative across a collection; [top_heap_words] is monotone so its
+       delta is the stage's contribution to the high-water mark, usually
+       0. *)
+    heap_words = s1.heap_words - s0.heap_words;
+    top_heap_words = s1.top_heap_words - s0.top_heap_words;
   }
 
 let with_gc_delta f =
@@ -63,8 +69,11 @@ let publish ?stage d =
     Obs.add (Lazy.force c_compactions) (max 0 d.compactions);
     Obs.add (Lazy.force c_minor_words) (max 0 (int_of_float d.minor_words));
     Obs.add (Lazy.force c_promoted_words) (max 0 (int_of_float d.promoted_words));
-    Obs.set (Lazy.force g_heap) (float_of_int d.heap_words);
-    Obs.set (Lazy.force g_top_heap) (float_of_int d.top_heap_words);
+    (* The gauges stay absolutes (current heap, process high-water mark):
+       a fresh sample, since the delta no longer carries them. *)
+    let s = Gc.quick_stat () in
+    Obs.set (Lazy.force g_heap) (float_of_int s.Gc.heap_words);
+    Obs.set (Lazy.force g_top_heap) (float_of_int s.Gc.top_heap_words);
     match stage with
     | None -> ()
     | Some stage ->

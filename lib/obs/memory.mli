@@ -28,8 +28,13 @@ type gc_delta = {
   minor_words : float;  (** words allocated in the minor heap *)
   promoted_words : float;  (** words surviving into the major heap *)
   major_words : float;  (** words allocated directly in the major heap *)
-  heap_words : int;  (** major-heap size at the {e end} of the window *)
-  top_heap_words : int;  (** largest major heap seen so far (absolute) *)
+  heap_words : int;
+      (** major-heap growth over the window (negative when a collection
+          shrank it) *)
+  top_heap_words : int;
+      (** growth of the process high-water mark over the window — the
+          window's own contribution to the peak, 0 for stages that never
+          pushed the heap past its previous maximum *)
 }
 
 (** An opaque [Gc.quick_stat] sample. *)
@@ -38,8 +43,8 @@ type sample
 (** [sample ()] reads the GC counters (cheap — no heap walk). *)
 val sample : unit -> sample
 
-(** [delta_since s] is the change from [s] to now; [heap_words] and
-    [top_heap_words] are the current absolute values. *)
+(** [delta_since s] is the change from [s] to now — every field a true
+    delta over the window, [heap_words]/[top_heap_words] included. *)
 val delta_since : sample -> gc_delta
 
 (** [with_gc_delta f] is [(f (), delta over the call)]. *)
@@ -47,9 +52,10 @@ val with_gc_delta : (unit -> 'a) -> 'a * gc_delta
 
 (** [publish ?stage d] adds [d] to the [gc.*] registry probes (counters
     [gc.minor_collections], [gc.major_collections], [gc.promoted_words],
-    [gc.minor_words]; gauges [gc.heap_words], [gc.top_heap_words]) and,
-    when [stage] is given, drops a [gc.stage] instant on the timeline with
-    the delta as args. No-op while disabled. *)
+    [gc.minor_words]; the [gc.heap_words] / [gc.top_heap_words] gauges are
+    set from a fresh sample's absolutes, not from [d]) and, when [stage]
+    is given, drops a [gc.stage] instant on the timeline with the delta as
+    args. No-op while disabled. *)
 val publish : ?stage:string -> gc_delta -> unit
 
 (** [delta_to_json d] renders a delta for report documents. *)

@@ -26,6 +26,7 @@ type query = {
   node_limit : int option;
   cpu_limit : float option;
   reorder : bool;
+  par_domains : int option;
 }
 
 type meth = Eval | Conditional_yields | Importance | Stats | Health | Shutdown
@@ -111,12 +112,15 @@ let query_to_json q =
     @ (match q.cpu_limit with
       | None -> []
       | Some s -> [ ("cpu_limit", Json.Float s) ])
-    @
     (* Emitted only when set, so requests from older clients round-trip
        byte-identically. *)
-    match q.reorder with
-    | false -> []
-    | true -> [ ("reorder", Json.Bool true) ])
+    @ (match q.reorder with
+      | false -> []
+      | true -> [ ("reorder", Json.Bool true) ])
+    @
+    match q.par_domains with
+    | None -> []
+    | Some d -> [ ("par_domains", Json.Int d) ])
 
 let request_to_json r =
   Json.Obj
@@ -202,6 +206,13 @@ let query_of_json obj =
         | Some (Json.Bool b) -> Ok b
         | Some _ -> Error (Invalid_request, "\"reorder\" must be a boolean")
       in
+      let* par_domains =
+        match Json.member "par_domains" obj with
+        | None -> Ok None
+        | Some (Json.Int d) when d >= 1 -> Ok (Some d)
+        | Some _ ->
+            Error (Invalid_request, "\"par_domains\" must be a positive integer")
+      in
       Ok
         {
           source;
@@ -214,6 +225,7 @@ let query_of_json obj =
           node_limit;
           cpu_limit;
           reorder;
+          par_domains;
         }
   | _ -> Error (Invalid_request, "\"params\" must be an object")
 
@@ -408,7 +420,7 @@ let add_circuit buf (c : C.t) =
   Buffer.add_string buf
     (Printf.sprintf "out=%d/in=%d" (Hashtbl.find index c.C.output.C.id) c.C.num_inputs)
 
-let cache_key ~meth ~resolved ~node_limit ~cpu_limit q =
+let cache_key ~meth ~resolved ~node_limit ~cpu_limit ~par_domains q =
   let buf = Buffer.create 512 in
   add_circuit buf resolved.circuit;
   (* Exact bit patterns: "%h" round-trips floats losslessly, so two models
@@ -420,13 +432,20 @@ let cache_key ~meth ~resolved ~node_limit ~cpu_limit q =
   (* The reorder flag keys on what the client *requested*, never on any
      post-sift permutation: sifting is walked back to the static scheme
      before evaluation, so results are bit-identical either way, but the
-     two runs differ in reported reorder statistics. *)
+     two runs differ in reported reorder statistics.
+
+     [par_domains] is the *effective* team size (after the server default
+     and the reorder-wins fallback). The yield and diagram sizes are
+     bit-identical across team sizes, but the peak/GC report fields are
+     engine-specific, so parallel and sequential runs must not share a
+     cache entry. *)
   Buffer.add_string buf
-    (Printf.sprintf "|e=%h|mv=%s|bit=%s|nl=%d|cl=%s|r=%d|m=%s" q.epsilon
+    (Printf.sprintf "|e=%h|mv=%s|bit=%s|nl=%d|cl=%s|r=%d|pd=%d|m=%s" q.epsilon
        (Scheme.mv_order_name q.mv_order)
        (Scheme.bit_order_name q.bit_order)
        node_limit
        (match cpu_limit with None -> "-" | Some s -> Printf.sprintf "%h" s)
        (if q.reorder then 1 else 0)
+       par_domains
        (meth_name meth));
   Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -45,6 +45,14 @@ type query = {
           either way (the order is walked back before evaluation); only
           the transient peak and the [reorder_*] report fields change.
           Encoded on the wire only when [true]. *)
+  par_domains : int option;
+      (** domains used {e inside} this evaluation (parallel build +
+          layer-parallel conversion); [None] = the server's
+          [--par-domains] default. Results are bit-identical across team
+          sizes; only engine-specific report fields (peak, GC counters)
+          differ. Ignored (sequential) when [reorder] is set — sifting
+          needs the sequential manager. Encoded on the wire only when
+          set. *)
 }
 
 (** The protocol methods. [Eval], [Conditional_yields] and [Importance]
@@ -177,11 +185,16 @@ val resolve : query -> (resolved, string) result
     [node_limit]/[cpu_limit] must be the {e effective} values after the
     server applied its defaults, so a defaulted and an explicit-equal
     request share one entry. The reorder flag is keyed as requested —
-    never any post-sift permutation — so replay stays bit-identical. *)
+    never any post-sift permutation — so replay stays bit-identical.
+    [par_domains] must be the {e effective} team size (server default
+    applied, forced to 1 under [reorder]): yields are identical across
+    team sizes but the engine-specific report fields (peak, GC) are not,
+    so parallel and sequential runs get separate entries. *)
 val cache_key :
   meth:meth ->
   resolved:resolved ->
   node_limit:int ->
   cpu_limit:float option ->
+  par_domains:int ->
   query ->
   string

@@ -20,19 +20,23 @@ type config = {
   max_node_limit : int;
   default_cpu_limit : float option;
   max_cpu_limit : float option;
+  default_par_domains : int;
   backlog : int;
   unlink_existing : bool;
 }
 
 let config ?domains ?(cache_capacity = 128) ?max_inflight
     ?(default_node_limit = 40_000_000) ?max_node_limit ?default_cpu_limit
-    ?max_cpu_limit ?(backlog = 64) ?(unlink_existing = false) ~socket_path () =
+    ?max_cpu_limit ?(default_par_domains = 1) ?(backlog = 64)
+    ?(unlink_existing = false) ~socket_path () =
   let domains =
     match domains with
     | Some d when d >= 1 -> d
     | Some _ -> invalid_arg "Server.config: domains < 1"
     | None -> max 1 (Pool.default_domains () - 1)
   in
+  if default_par_domains < 1 then
+    invalid_arg "Server.config: default_par_domains < 1";
   let max_inflight =
     match max_inflight with Some m -> max 1 m | None -> 4 * domains
   in
@@ -60,6 +64,7 @@ let config ?domains ?(cache_capacity = 128) ?max_inflight
     max_node_limit;
     default_cpu_limit;
     max_cpu_limit;
+    default_par_domains;
     backlog;
     unlink_existing;
   }
@@ -228,11 +233,11 @@ let health_json t =
 (* ------------------------------------------------------------------ *)
 
 let compute meth (resolved : Proto.resolved) (q : Proto.query) ~node_limit
-    ~cpu_limit =
+    ~cpu_limit ~par_domains ~par_runner =
   let pconfig =
     P.Config.make ~epsilon:q.Proto.epsilon ~mv_order:q.Proto.mv_order
       ~bit_order:q.Proto.bit_order ~node_limit ?cpu_limit
-      ~reorder:q.Proto.reorder ()
+      ~reorder:q.Proto.reorder ~par_domains ?par_runner ()
   in
   match meth with
   | Proto.Eval -> (
@@ -332,7 +337,20 @@ let eval_reply t (req : Proto.request) ~t0 =
              (Option.value cpu_limit ~default:0.0)
              (Option.value t.cfg.max_cpu_limit ~default:0.0))
       else
-        let key = Proto.cache_key ~meth:req.Proto.meth ~resolved ~node_limit ~cpu_limit q in
+        (* Effective team size: request override, else the server default;
+           reorder wins over parallelism (the sequential engine is the
+           only one that can sift), matching Pipeline's own rule, so the
+           cache key reflects the engine that actually runs. *)
+        let par_domains =
+          if q.Proto.reorder then 1
+          else
+            Option.value q.Proto.par_domains
+              ~default:t.cfg.default_par_domains
+        in
+        let key =
+          Proto.cache_key ~meth:req.Proto.meth ~resolved ~node_limit ~cpu_limit
+            ~par_domains q
+        in
         let finish ~cache outcome =
           let elapsed_ms = (Obs.now () -. t0) *. 1000.0 in
           Trace.instant "serve.request"
@@ -358,9 +376,19 @@ let eval_reply t (req : Proto.request) ~t0 =
             else (
               Obs.set inflight_gauge
                 (float_of_int (Pool.Executor.in_flight t.executor + 1));
+              (* Intra-problem parallelism reuses the same executor
+                 domains ([parallel_tasks] claim-drains with the running
+                 request participating, so saturation cannot deadlock) —
+                 no second domain team is ever spawned by the daemon. *)
+              let par_runner =
+                if par_domains > 1 then
+                  Some (Pool.Executor.parallel_tasks t.executor)
+                else None
+              in
               match
                 Pool.Executor.run t.executor (fun () ->
-                    compute req.Proto.meth resolved q ~node_limit ~cpu_limit)
+                    compute req.Proto.meth resolved q ~node_limit ~cpu_limit
+                      ~par_domains ~par_runner)
               with
               | outcome ->
                   Obs.set inflight_gauge

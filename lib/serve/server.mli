@@ -64,6 +64,12 @@ type config = {
       (** CPU budget when the request omits one; [None] = unlimited *)
   max_cpu_limit : float option;
       (** requests above this are rejected; [None] = no cap *)
+  default_par_domains : int;
+      (** intra-problem team size applied to requests that omit
+          [par_domains]; [1] (default) = sequential engine. Parallel runs
+          reuse the executor's worker domains via
+          {!Socy_batch.Pool.Executor.parallel_tasks} — the daemon never
+          spawns a second domain team (see docs/OPERATIONS.md). *)
   backlog : int;  (** listen(2) backlog *)
   unlink_existing : bool;
       (** remove a pre-existing socket file before binding (the CLI's
@@ -85,6 +91,7 @@ val config :
   ?max_node_limit:int ->
   ?default_cpu_limit:float ->
   ?max_cpu_limit:float ->
+  ?default_par_domains:int ->
   ?backlog:int ->
   ?unlink_existing:bool ->
   socket_path:string ->

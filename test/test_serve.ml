@@ -80,6 +80,7 @@ let gen_request =
         let* node_limit = oneofl [ None; Some 1000; Some 40_000_000 ] in
         let* cpu_limit = oneofl [ None; Some 1.5; Some 60.0 ] in
         let* reorder = QCheck.Gen.bool in
+        let* par_domains = oneofl [ None; Some 1; Some 2; Some 4 ] in
         return
           (Some
              {
@@ -93,6 +94,7 @@ let gen_request =
                node_limit;
                cpu_limit;
                reorder;
+               par_domains;
              })
     in
     return { Proto.id; meth; query })
@@ -217,6 +219,7 @@ let base_query =
     node_limit = None;
     cpu_limit = None;
     reorder = false;
+    par_domains = None;
   }
 
 let test_cache_key_discriminates () =
@@ -225,8 +228,9 @@ let test_cache_key_discriminates () =
     | Ok r -> r
     | Error msg -> Alcotest.failf "resolve failed: %s" msg
   in
-  let key ?(meth = Proto.Eval) ?(node_limit = 1000) ?cpu_limit q =
-    Proto.cache_key ~meth ~resolved ~node_limit ~cpu_limit q
+  let key ?(meth = Proto.Eval) ?(node_limit = 1000) ?cpu_limit
+      ?(par_domains = 1) q =
+    Proto.cache_key ~meth ~resolved ~node_limit ~cpu_limit ~par_domains q
   in
   Alcotest.(check string) "stable" (key base_query) (key base_query);
   Alcotest.(check bool) "epsilon keyed" false
@@ -238,7 +242,9 @@ let test_cache_key_discriminates () =
   Alcotest.(check bool) "method keyed" false
     (key base_query = key ~meth:Proto.Conditional_yields base_query);
   Alcotest.(check bool) "budget keyed" false
-    (key base_query = key ~node_limit:2000 base_query)
+    (key base_query = key ~node_limit:2000 base_query);
+  Alcotest.(check bool) "par_domains keyed" false
+    (key base_query = key ~par_domains:4 base_query)
 
 (* ------------------------------------------------------------------ *)
 (* Live server helpers                                                 *)

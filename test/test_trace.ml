@@ -236,8 +236,11 @@ let check_stage_gc (rep : P.report) =
         (d.Memory.minor_words >= 0.0
         && d.Memory.promoted_words >= 0.0
         && d.Memory.major_words >= 0.0);
-      Alcotest.(check bool) (stage ^ ": live heap positive") true
-        (d.Memory.heap_words > 0 && d.Memory.top_heap_words >= d.Memory.heap_words))
+      (* heap_words is a growth delta and may be negative across a
+         collection; top_heap_words tracks a monotone counter, so its
+         delta is never negative *)
+      Alcotest.(check bool) (stage ^ ": top-heap delta non-negative") true
+        (d.Memory.top_heap_words >= 0))
     rep.P.stage_gc;
   (* the build allocates: at least one stage must show minor allocation *)
   Alcotest.(check bool) "some stage allocated" true
