@@ -1,198 +1,161 @@
-(* Bench-baseline comparator: diffs a fresh BENCH_*.json against the
-   committed baseline and fails (exit 1) on performance or correctness
-   regressions, so CI catches them at the PR.
+(* Bench comparator and trend tracker.
+
+   Step mode (the historical CI gate — diff a fresh BENCH_*.json against
+   the committed baseline, exit 1 on regressions):
 
      dune exec bench/compare.exe -- BASELINE.json FRESH.json
 
-   Policy:
-   - any `yield_lower` drifting by more than 1e-12 from the baseline is a
-     correctness failure (the paper's Table-4 numbers are the contract);
-   - every seconds-valued field (name ending in `_s`: cpu_s today,
-     whatever a future section adds) regressing by more than 25% on any
-     row is a performance failure — but only when its baseline value is at
-     least 50ms, because sub-50ms measurements are dominated by scheduler
-     noise on shared CI runners;
-   - `wall_*` fields are exempt from the 25% gate entirely (wall clock on
-     shared runners varies with co-tenancy and domain count), and so are
-     the `trace_*` and `gc_*` accounting fields (they describe the
-     observability layer, not the workload) — all recorded for
-     trend-reading only, never gated;
-   - node-count peaks (`robdd_peak` / `peak_nodes` fields) growing by more
-     than 10% on any row are a performance failure: peaks are
-     deterministic node counts, not timings, so growth means the ordering
-     or sifting logic regressed — raising the baseline must be a conscious
-     edit, not noise;
-   - every offending row/field is reported before the non-zero exit, so
-     one run lists the complete set of regressions;
-   - any fresh record carrying `seq_yield_drift` (the curves section's
-     |parallel - one-domain| yield delta) or `par_yield_drift` (the par
-     section's |domain-team - sequential| delta on one problem) above
-     1e-12 is a correctness failure — parallel runs must be bit-identical
-     to sequential runs. This is checked on the fresh file alone, no
-     baseline needed;
-   - any fresh record carrying `par_domains >= 4` must also carry
-     `par_speedup >= 1.5`: the intra-problem domain team must actually
-     pay for itself on a 4-way host. Hosts with fewer cores never emit
-     the record, so the gate self-disables there (fresh file alone, no
-     baseline needed);
-   - a row present in the baseline but missing from the fresh run is a
-     failure (a silently dropped benchmark is a regression too).
-   Rows only present in the fresh run are reported but never fail: adding
-   benchmarks must not require touching the comparator. *)
+   Trend mode (ROADMAP item 5 — read a directory of per-commit
+   BENCH_*.json snapshots, oldest first by filename, apply the step
+   gates to the newest pair AND flag slow creep across the window):
 
-module Json = Socy_obs.Json
+     dune exec bench/compare.exe -- --trend DIR [--window N]
 
-let yield_tolerance = 1e-12
-let par_speedup_floor = 1.5
-let par_gate_min_domains = 4.0
-let cpu_regression_factor = 1.25
-let cpu_noise_floor_s = 0.05
-let peak_regression_factor = 1.10
-let peak_fields = [ "robdd_peak"; "peak_nodes" ]
+   The policy itself — which fields are gated, at what thresholds, with
+   which exemptions — lives in the declarative Socy_campaign.Gates
+   table, shared with the campaign differ and the trend tracker, so the
+   three tools cannot drift apart. See gates.mli for the rules; they
+   encode exactly the historical comparator behaviour:
+   - yield_lower drifting > 1e-12 from baseline fails (the paper's
+     Table-4 numbers are the contract);
+   - seconds fields (`*_s` except the wall_/trace_/gc_ prefixes)
+     regressing > 25% on a >= 50ms baseline fail;
+   - robdd_peak/peak_nodes growing > 10% fail (deterministic counts);
+   - fresh-only: seq_yield_drift / seq_yield_drift_max / par_yield_drift
+     above 1e-12 fail; par_domains >= 4 requires par_speedup >= 1.5;
+   - a baseline row missing from fresh fails; fresh-only rows are notes.
 
-(* The 25% gate applies to fields named `*_s` unless an exempt prefix
-   matches: wall clock is co-tenancy noise, trace_*/gc_* are accounting. *)
-let exempt_prefixes = [ "wall_"; "trace_"; "gc_" ]
+   Trend mode adds what no two-point diff can see: a field that creeps
+   up a few percent per commit, each step inside the 25% allowance, but
+   more than 10% cumulatively over the trailing window with every step
+   monotone within noise. Noisy up-down series never fire — a hard
+   regression that later recovered is a step-gate matter.
 
-let has_prefix p s =
-  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+   Exit codes: 0 clean, 1 gate/trend failures, 2 unreadable or malformed
+   input (not a regression — a broken harness must not read as "pass"). *)
 
-let gated_field name =
-  String.length name > 2
-  && String.sub name (String.length name - 2) 2 = "_s"
-  && not (List.exists (fun p -> has_prefix p name) exempt_prefixes)
+module Bench = Socy_obs.Doc.Bench
+module Gates = Socy_campaign.Gates
+module Trend = Socy_campaign.Trend
 
-let die fmt = Printf.ksprintf (fun s -> prerr_endline ("compare: " ^ s); exit 2) fmt
+let die fmt =
+  Printf.ksprintf (fun s -> prerr_endline ("compare: " ^ s); exit 2) fmt
 
 let load path =
-  let ic = try open_in path with Sys_error e -> die "cannot open %s" e in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  match Json.of_string s with
-  | j -> j
-  | exception Json.Parse_error e -> die "%s: %s" path e
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> die "cannot open %s" e
+  | contents -> (
+      match Bench.of_string contents with
+      | Ok doc -> doc
+      | Error msg -> die "%s: %s" path msg)
 
-(* (section, row) -> record object, in file order *)
-let records doc path =
-  match Json.member "records" doc with
-  | Some (Json.List l) ->
-      List.map
-        (fun r ->
-          match (Json.member "section" r, Json.member "row" r) with
-          | Some (Json.String s), Some (Json.String row) -> ((s, row), r)
-          | _ -> die "%s: record without section/row" path)
-        l
-  | _ -> die "%s: no records array (not a socyield-bench file?)" path
-
-let number field r = Option.bind (Json.member field r) Json.to_float
-
-let () =
-  let base_path, fresh_path =
-    match Sys.argv with
-    | [| _; b; f |] -> (b, f)
-    | _ ->
-        prerr_endline "usage: compare BASELINE.json FRESH.json";
-        exit 2
-  in
-  let base = records (load base_path) base_path in
-  let fresh = records (load fresh_path) fresh_path in
+let report_outcomes outcomes =
   let failures = ref 0 in
-  let fail fmt =
-    Printf.ksprintf
-      (fun s ->
+  List.iter
+    (fun (o : Gates.outcome) ->
+      if o.Gates.failed then begin
         incr failures;
-        Printf.printf "FAIL  %s\n" s)
-      fmt
+        Printf.printf "FAIL  %s\n" (Gates.describe o)
+      end
+      else if Gates.announced o then
+        let prefix =
+          match o.Gates.check with Gates.Row_new -> "note " | _ -> "ok   "
+        in
+        Printf.printf "%s %s\n" prefix (Gates.describe o))
+    outcomes;
+  !failures
+
+let step_mode base_path fresh_path =
+  let base = load base_path and fresh = load fresh_path in
+  let failures =
+    report_outcomes (Gates.check_docs ~gates:Gates.default_gates ~base ~fresh)
   in
-  List.iter
-    (fun ((key : string * string), b) ->
-      let section, row = key in
-      let label = Printf.sprintf "%s/%s" section row in
-      match List.assoc_opt key fresh with
-      | None -> fail "%s: row missing from fresh run" label
-      | Some f -> (
-          (match (number "yield_lower" b, number "yield_lower" f) with
-          | Some yb, Some yf ->
-              let drift = abs_float (yb -. yf) in
-              if drift > yield_tolerance then
-                fail "%s: yield_lower drifted by %.3e (%.17g -> %.17g)" label
-                  drift yb yf
-          | Some _, None -> fail "%s: yield_lower missing from fresh run" label
-          | None, _ -> ());
-          (* Every gated seconds field of the baseline record, not just
-             cpu_s — and the loop keeps going after a failure so one run
-             reports every offending field of every offending row. *)
-          let fields = match b with Json.Obj l -> List.map fst l | _ -> [] in
-          List.iter
-            (fun field ->
-              if gated_field field then
-                match (number field b, number field f) with
-                | Some cb, Some cf when cb >= cpu_noise_floor_s ->
-                    if cf > cb *. cpu_regression_factor then
-                      fail "%s: %s regressed %.0f%% (%.3fs -> %.3fs)" label field
-                        ((cf /. cb -. 1.0) *. 100.0)
-                        cb cf
-                    else
-                      Printf.printf "ok    %s: %s %.3fs -> %.3fs\n" label field cb cf
-                | Some cb, None when cb >= cpu_noise_floor_s ->
-                    fail "%s: %s missing from fresh run" label field
-                | _ -> ())
-            fields;
-          (* Peak-node gate: deterministic counts, so any growth beyond
-             the 10% allowance is a sifting/ordering regression. *)
-          List.iter
-            (fun field ->
-              match (number field b, number field f) with
-              | Some pb, Some pf ->
-                  if pf > pb *. peak_regression_factor then
-                    fail "%s: %s grew %.0f%% (%.0f -> %.0f nodes)" label field
-                      ((pf /. pb -. 1.0) *. 100.0)
-                      pb pf
-                  else
-                    Printf.printf "ok    %s: %s %.0f -> %.0f nodes\n" label
-                      field pb pf
-              | Some _, None -> fail "%s: %s missing from fresh run" label field
-              | None, _ -> ())
-            peak_fields))
-    base;
-  (* Sequential-equivalence gate: checked on the fresh run alone, so a
-     drifting parallel batch fails even on the PR that introduces it. *)
-  List.iter
-    (fun ((section, row), r) ->
-      List.iter
-        (fun field ->
-          match number field r with
-          | Some d when d > yield_tolerance ->
-              fail "%s/%s: %s = %.3e (parallel run not equivalent to sequential)"
-                section row field d
-          | _ -> ())
-        [ "seq_yield_drift"; "seq_yield_drift_max"; "par_yield_drift" ];
-      (* Intra-problem parallelism gate: with a 4-way team the sharded
-         store + parallel apply must beat the sequential engine by 1.5x
-         on the same problem. Fresh-only, and only when the run actually
-         had >= 4 domains — smaller hosts never emit the record. *)
-      match (number "par_domains" r, number "par_speedup" r) with
-      | Some d, Some s when d >= par_gate_min_domains ->
-          if s < par_speedup_floor then
-            fail "%s/%s: par_speedup %.2fx below the %.1fx floor at %.0f domains"
-              section row s par_speedup_floor d
-          else
-            Printf.printf "ok    %s/%s: par_speedup %.2fx at %.0f domains\n"
-              section row s d
-      | Some d, None when d >= par_gate_min_domains ->
-          fail "%s/%s: par_domains = %.0f but no par_speedup recorded" section
-            row d
-      | _ -> ())
-    fresh;
-  List.iter
-    (fun (key, _) ->
-      if not (List.mem_assoc key base) then
-        Printf.printf "note  %s/%s: new row (not in baseline)\n" (fst key)
-          (snd key))
-    fresh;
-  if !failures > 0 then begin
-    Printf.printf "%d regression(s) against %s\n" !failures base_path;
+  if failures > 0 then begin
+    Printf.printf "%d regression(s) against %s\n" failures base_path;
     exit 1
   end
   else Printf.printf "no regressions against %s\n" base_path
+
+(* Snapshot files are BENCH_*.json inside the history directory; their
+   names must sort chronologically (CI prefixes an ISO stamp or a
+   monotone counter), exactly like campaign store ids. *)
+let snapshot_files dir =
+  let names =
+    match Sys.readdir dir with
+    | exception Sys_error e -> die "cannot read %s" e
+    | names -> names
+  in
+  let is_snapshot n =
+    String.length n > 11
+    && String.sub n 0 6 = "BENCH_"
+    && Filename.check_suffix n ".json"
+  in
+  Array.to_list names |> List.filter is_snapshot |> List.sort compare
+  |> List.map (fun n -> (n, Filename.concat dir n))
+
+let trend_mode ~window dir =
+  let files = snapshot_files dir in
+  if files = [] then die "%s: no BENCH_*.json snapshots" dir;
+  let snapshots =
+    List.map
+      (fun (name, path) -> { Trend.snap_label = name; bench = load path })
+      files
+  in
+  Printf.printf "%d snapshot(s) in %s\n" (List.length snapshots) dir;
+  (* Step gates still guard the newest pair: trend mode is a superset of
+     the PR gate, not a replacement. *)
+  let step_failures =
+    match List.rev snapshots with
+    | fresh :: base :: _ ->
+        let n =
+          report_outcomes
+            (Gates.check_docs ~gates:Gates.default_gates
+               ~base:base.Trend.bench ~fresh:fresh.Trend.bench)
+        in
+        if n > 0 then
+          Printf.printf "%d step regression(s) %s -> %s\n" n
+            base.Trend.snap_label fresh.Trend.snap_label;
+        n
+    | _ ->
+        print_endline "single snapshot: step gates skipped";
+        0
+  in
+  let config = { Trend.default_config with window } in
+  let series = Trend.series_of snapshots in
+  List.iter
+    (fun (s : Trend.series) ->
+      if List.length s.Trend.points >= 2 then
+        Printf.printf "trend %s/%s: %s slope %+.4g/snapshot over %d points\n"
+          s.Trend.section s.Trend.row s.Trend.field (Trend.slope s)
+          (List.length s.Trend.points))
+    series;
+  let findings = Trend.detect ~config snapshots in
+  List.iter
+    (fun f -> Printf.printf "CREEP %s\n" (Trend.describe f))
+    findings;
+  let total = step_failures + List.length findings in
+  if total > 0 then begin
+    Printf.printf "%d trend/step failure(s) across %d snapshot(s)\n" total
+      (List.length snapshots);
+    exit 1
+  end
+  else
+    Printf.printf "no creep across %d snapshot(s)\n" (List.length snapshots)
+
+let usage () =
+  prerr_endline "usage: compare BASELINE.json FRESH.json";
+  prerr_endline "       compare --trend DIR [--window N]";
+  exit 2
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; b; f ] when b <> "--trend" -> step_mode b f
+  | _ :: "--trend" :: rest -> (
+      match rest with
+      | [ dir ] -> trend_mode ~window:Trend.default_config.Trend.window dir
+      | [ dir; "--window"; n ] | [ "--window"; n; dir ] -> (
+          match int_of_string_opt n with
+          | Some w when w >= 2 -> trend_mode ~window:w dir
+          | _ -> die "--window wants an integer >= 2, got %S" n)
+      | _ -> usage ())
+  | _ -> usage ()

@@ -36,12 +36,13 @@ let pf = Printf.printf
 (* commits can be diffed mechanically. --no-json disables it.          *)
 (* ------------------------------------------------------------------ *)
 
-let bench_records : Json.t list ref = ref []
+module Bench_doc = Socy_obs.Doc.Bench
+
+let bench_records : Bench_doc.record list ref = ref []
 
 let record ~section ~label fields =
   bench_records :=
-    Json.Obj (("section", Json.String section) :: ("row", Json.String label) :: fields)
-    :: !bench_records
+    { Bench_doc.section; row = label; fields } :: !bench_records
 
 let record_report ~section ~label ~wall_s (r : P.report) =
   let ite_calls = r.P.ite_cache_hits + r.P.ite_cache_misses in
@@ -92,14 +93,11 @@ let record_report ~section ~label ~wall_s (r : P.report) =
     ]
 
 let write_records ~path ~mode ~wall_s =
+  (* Through the Doc.Bench codec, so the harness can never emit a file
+     the comparator's reader would reject. *)
   let doc =
-    Json.Obj
-      [
-        ("schema", Json.String "socyield-bench/1");
-        ("mode", Json.String mode);
-        ("total_wall_s", Json.Float wall_s);
-        ("records", Json.List (List.rev !bench_records));
-      ]
+    Bench_doc.to_json
+      { Bench_doc.mode; total_wall_s = wall_s; records = List.rev !bench_records }
   in
   let oc = open_out path in
   Json.to_channel oc doc;

@@ -2,9 +2,10 @@
    method.
 
    Subcommands:
-     eval    evaluate the yield of a fault tree or built-in benchmark
-     sweep   evaluate a grid of runs in parallel across domains
-     serve   long-running yield daemon over a Unix-domain socket
+     eval      evaluate the yield of a fault tree or built-in benchmark
+     sweep     evaluate a grid of runs in parallel across domains
+     campaign  run named grids into a stored artifact history; trend reports
+     serve     long-running yield daemon over a Unix-domain socket
      query   client for a running serve daemon
      report  pretty-print or diff metrics/trace JSON files
      mc      Monte Carlo baseline estimate
@@ -32,200 +33,13 @@ module Server = Socy_serve.Server
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
-(* Shared arguments                                                    *)
+(* Shared arguments — the term groups live in cli_terms.ml            *)
 (* ------------------------------------------------------------------ *)
 
-let fault_tree_arg =
-  let doc =
-    "Fault-tree expression over component-failed variables x0, x1, …, e.g. \
-     'x0 & x1 | atleast(2; x2, x3, x4)'. The output is 1 iff the system is \
-     NOT functioning."
-  in
-  Arg.(value & opt (some string) None & info [ "f"; "fault-tree" ] ~docv:"EXPR" ~doc)
-
-let benchmark_arg =
-  let doc = "Built-in benchmark instance (MSn or ESENnxm), e.g. MS4, ESEN8x2." in
-  Arg.(value & opt (some string) None & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
-
-let lambda_arg =
-  let doc = "Expected number of manufacturing defects (negative binomial)." in
-  Arg.(value & opt float 10.0 & info [ "lambda" ] ~docv:"FLOAT" ~doc)
-
-let alpha_arg =
-  let doc = "Negative binomial clustering parameter (clustering grows as it shrinks)." in
-  Arg.(value & opt float S.alpha & info [ "alpha" ] ~docv:"FLOAT" ~doc)
-
-let p_lethal_arg =
-  let doc =
-    "P_L = sum of the P_i: probability that a given defect is lethal. Used \
-     with --fault-tree, where P_i is uniform over components; benchmarks \
-     carry their own per-component ratios."
-  in
-  Arg.(value & opt float 0.1 & info [ "p-lethal" ] ~docv:"FLOAT" ~doc)
-
-let epsilon_arg =
-  let doc = "Absolute yield error requirement (drives the truncation M)." in
-  Arg.(value & opt float S.epsilon & info [ "e"; "epsilon" ] ~docv:"FLOAT" ~doc)
-
-let node_limit_arg =
-  let doc = "Live ROBDD node budget before the run is declared failed." in
-  Arg.(value & opt int 40_000_000 & info [ "node-limit" ] ~docv:"N" ~doc)
-
-let reorder_arg =
-  let doc =
-    "Enable group-aware dynamic variable reordering (Rudell sifting) during \
-     the coded-ROBDD build. The order is walked back to the static scheme \
-     before the ROMDD conversion, so the yield is bit-identical; only the \
-     transient peak changes."
-  in
-  Arg.(value & flag & info [ "reorder" ] ~doc)
-
-let par_domains_arg =
-  let doc =
-    "Domains used INSIDE one evaluation: the coded-ROBDD build runs on the \
-     concurrent engine (sharded unique table, frontier-split APPLY) and the \
-     ROMDD conversion distributes each layer across the team. Results — \
-     yield, diagram sizes, node ids — are bit-identical to the sequential \
-     engine. 1 (the default) is the pure sequential path. Ignored with \
-     --reorder (sifting needs the sequential manager); a warning is printed."
-  in
-  Arg.(value & opt int 1 & info [ "par-domains" ] ~docv:"N" ~doc)
-
-(* Shared --par-domains validation: out-of-range dies as a usage error;
-   the reorder clash downgrades to sequential with a warning, matching
-   the pipeline's own reorder-wins rule. *)
-let check_par_domains ~reorder par_domains =
-  if par_domains < 1 then begin
-    Printf.eprintf "socyield: --par-domains must be at least 1 (got %d)\n"
-      par_domains;
-    exit 2
-  end;
-  if reorder && par_domains > 1 then
-    Printf.eprintf
-      "socyield: --reorder takes precedence over --par-domains — the build \
-       stays sequential (in-place sifting and the concurrent store are \
-       mutually exclusive)\n%!"
-
-let registry_arg =
-  let doc =
-    "Path of the tuned-ordering registry (the versioned text file written \
-     by 'socyield tune')."
-  in
-  Arg.(
-    value
-    & opt string "orderings.tsv"
-    & info [ "registry" ] ~docv:"FILE" ~doc)
-
-let tuned_arg =
-  let doc =
-    "Resolve the ordering scheme and reorder flag from the registry entry \
-     for the --benchmark family (see 'socyield tune'); overrides \
-     --mv-order/--bit-order/--reorder."
-  in
-  Arg.(value & flag & info [ "tuned" ] ~doc)
-
-(* --tuned resolution, shared by eval and query: the registry entry for
-   the benchmark family replaces the static flags. *)
-let resolve_tuned ~tuned ~registry ~benchmark ~mv ~bits ~reorder =
-  if not tuned then (mv, bits, reorder)
-  else
-    match benchmark with
-    | None ->
-        prerr_endline
-          "--tuned needs --benchmark (the registry is keyed by benchmark \
-           family)";
-        exit 2
-    | Some family -> (
-        let entries =
-          match Socy_order.Registry.load registry with
-          | entries -> entries
-          | exception Failure msg ->
-              prerr_endline msg;
-              exit 2
-        in
-        match Socy_order.Registry.find entries ~family with
-        | None ->
-            Printf.eprintf
-              "no tuned ordering for %S in %s — run 'socyield tune -b %s' \
-               first\n"
-              family registry family;
-            exit 2
-        | Some e ->
-            Socy_order.Registry.(e.mv, e.bit, e.reorder))
-
-let mv_order_conv =
-  let parse s =
-    match Scheme.mv_order_of_name s with
-    | Some mv -> Ok mv
-    | None -> Error (`Msg (Printf.sprintf "unknown mv ordering %S" s))
-  in
-  Arg.conv (parse, fun fmt mv -> Format.pp_print_string fmt (Scheme.mv_order_name mv))
-
-let bit_order_conv =
-  let parse s =
-    match Scheme.bit_order_of_name s with
-    | Some b -> Ok b
-    | None -> Error (`Msg (Printf.sprintf "unknown bit ordering %S" s))
-  in
-  Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt (Scheme.bit_order_name b))
-
-let mv_order_arg =
-  let doc = "Multiple-valued variable ordering: wv, wvr, vw, vrw, t, w, h." in
-  Arg.(value & opt mv_order_conv (Scheme.Heur H.Weight) & info [ "mv-order" ] ~docv:"ORD" ~doc)
-
-let bit_order_arg =
-  let doc = "Bit ordering inside each group: ml, lm, t, w, h." in
-  Arg.(value & opt bit_order_conv Scheme.Ml & info [ "bit-order" ] ~docv:"ORD" ~doc)
-
-let metrics_arg =
-  let doc =
-    "Emit a run report with per-stage wall times and decision-diagram engine \
-     metrics: 'json' (machine-readable) or 'pretty' (human-readable). \
-     Enables the observability layer for the run."
-  in
-  Arg.(
-    value
-    & opt (some (enum [ ("json", `Json); ("pretty", `Pretty) ])) None
-    & info [ "metrics" ] ~docv:"FORMAT" ~doc)
-
-let metrics_out_arg =
-  let doc =
-    "Write the --metrics report to $(docv) instead of standard output."
-  in
-  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
-
-let trace_arg =
-  let doc =
-    "Write a Chrome trace-event JSON timeline of the run to $(docv) \
-     (loadable in Perfetto or chrome://tracing): one row per worker \
-     domain with pipeline-stage and batch-job spans, engine GC/resize \
-     instants. Enables the observability layer for the run, like \
-     --metrics."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-
-(* Resolve the (fault tree, model) pair from the arguments. *)
-let resolve ~fault_tree ~benchmark ~lambda ~alpha ~p_lethal =
-  match (fault_tree, benchmark) with
-  | Some _, Some _ -> Error "--fault-tree and --benchmark are mutually exclusive"
-  | None, None -> Error "one of --fault-tree or --benchmark is required"
-  | Some expr, None -> (
-      match Socy_logic.Parse.fault_tree ~name:"cli" expr with
-      | exception Socy_logic.Parse.Syntax_error msg ->
-          Error (Printf.sprintf "parse error: %s" msg)
-      | circuit ->
-          let c = circuit.C.num_inputs in
-          if c = 0 then Error "fault tree references no component"
-          else
-            let affect = Array.make c (p_lethal /. float_of_int c) in
-            Ok (circuit, Model.create (D.negative_binomial ~mean:lambda ~alpha) affect))
-  | None, Some name -> (
-      match S.by_name name with
-      | exception Not_found -> Error (Printf.sprintf "unknown benchmark %S" name)
-      | instance ->
-          Ok
-            ( instance.S.circuit,
-              Model.create (D.negative_binomial ~mean:lambda ~alpha) instance.S.affect ))
+open Cli_terms.Model
+open Cli_terms.Budget
+open Cli_terms.Ordering
+open Cli_terms.Out
 
 (* ------------------------------------------------------------------ *)
 (* Run reports (--metrics)                                             *)
@@ -277,46 +91,6 @@ let report_json ~source ~epsilon ~mv ~bits ~reorder (r : P.report) =
           ] );
       ("metrics", Sink.snapshot_to_json (Obs.snapshot ()));
     ]
-
-(* Create the missing ancestors of an output path, so --metrics-out and
-   --trace can point straight into a fresh results directory. *)
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
-
-let with_out_file ~what out f =
-  match out with
-  | None -> f stdout
-  | Some path ->
-      let oc =
-        try
-          mkdir_p (Filename.dirname path);
-          open_out path
-        with
-        | Sys_error msg ->
-            Printf.eprintf "socyield: cannot write %s: %s\n" what msg;
-            exit 1
-        | Unix.Unix_error (e, _, at) ->
-            Printf.eprintf "socyield: cannot write %s %s: %s (%s)\n" what path
-              (Unix.error_message e) at;
-            exit 1
-      in
-      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
-
-let with_metrics_channel out f = with_out_file ~what:"metrics" out f
-
-let write_trace out =
-  match out with
-  | None -> ()
-  | Some _ ->
-      with_out_file ~what:"trace" out (fun oc -> Json.to_channel oc (Trace.to_json ()));
-      let dropped = Trace.dropped_count () in
-      if dropped > 0 then
-        Printf.eprintf
-          "socyield: trace buffer overflow — %d event(s) dropped (per-domain cap %d)\n"
-          dropped Trace.capacity
 
 (* ------------------------------------------------------------------ *)
 (* eval                                                                *)
@@ -448,42 +222,6 @@ type sweep_point = {
 }
 
 let sweep_cmd =
-  let benchmarks_arg =
-    let doc =
-      "Comma-separated built-in benchmark instances to sweep, e.g. \
-       MS2,MS4,ESEN4x1. Mutually exclusive with --fault-tree."
-    in
-    Arg.(value & opt (list string) [] & info [ "b"; "benchmarks" ] ~docv:"NAMES" ~doc)
-  in
-  let lambdas_arg =
-    let doc = "Comma-separated expected defect counts (the defect-density axis)." in
-    Arg.(value & opt (list float) [ 10.0; 20.0 ] & info [ "lambdas" ] ~docv:"FLOATS" ~doc)
-  in
-  let epsilons_arg =
-    let doc = "Comma-separated absolute yield error requirements." in
-    Arg.(value & opt (list float) [ S.epsilon ] & info [ "epsilons" ] ~docv:"FLOATS" ~doc)
-  in
-  let mv_orders_arg =
-    let doc = "Comma-separated multiple-valued orderings (wv, wvr, vw, vrw, t, w, h)." in
-    Arg.(
-      value
-      & opt (list mv_order_conv) [ Scheme.Heur H.Weight ]
-      & info [ "mv-orders" ] ~docv:"ORDS" ~doc)
-  in
-  let domains_arg =
-    let doc =
-      "Worker domains for the batch; 0 means the runtime's recommended \
-       domain count."
-    in
-    Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N" ~doc)
-  in
-  let wall_budget_arg =
-    let doc =
-      "Wall-clock budget in seconds for the whole sweep; grid points not \
-       started when it expires are reported as cancelled."
-    in
-    Arg.(value & opt (some float) None & info [ "wall-budget" ] ~docv:"SECONDS" ~doc)
-  in
   let check_seq_arg =
     let doc =
       "Rerun the grid on a single domain and fail (exit 1) unless every \
@@ -1472,6 +1210,267 @@ let cutsets_cmd =
        ~doc:"Minimal cut sets of a coherent fault tree (why yield is lost)")
     term
 
+(* ------------------------------------------------------------------ *)
+(* campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Campaign = Socy_campaign.Campaign
+module Cstore = Socy_campaign.Store
+module Gates = Socy_campaign.Gates
+module Trend = Socy_campaign.Trend
+
+let store_arg =
+  let doc =
+    "Campaign artifact store: a directory holding one timestamped \
+     subdirectory (campaign.json + optional metrics/trace) per run."
+  in
+  Arg.(
+    required & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let campaign_run_cmd =
+  let name_arg =
+    let doc =
+      "Campaign name: the stable grid identity runs are grouped and \
+       trended under (also the run-directory prefix)."
+    in
+    Arg.(required & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
+  in
+  let save_metrics_arg =
+    let doc =
+      "Also write the observability snapshot as metrics.json next to the \
+       run's campaign.json (enables the observability layer)."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let save_trace_arg =
+    let doc =
+      "Also write the Chrome trace-event timeline as trace.json next to \
+       the run's campaign.json (enables the observability layer)."
+    in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let progress_arg =
+    let doc = "Print a live progress line to standard error as points finish." in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  let run name store benchmarks lambdas epsilons mvs bits alpha node_limit
+      cpu_limit reorder par_domains domains wall_budget save_metrics save_trace
+      progress =
+    check_par_domains ~reorder par_domains;
+    if save_metrics || save_trace then Obs.set_enabled true;
+    let grid =
+      {
+        Campaign.name;
+        benchmarks;
+        lambdas;
+        epsilons;
+        mv_orders = mvs;
+        bit_order = bits;
+        alpha;
+        node_limit;
+        cpu_limit;
+        reorder;
+        par_domains;
+      }
+    in
+    let progress_cb =
+      if not progress then None
+      else begin
+        let lock = Mutex.create () in
+        let tty = Unix.isatty Unix.stderr in
+        Some
+          (fun ~completed ~total ~label ->
+            Mutex.lock lock;
+            if tty then begin
+              Printf.eprintf "\r\027[2K[%d/%d] %s%!" completed total label;
+              if completed = total then prerr_newline ()
+            end
+            else Printf.eprintf "[%d/%d] %s\n%!" completed total label;
+            Mutex.unlock lock)
+      end
+    in
+    let domains = if domains <= 0 then Pool.default_domains () else domains in
+    match Campaign.run ~domains ?wall_budget ?progress:progress_cb grid with
+    | Error msg ->
+        Printf.eprintf "socyield: %s\n" msg;
+        exit 2
+    | Ok c ->
+        let metrics =
+          if save_metrics then Some (Sink.snapshot_to_json (Obs.snapshot ()))
+          else None
+        in
+        let trace = if save_trace then Some (Trace.to_json ()) else None in
+        let entry = Campaign.save ~root:store ?metrics ?trace c in
+        let ok, failed =
+          List.fold_left
+            (fun (ok, failed) (r : Campaign.row) ->
+              match r.Campaign.result with
+              | Ok _ -> (ok + 1, failed)
+              | Error _ -> (ok, failed + 1))
+            (0, 0) c.Campaign.rows
+        in
+        Printf.printf "stored %s: %d point(s), %d ok, %d failed, %.2f s wall\n"
+          (Cstore.campaign_file entry)
+          (List.length c.Campaign.rows)
+          ok failed c.Campaign.wall_s;
+        if failed > 0 then
+          List.iter
+            (fun (r : Campaign.row) ->
+              match r.Campaign.result with
+              | Ok _ -> ()
+              | Error _ ->
+                  Printf.printf "  failed %s: %s\n"
+                    (Campaign.point_label r.Campaign.point)
+                    (Campaign.status_name r.Campaign.result))
+            c.Campaign.rows
+  in
+  let term =
+    Term.(
+      const run $ name_arg $ store_arg $ benchmarks_arg $ lambdas_arg
+      $ epsilons_arg $ mv_orders_arg $ bit_order_arg $ alpha_arg
+      $ node_limit_arg $ cpu_limit_arg $ reorder_arg $ par_domains_arg
+      $ domains_arg $ wall_budget_arg $ save_metrics_arg $ save_trace_arg
+      $ progress_arg)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Evaluate a named benchmark × lambda × epsilon × ordering grid and \
+          store the result as a timestamped socyield-campaign/1 artifact")
+    term
+
+let campaign_report_cmd =
+  let diff_arg =
+    let doc =
+      "Diff two stored runs by id, $(docv) = OLD,NEW; gate failures and \
+       ok->failed status flips exit 1."
+    in
+    Arg.(
+      value & opt (some (pair string string)) None & info [ "diff" ] ~docv:"IDS" ~doc)
+  in
+  let diff_latest_arg =
+    let doc = "Diff the two most recent runs in the store." in
+    Arg.(value & flag & info [ "diff-latest" ] ~doc)
+  in
+  let html_arg =
+    let doc = "Render the aggregate report as HTML instead of text." in
+    Arg.(value & flag & info [ "html" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Write the report to $(docv) instead of standard output." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let window_arg =
+    let doc = "Trailing runs considered by the creep detector." in
+    Arg.(
+      value
+      & opt int Trend.default_config.Trend.window
+      & info [ "window" ] ~docv:"N" ~doc)
+  in
+  let load_runs store =
+    match Campaign.load_all ~root:store with
+    | Error msg ->
+        Printf.eprintf "socyield: %s\n" msg;
+        exit 2
+    | Ok [] ->
+        Printf.eprintf "socyield: no campaign runs in %s\n" store;
+        exit 2
+    | Ok runs -> runs
+  in
+  let report_diff d =
+    let failures = ref 0 in
+    Printf.printf "diff %s -> %s\n" d.Campaign.d_old d.Campaign.d_new;
+    List.iter
+      (fun (o : Gates.outcome) ->
+        if o.Gates.failed then begin
+          incr failures;
+          Printf.printf "FAIL  %s\n" (Gates.describe o)
+        end
+        else if Gates.announced o then
+          let prefix =
+            match o.Gates.check with Gates.Row_new -> "note " | _ -> "ok   "
+          in
+          Printf.printf "%s %s\n" prefix (Gates.describe o))
+      d.Campaign.outcomes;
+    List.iter
+      (fun (sc : Campaign.status_change) ->
+        if Campaign.status_change_failed sc then begin
+          incr failures;
+          Printf.printf "FAIL  %s: status %s -> %s\n"
+            (Campaign.point_label sc.Campaign.sc_point)
+            sc.Campaign.sc_old sc.Campaign.sc_new
+        end
+        else
+          Printf.printf "note  %s: status %s -> %s\n"
+            (Campaign.point_label sc.Campaign.sc_point)
+            sc.Campaign.sc_old sc.Campaign.sc_new)
+      d.Campaign.status_changes;
+    if !failures > 0 then begin
+      Printf.printf "%d regression(s)\n" !failures;
+      exit 1
+    end
+    else print_endline "no regressions"
+  in
+  let run store diff diff_latest html out window =
+    let runs = load_runs store in
+    match (diff, diff_latest) with
+    | Some _, true ->
+        Printf.eprintf "socyield: --diff and --diff-latest are mutually exclusive\n";
+        exit 2
+    | Some (old_id, new_id), false ->
+        let find id =
+          match List.assoc_opt id runs with
+          | Some c -> c
+          | None ->
+              Printf.eprintf "socyield: no run %S in %s\n" id store;
+              exit 2
+        in
+        report_diff
+          (Campaign.diff ~old_label:old_id ~new_label:new_id (find old_id)
+             (find new_id))
+    | None, true -> (
+        match List.rev runs with
+        | (new_id, new_c) :: (old_id, old_c) :: _ ->
+            report_diff
+              (Campaign.diff ~old_label:old_id ~new_label:new_id old_c new_c)
+        | _ ->
+            Printf.eprintf "socyield: --diff-latest needs at least two runs\n";
+            exit 2)
+    | None, false ->
+        let config = { Trend.default_config with Trend.window } in
+        let findings =
+          Trend.detect ~config
+            (List.map
+               (fun (id, c) ->
+                 { Trend.snap_label = id; bench = Campaign.to_bench c })
+               runs)
+        in
+        let body =
+          if html then Campaign.render_html ~runs ~findings
+          else Campaign.render_text ~runs ~findings
+        in
+        with_out_file ~what:"report" out (fun oc -> output_string oc body)
+  in
+  let term =
+    Term.(
+      const run $ store_arg $ diff_arg $ diff_latest_arg $ html_arg $ out_arg
+      $ window_arg)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Aggregate a campaign store into a trend report (text or HTML), or \
+          diff two stored runs through the shared gate table")
+    term
+
+let campaign_cmd =
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:
+         "Named evaluation grids with a timestamped artifact store and trend \
+          reports")
+    [ campaign_run_cmd; campaign_report_cmd ]
+
 let () =
   let info =
     Cmd.info "socyield" ~version:"1.0.0"
@@ -1483,6 +1482,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            eval_cmd; sweep_cmd; tune_cmd; serve_cmd; query_cmd; report_cmd;
-            mc_cmd; orders_cmd; list_cmd; dot_cmd; cutsets_cmd;
+            eval_cmd; sweep_cmd; campaign_cmd; tune_cmd; serve_cmd; query_cmd;
+            report_cmd; mc_cmd; orders_cmd; list_cmd; dot_cmd; cutsets_cmd;
           ]))

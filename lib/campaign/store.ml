@@ -1,0 +1,88 @@
+module Json = Socy_obs.Json
+module Obs = Socy_obs.Obs
+
+let store_writes = Obs.counter "campaign.store.writes"
+let store_runs_listed = Obs.counter "campaign.store.runs_listed"
+
+type entry = { id : string; dir : string }
+
+let campaign_basename = "campaign.json"
+let metrics_basename = "metrics.json"
+let trace_basename = "trace.json"
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Run ids sort chronologically as strings (UTC second stamp), so the
+   store needs no index file: a directory listing is the history. *)
+let run_id ~name ~now =
+  let tm = Unix.gmtime now in
+  Printf.sprintf "%s-%04d%02d%02dT%02d%02d%02dZ" name (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let entry ~root ~id = { id; dir = Filename.concat root id }
+
+(* Two runs inside one second (tests, tight CI loops) get a ".2", ".3"…
+   suffix instead of silently overwriting the earlier artifact. *)
+let create_run ~root ~name ?(now = Unix.gettimeofday ()) () =
+  let base = run_id ~name ~now in
+  let rec fresh i =
+    let id = if i = 1 then base else Printf.sprintf "%s.%d" base i in
+    let e = entry ~root ~id in
+    if Sys.file_exists e.dir then fresh (i + 1)
+    else begin
+      mkdir_p e.dir;
+      e
+    end
+  in
+  fresh 1
+
+let campaign_file e = Filename.concat e.dir campaign_basename
+
+let write_json path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.to_channel oc json);
+  Obs.incr store_writes
+
+let write_run e ?metrics ?trace doc =
+  write_json (campaign_file e) doc;
+  Option.iter (write_json (Filename.concat e.dir metrics_basename)) metrics;
+  Option.iter (write_json (Filename.concat e.dir trace_basename)) trace
+
+(* Every direct subdirectory holding a campaign.json, sorted by id —
+   i.e. chronologically, with same-second ".n" suffixes in creation
+   order. Foreign files in the root are ignored, not errors: operators
+   drop READMEs and tarballs into artifact stores. *)
+let list_runs ~root =
+  match Sys.readdir root with
+  | exception Sys_error _ -> []
+  | names ->
+      let runs =
+        Array.to_list names
+        |> List.filter_map (fun id ->
+               let e = entry ~root ~id in
+               if Sys.file_exists (campaign_file e) then Some e else None)
+        |> List.sort (fun a b -> compare a.id b.id)
+      in
+      Obs.add store_runs_listed (List.length runs);
+      runs
+
+let find_run ~root ~id =
+  let e = entry ~root ~id in
+  if Sys.file_exists (campaign_file e) then Some e else None
+
+let load_json e =
+  let path = campaign_file e in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match Json.of_string contents with
+      | json -> Ok json
+      | exception Json.Parse_error msg ->
+          Error (Printf.sprintf "%s: %s" path msg))

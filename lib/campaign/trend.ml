@@ -1,0 +1,180 @@
+module Bench = Socy_obs.Doc.Bench
+
+type snapshot = { snap_label : string; bench : Bench.t }
+
+type series = {
+  section : string;
+  row : string;
+  field : string;
+  unit : Gates.unit_kind;
+  points : (string * float) list;
+}
+
+type config = {
+  window : int;
+  creep_factor : float;
+  dip_tolerance : float;
+  noise_floor_s : float;
+  min_points : int;
+}
+
+let default_config =
+  {
+    window = 8;
+    creep_factor = 1.10;
+    dip_tolerance = 0.05;
+    noise_floor_s = 0.05;
+    min_points = 3;
+  }
+
+type finding =
+  | Creep of { series : series; first : float; last : float; ratio : float }
+  | Missing_row of { section : string; row : string; last_seen : string }
+
+(* ------------------------------------------------------------------ *)
+(* Series extraction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Which fields get a trend line is the same question as which fields get
+   a step gate, so the answer comes from the shared gate table: every
+   field a [Max_ratio] gate would check (seconds fields and node peaks). *)
+let series_of ?(gates = Gates.default_gates) snapshots =
+  let table : (string * string * string, Gates.unit_kind * (string * float) list ref)
+      Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  List.iter
+    (fun snap ->
+      List.iter
+        (fun (r : Bench.record) ->
+          List.iter
+            (fun (field, gate) ->
+              match Gates.number field r.Bench.fields with
+              | None -> ()
+              | Some v -> (
+                  let key = (r.Bench.section, r.Bench.row, field) in
+                  match Hashtbl.find_opt table key with
+                  | Some (_, points) ->
+                      points := (snap.snap_label, v) :: !points
+                  | None ->
+                      Hashtbl.add table key
+                        (gate.Gates.unit, ref [ (snap.snap_label, v) ]);
+                      order := key :: !order))
+            (Gates.step_gated_fields ~gates r.Bench.fields))
+        snap.bench.Bench.records)
+    snapshots;
+  List.rev_map
+    (fun ((section, row, field) as key) ->
+      let unit, points =
+        match Hashtbl.find_opt table key with
+        | Some (u, p) -> (u, List.rev !p)
+        | None -> assert false
+      in
+      { section; row; field; unit; points })
+    !order
+
+(* Least-squares slope of the series values over their snapshot index —
+   the per-snapshot trend line the report renders. *)
+let slope series =
+  let n = List.length series.points in
+  if n < 2 then 0.0
+  else
+    let nf = float_of_int n in
+    let xs = List.mapi (fun i (_, v) -> (float_of_int i, v)) series.points in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 xs in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 xs in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 xs in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 xs in
+    let denom = (nf *. sxx) -. (sx *. sx) in
+    if denom = 0.0 then 0.0 else ((nf *. sxy) -. (sx *. sy)) /. denom
+
+(* ------------------------------------------------------------------ *)
+(* Detection                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec last_n n l =
+  let len = List.length l in
+  if len <= n then l else last_n n (List.tl l)
+
+(* Slow creep: over the trailing window the series ends more than
+   [creep_factor] above where it started AND every step on the way is an
+   increase up to [dip_tolerance] of noise — a genuine regression that
+   dipped hard in the middle is a step-gate matter (some commit pair
+   shows the jump), not creep, and an up-down-up noisy series must not
+   fire at all. *)
+let creep_of_series config series =
+  let points = last_n config.window series.points in
+  if List.length points < config.min_points then None
+  else
+    let values = List.map snd points in
+    let first = List.hd values in
+    let last = List.nth values (List.length values - 1) in
+    let below_floor =
+      match series.unit with
+      | Gates.Seconds -> first < config.noise_floor_s
+      | Gates.Nodes | Gates.Plain -> first <= 0.0
+    in
+    if below_floor || first <= 0.0 then None
+    else
+      let monotone_ish =
+        let rec go = function
+          | a :: (b :: _ as rest) ->
+              b >= a *. (1.0 -. config.dip_tolerance) && go rest
+          | [ _ ] | [] -> true
+        in
+        go values
+      in
+      let ratio = last /. first in
+      if monotone_ish && ratio > config.creep_factor then
+        Some (Creep { series = { series with points }; first; last; ratio })
+      else None
+
+(* A row present in the previous snapshot but gone from the newest is the
+   trend-mode form of the step gate's missing-row failure: dropping a
+   benchmark silently must not pass just because history is long. *)
+let missing_rows snapshots =
+  match List.rev snapshots with
+  | newest :: previous :: _ ->
+      List.filter_map
+        (fun (r : Bench.record) ->
+          match
+            Bench.find newest.bench ~section:r.Bench.section ~row:r.Bench.row
+          with
+          | Some _ -> None
+          | None ->
+              Some
+                (Missing_row
+                   {
+                     section = r.Bench.section;
+                     row = r.Bench.row;
+                     last_seen = previous.snap_label;
+                   }))
+        previous.bench.Bench.records
+  | _ -> []
+
+let detect ?(config = default_config) ?gates snapshots =
+  let creeps =
+    List.filter_map (creep_of_series config) (series_of ?gates snapshots)
+  in
+  creeps @ missing_rows snapshots
+
+let describe = function
+  | Creep { series; first; last; ratio } ->
+      Printf.sprintf
+        "%s/%s: %s crept %.0f%% over %d snapshots (%s -> %s, every step \
+         within noise)"
+        series.section series.row series.field
+        ((ratio -. 1.0) *. 100.0)
+        (List.length series.points)
+        (match series.unit with
+        | Gates.Seconds -> Printf.sprintf "%.3fs" first
+        | Gates.Nodes -> Printf.sprintf "%.0f nodes" first
+        | Gates.Plain -> Printf.sprintf "%.6g" first)
+        (match series.unit with
+        | Gates.Seconds -> Printf.sprintf "%.3fs" last
+        | Gates.Nodes -> Printf.sprintf "%.0f nodes" last
+        | Gates.Plain -> Printf.sprintf "%.6g" last)
+  | Missing_row { section; row; last_seen } ->
+      Printf.sprintf "%s/%s: row missing from newest snapshot (last seen in %s)"
+        section row last_seen

@@ -1,0 +1,56 @@
+(** Trend tracking across a history of benchmark snapshots.
+
+    Where {!Gates} compares two documents, this module looks at a whole
+    ordered history ([BENCH_*.json] per commit, or a campaign store) and
+    flags {e slow creep}: a field that never regressed enough in one
+    step to trip a step gate, but drifted up more than {!config.creep_factor}
+    across the trailing {!config.window} snapshots with every step inside
+    noise. Step regressions (big one-commit jumps) remain the step
+    gates' job; creep detection deliberately refuses to fire on
+    non-monotone series. *)
+
+type snapshot = {
+  snap_label : string;  (** e.g. the commit hash or run id *)
+  bench : Socy_obs.Doc.Bench.t;
+}
+
+(** One field of one row traced through the history. *)
+type series = {
+  section : string;
+  row : string;
+  field : string;
+  unit : Gates.unit_kind;
+  points : (string * float) list;  (** (snapshot label, value), oldest first *)
+}
+
+type config = {
+  window : int;  (** trailing snapshots considered (default 8) *)
+  creep_factor : float;  (** cumulative ratio that fails (default 1.10) *)
+  dip_tolerance : float;
+      (** per-step decrease still considered "monotone-ish" (default 0.05) *)
+  noise_floor_s : float;
+      (** seconds series starting below this are skipped (default 0.05) *)
+  min_points : int;  (** minimum window points to judge (default 3) *)
+}
+
+val default_config : config
+
+type finding =
+  | Creep of { series : series; first : float; last : float; ratio : float }
+  | Missing_row of { section : string; row : string; last_seen : string }
+      (** row present in the previous snapshot, absent from the newest *)
+
+val series_of : ?gates:Gates.gate list -> snapshot list -> series list
+(** Extract the trend series: one per (section, row, field) where the
+    field is step-gated by a {!Gates.Max_ratio} gate — the shared gate
+    table decides what is trended, exactly as it decides what is
+    step-checked. *)
+
+val slope : series -> float
+(** Least-squares slope of the values over the snapshot index. *)
+
+val detect : ?config:config -> ?gates:Gates.gate list -> snapshot list -> finding list
+(** All creep findings over the history (oldest snapshot first) plus
+    missing-row findings for the newest snapshot. *)
+
+val describe : finding -> string

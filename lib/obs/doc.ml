@@ -1,5 +1,132 @@
 let ( let* ) = Result.bind
 
+module Bench = struct
+  let schema = "socyield-bench/1"
+
+  type record = {
+    section : string;
+    row : string;
+    fields : (string * Json.t) list;
+  }
+
+  type t = { mode : string; total_wall_s : float; records : record list }
+
+  let number field r =
+    Option.bind (List.assoc_opt field r.fields) Json.to_float
+
+  let find t ~section ~row =
+    List.find_opt (fun r -> r.section = section && r.row = row) t.records
+
+  let record_to_json r =
+    Json.Obj
+      (("section", Json.String r.section)
+      :: ("row", Json.String r.row)
+      :: r.fields)
+
+  let to_json t =
+    Json.Obj
+      [
+        ("schema", Json.String schema);
+        ("mode", Json.String t.mode);
+        ("total_wall_s", Json.Float t.total_wall_s);
+        ("records", Json.List (List.map record_to_json t.records));
+      ]
+
+  let record_of_json i = function
+    | Json.Obj fields -> (
+        match
+          (List.assoc_opt "section" fields, List.assoc_opt "row" fields)
+        with
+        | Some (Json.String section), Some (Json.String row) ->
+            Ok
+              {
+                section;
+                row;
+                fields =
+                  List.filter
+                    (fun (k, _) -> k <> "section" && k <> "row")
+                    fields;
+              }
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "records[%d] has no string section/row field — truncated \
+                  bench document?"
+                 i))
+    | _ -> Error (Printf.sprintf "records[%d] is not an object" i)
+
+  let of_json json =
+    match json with
+    | Json.Obj _ ->
+        let* () =
+          match Json.member "schema" json with
+          | Some (Json.String s) when s = schema -> Ok ()
+          | Some (Json.String s) ->
+              Error
+                (Printf.sprintf
+                   "schema is %S, expected %S — not a bench document?" s schema)
+          | _ ->
+              Error
+                (Printf.sprintf "no %S schema field — not a bench document?"
+                   schema)
+        in
+        let mode =
+          match Json.member "mode" json with
+          | Some (Json.String m) -> m
+          | _ -> ""
+        in
+        let total_wall_s =
+          match Option.bind (Json.member "total_wall_s" json) Json.to_float with
+          | Some w -> w
+          | None -> 0.0
+        in
+        let* records =
+          match Json.member "records" json with
+          | Some (Json.List l) ->
+              let rec go i acc = function
+                | [] -> Ok (List.rev acc)
+                | r :: rest ->
+                    let* r = record_of_json i r in
+                    go (i + 1) (r :: acc) rest
+              in
+              go 0 [] l
+          | _ -> Error "no records array — not a bench document?"
+        in
+        Ok { mode; total_wall_s; records }
+    | _ -> Error "document is not a JSON object — not a bench document?"
+
+  let of_string s =
+    match Json.of_string s with
+    | json -> of_json json
+    | exception Json.Parse_error msg -> Error msg
+
+  (* (section/row.field, value) rows for [rows_of_json]: keyed by the
+     record's own identity rather than its list index, so two bench files
+     whose row sets differ still diff field-for-field. *)
+  let rows t =
+    List.concat_map
+      (fun r ->
+        let prefix = r.section ^ "/" ^ r.row in
+        List.concat_map
+          (fun (k, v) ->
+            let rec leaf path v =
+              match v with
+              | Json.Int n -> [ (path, float_of_int n) ]
+              | Json.Float f -> [ (path, f) ]
+              | Json.Obj fields ->
+                  List.concat_map (fun (k, v) -> leaf (path ^ "." ^ k) v) fields
+              | Json.List l ->
+                  List.concat
+                    (List.mapi
+                       (fun i v -> leaf (Printf.sprintf "%s[%d]" path i) v)
+                       l)
+              | Json.Null | Json.Bool _ | Json.String _ -> []
+            in
+            leaf (prefix ^ "." ^ k) v)
+          r.fields)
+      t.records
+end
+
 let flatten_numeric json =
   let rows = ref [] in
   let rec go path v =
@@ -63,7 +190,7 @@ let trace_rows events =
     totals;
   List.sort compare !rows
 
-let rows_of_json json =
+let rows_of_other json =
   match Json.member "traceEvents" json with
   | Some (Json.List evs) ->
       let* evs =
@@ -92,6 +219,15 @@ let rows_of_json json =
       | _ ->
           Error
             "document is not a JSON object — not a metrics or trace document?")
+
+let rows_of_json json =
+  match Json.member "schema" json with
+  | Some (Json.String s) when s = Bench.schema ->
+      (* A bench document flattens through its own reader, so a corrupt
+         record is a rejection here — not a silently partial table. *)
+      let* bench = Bench.of_json json in
+      Ok (Bench.rows bench)
+  | _ -> rows_of_other json
 
 let rows_of_string s =
   match Json.of_string s with

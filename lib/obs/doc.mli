@@ -10,8 +10,68 @@
     produce an [Error] with a one-line diagnosis, so [socyield report]
     can exit non-zero instead of printing a misleading document. *)
 
+(** The [socyield-bench/1] document: the per-row performance records the
+    bench harness emits as [BENCH_<mode>.json] and every comparator
+    consumes — [bench/compare.exe]'s step and trend gates, the campaign
+    differ, [socyield report].
+
+    The codec is deliberately schema-light: a record is its
+    [(section, row)] identity plus whatever fields the harness chose to
+    emit, kept as raw JSON so adding a bench field never touches this
+    module. What {e is} validated is the envelope — schema string,
+    records array, per-record identity — so a truncated or alien file is
+    an [Error], never an empty record list that would read as "no
+    regressions". *)
+module Bench : sig
+  (** ["socyield-bench/1"]. *)
+  val schema : string
+
+  (** One bench row: its identity and every other field of the record,
+      in file order. *)
+  type record = {
+    section : string;  (** e.g. ["table4"], ["curves"], ["par"] *)
+    row : string;  (** e.g. ["MS2, l'=1"] *)
+    fields : (string * Json.t) list;
+        (** everything except [section]/[row] *)
+  }
+
+  type t = {
+    mode : string;  (** ["quick"] / ["default"] / ["full"] *)
+    total_wall_s : float;
+    records : record list;
+  }
+
+  (** [number field r] is the numeric value of [field] in [r], if present
+      and numeric. *)
+  val number : string -> record -> float option
+
+  (** [find t ~section ~row] is the first record with that identity. *)
+  val find : t -> section:string -> row:string -> record option
+
+  val to_json : t -> Json.t
+
+  (** [of_json j] validates the envelope: the [schema] field must be
+      {!schema}, [records] must be a list of objects each carrying string
+      [section]/[row] fields. [mode]/[total_wall_s] default to
+      [""]/[0.0] when absent. *)
+  val of_json : Json.t -> (t, string) result
+
+  (** {!of_json} after parsing; a syntax error becomes [Error]. *)
+  val of_string : string -> (t, string) result
+
+  (** [rows t] flattens every record's numeric leaves to
+      [("section/row.field", value)] pairs — keyed by record identity,
+      not list index, so two files with different row sets still diff
+      field-for-field in [socyield report]. *)
+  val rows : t -> (string * float) list
+end
+
 (** [rows_of_json doc] classifies [doc] and reduces it to sorted
     [(path, value)] rows.
+
+    A document whose [schema] field is {!Bench.schema} is read through
+    {!Bench.of_json} and flattened with {!Bench.rows} (a malformed bench
+    document is an [Error], like any other corrupt input).
 
     A document with a [traceEvents] member is treated as a trace:
     [traceEvents] must be a list of objects (else [Error]); events
