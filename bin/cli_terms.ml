@@ -208,11 +208,15 @@ module Ordering = struct
         par_domains;
       exit 2
     end;
-    if reorder && par_domains > 1 then
+    if reorder && par_domains > 1 then begin
+      Socy_obs.Log.warn "cli.par_fallback"
+        ~fields:[ ("par_domains", Json.Int par_domains) ]
+        "--reorder takes precedence over --par-domains; build stays sequential";
       Printf.eprintf
         "socyield: --reorder takes precedence over --par-domains — the build \
          stays sequential (in-place sifting and the concurrent store are \
          mutually exclusive)\n%!"
+    end
 
   let registry_arg =
     let doc =

@@ -7,6 +7,7 @@
      campaign  run named grids into a stored artifact history; trend reports
      serve     long-running yield daemon over a Unix-domain socket
      query   client for a running serve daemon
+     top     live console view of a running serve daemon
      report  pretty-print or diff metrics/trace JSON files
      mc      Monte Carlo baseline estimate
      orders  compare variable orderings on one instance
@@ -28,6 +29,7 @@ module Sink = Socy_obs.Sink
 module Json = Socy_obs.Json
 module Trace = Socy_obs.Trace
 module Doc = Socy_obs.Doc
+module Log = Socy_obs.Log
 module Proto = Socy_serve.Protocol
 module Server = Socy_serve.Server
 open Cmdliner
@@ -944,8 +946,51 @@ let serve_cmd =
     let doc = "Remove a pre-existing socket file before binding." in
     Arg.(value & flag & info [ "force" ] ~doc)
   in
+  let slow_ms_arg =
+    let doc =
+      "Log a structured serve.slow warning (cache-key digest, per-stage wall \
+       times, peak nodes, effective engine settings) for every request slower \
+       than $(docv) wall milliseconds."
+    in
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
+  let log_level_arg =
+    let doc =
+      "Structured-log threshold: debug, info, warn, error or off (default \
+       off; --slow-ms alone implies warn)."
+    in
+    Arg.(value & opt (some string) None & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let log_file_arg =
+    let doc =
+      "Append structured log records (NDJSON, one object per line) to \
+       $(docv), rotating at --log-max-bytes."
+    in
+    Arg.(value & opt (some string) None & info [ "log-file" ] ~docv:"FILE" ~doc)
+  in
+  let log_max_bytes_arg =
+    let doc =
+      "Rotate the --log-file when appending would push it past $(docv) bytes \
+       (FILE becomes FILE.1 and so on, three rotated generations kept)."
+    in
+    Arg.(
+      value & opt int (8 * 1024 * 1024) & info [ "log-max-bytes" ] ~docv:"N" ~doc)
+  in
+  let metrics_file_arg =
+    let doc =
+      "Snapshot the Prometheus text exposition to $(docv) every \
+       --metrics-interval seconds (atomic write-then-rename; final snapshot \
+       at shutdown) — for file-based scrapers."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics-file" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_interval_arg =
+    let doc = "Seconds between --metrics-file snapshots." in
+    Arg.(value & opt float 10.0 & info [ "metrics-interval" ] ~docv:"S" ~doc)
+  in
   let run socket domains cache_capacity max_inflight node_limit max_node_limit
-      cpu_limit max_cpu_limit par_domains force trace_out =
+      cpu_limit max_cpu_limit par_domains force slow_ms log_level log_file
+      log_max_bytes metrics_file metrics_interval trace_out =
     (* Out-of-range flags die with a one-line usage error before any
        socket exists — never as an uncaught Invalid_argument from deeper
        layers with the listener already bound. *)
@@ -973,13 +1018,35 @@ let serve_cmd =
     positive_float "--cpu-limit" cpu_limit;
     positive_float "--max-cpu-limit" max_cpu_limit;
     positive_int "--par-domains" (Some par_domains);
-    if trace_out <> None then Obs.set_enabled true;
+    positive_float "--slow-ms"
+      (match slow_ms with Some 0.0 -> None | s -> s);
+    positive_float "--metrics-interval" (Some metrics_interval);
+    positive_int "--log-max-bytes" (Some log_max_bytes);
+    (* The daemon always meters itself: the metrics endpoint, --metrics-file
+       and `socyield top` are useless against an empty registry, and the
+       accept/dispatch path is not the benchmarked pipeline hot loop. *)
+    Obs.set_enabled true;
+    let level =
+      match log_level with
+      | None -> if slow_ms <> None then Some Log.Warn else None
+      | Some "off" -> None
+      | Some name -> (
+          match Log.level_of_name name with
+          | Some _ as l -> l
+          | None -> usage_fail "unknown --log-level %S" name)
+    in
+    Log.set_level level;
+    (match log_file with
+    | None -> ()
+    | Some path -> (
+        try Log.open_file ~max_bytes:log_max_bytes path
+        with Sys_error msg -> usage_fail "cannot open --log-file: %s" msg));
     let cfg =
       Server.config ?domains ~cache_capacity ?max_inflight
         ~default_node_limit:node_limit ?max_node_limit
         ?default_cpu_limit:cpu_limit ?max_cpu_limit
-        ~default_par_domains:par_domains ~unlink_existing:force
-        ~socket_path:socket ()
+        ~default_par_domains:par_domains ~unlink_existing:force ?slow_ms
+        ?metrics_file ~metrics_interval ~socket_path:socket ()
     in
     match Server.create cfg with
     | exception Failure msg ->
@@ -995,6 +1062,7 @@ let serve_cmd =
           "socyield serve: listening on %s (%d worker domain(s), cache %d)\n%!"
           socket cfg.Server.domains cfg.Server.cache_capacity;
         Server.run server;
+        Log.close_file ();
         write_trace trace_out;
         let stats = Server.stats_json server in
         (match Json.member "cache" stats with
@@ -1012,7 +1080,9 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ domains_arg $ cache_arg $ max_inflight_arg
       $ node_limit_arg $ max_node_limit_arg $ cpu_limit_arg $ max_cpu_limit_arg
-      $ serve_par_domains_arg $ force_arg $ trace_arg)
+      $ serve_par_domains_arg $ force_arg $ slow_ms_arg $ log_level_arg
+      $ log_file_arg $ log_max_bytes_arg $ metrics_file_arg
+      $ metrics_interval_arg $ trace_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1038,8 +1108,10 @@ let query_cmd =
   in
   let meth_arg =
     let doc =
-      "Protocol method: eval, conditional-yields, importance, stats, health \
-       or shutdown."
+      "Protocol method: eval, conditional-yields, importance, stats, metrics, \
+       health or shutdown. With metrics the reply's Prometheus text \
+       exposition is printed raw (ready for a scraper) instead of the JSON \
+       envelope."
     in
     Arg.(value & opt meth_conv Proto.Eval & info [ "method" ] ~docv:"METHOD" ~doc)
   in
@@ -1132,13 +1204,25 @@ let query_cmd =
       | Some (Json.String s) -> s
       | _ -> "?"
     in
+    (* A successful metrics reply unwraps to the raw text exposition —
+       `socyield query --method metrics > metrics.prom` feeds a scraper
+       directly. Everything else prints the JSON envelope line. *)
+    let print_reply reply =
+      match
+        if meth = Proto.Metrics && status reply = "ok" then
+          Option.bind (Json.member "result" reply) (Json.member "exposition")
+        else None
+      with
+      | Some (Json.String text) -> print_string text
+      | Some _ | None -> print_endline (Json.to_string reply)
+    in
     let failed = ref false in
     let first = roundtrip 1 in
-    print_endline (Json.to_string first);
+    print_reply first;
     if status first = "error" then failed := true;
     if twice then begin
       let second = roundtrip 2 in
-      print_endline (Json.to_string second);
+      print_reply second;
       if status second = "error" then failed := true;
       let cache reply =
         match Json.member "cache" reply with
@@ -1172,6 +1256,198 @@ let query_cmd =
        ~doc:
          "Send one request to a running serve daemon and print the reply \
           line(s); --twice asserts cache coherence")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A console view over the daemon's stats document. No client-side state:
+   every frame is one stats round-trip over a single connection, so top
+   can attach to and detach from a long-lived daemon freely. *)
+let top_cmd =
+  let once_arg =
+    let doc =
+      "Print a single snapshot to standard output and exit — no screen \
+       control, stable line format (the machine-checkable mode CI uses)."
+    in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between refreshes in live mode." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"S" ~doc)
+  in
+  let run socket once interval =
+    if not (Float.is_finite interval) || interval <= 0.0 then begin
+      Printf.eprintf "socyield top: --interval must be positive\n";
+      exit 2
+    end;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "socyield top: cannot connect to %s: %s\n" socket
+          (Unix.error_message e);
+        exit 2);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let next_id = ref 0 in
+    let fetch_stats () =
+      incr next_id;
+      let req =
+        Proto.request_to_json
+          { Proto.id = Json.Int !next_id; meth = Proto.Stats; query = None }
+      in
+      output_string oc (Json.to_string req);
+      output_char oc '\n';
+      flush oc;
+      match input_line ic with
+      | exception End_of_file ->
+          Printf.eprintf "socyield top: daemon closed the connection\n";
+          exit 2
+      | line -> (
+          match Json.of_string line with
+          | exception Json.Parse_error msg ->
+              Printf.eprintf "socyield top: malformed reply: %s\n" msg;
+              exit 2
+          | reply -> (
+              match Json.member "result" reply with
+              | Some stats -> stats
+              | None ->
+                  Printf.eprintf "socyield top: error reply: %s\n" line;
+                  exit 2))
+    in
+    let members = function Some (Json.Obj kvs) -> kvs | _ -> [] in
+    let num = function
+      | Some (Json.Int i) -> Some (float_of_int i)
+      | Some (Json.Float f) -> Some f
+      | _ -> None
+    in
+    let num0 j = Option.value (num j) ~default:0.0 in
+    let int0 j = int_of_float (num0 j) in
+    let str j = match j with Some (Json.String s) -> s | _ -> "?" in
+    let render stats =
+      let b = Buffer.create 4096 in
+      let line fmt =
+        Printf.ksprintf
+          (fun s ->
+            Buffer.add_string b s;
+            Buffer.add_char b '\n')
+          fmt
+      in
+      let metrics = Json.member "metrics" stats in
+      let gauges = members (Option.bind metrics (Json.member "gauges")) in
+      let hists = members (Option.bind metrics (Json.member "histograms")) in
+      let requests = members (Json.member "requests" stats) in
+      let cache = Json.member "cache" stats in
+      let trace = Json.member "trace" stats in
+      let log = Json.member "log" stats in
+      line "socyield top — %s" socket;
+      line
+        "uptime %.1f s   domains %d   inflight %d   active %d   connections %d"
+        (num0 (Json.member "uptime_s" stats))
+        (int0 (Json.member "domains" stats))
+        (int0 (Json.member "in_flight" stats))
+        (int0 (Json.member "active_requests" stats))
+        (int0 (Json.member "open_connections" stats));
+      line "requests  %s"
+        (String.concat "  "
+           (List.map (fun (k, v) -> Printf.sprintf "%s %d" k (int0 (Some v)))
+              requests));
+      let hits = int0 (Option.bind cache (Json.member "hits")) in
+      let misses = int0 (Option.bind cache (Json.member "misses")) in
+      line "cache     %d/%d hits (%.1f%%)  size %d/%d  evictions %d" hits
+        (hits + misses)
+        (100.0 *. num0 (Option.bind cache (Json.member "hit_rate")))
+        (int0 (Option.bind cache (Json.member "size")))
+        (int0 (Option.bind cache (Json.member "capacity")))
+        (int0 (Option.bind cache (Json.member "evictions")));
+      line
+        "trace     buffered %d  dropped %d        log %s  emitted %d  dropped %d"
+        (int0 (Option.bind trace (Json.member "buffered")))
+        (int0 (Option.bind trace (Json.member "dropped")))
+        (str (Option.bind log (Json.member "level")))
+        (int0 (Option.bind log (Json.member "emitted")))
+        (int0 (Option.bind log (Json.member "dropped")));
+      Buffer.add_char b '\n';
+      let latency_prefix = "serve.latency." in
+      let endpoints =
+        List.filter_map
+          (fun (k, v) ->
+            if String.starts_with ~prefix:latency_prefix k then
+              Some
+                ( String.sub k (String.length latency_prefix)
+                    (String.length k - String.length latency_prefix),
+                  v )
+            else None)
+          hists
+      in
+      line "endpoint latency (ms)";
+      let t =
+        Text_table.create
+          ~aligns:[ Left; Right; Right; Right; Right ]
+          [ "endpoint"; "count"; "p50"; "p90"; "p99" ]
+      in
+      List.iter
+        (fun (name, h) ->
+          let count = int0 (Json.member "count" h) in
+          let q key =
+            if count = 0 then "-"
+            else Printf.sprintf "%.1f" (1000.0 *. num0 (Json.member key h))
+          in
+          Text_table.add_row t
+            [ name; string_of_int count; q "p50"; q "p90"; q "p99" ])
+        endpoints;
+      Buffer.add_string b (Text_table.render t);
+      Buffer.add_char b '\n';
+      (* Every *.occupancy gauge in one table: the serve cache plus each
+         engine's unique-table shards, which is the live view of how
+         evenly the concurrent build spreads its nodes. *)
+      let occupancy =
+        List.filter
+          (fun (k, _) ->
+            let sub = "occupancy" in
+            let n = String.length k and m = String.length sub in
+            let rec has i =
+              i + m <= n && (String.sub k i m = sub || has (i + 1))
+            in
+            has 0)
+          gauges
+      in
+      line "occupancy gauges";
+      let t =
+        Text_table.create
+          ~aligns:[ Left; Right; Right; Right ]
+          [ "gauge"; "last"; "min"; "max" ]
+      in
+      List.iter
+        (fun (k, g) ->
+          let cell key = Printf.sprintf "%g" (num0 (Json.member key g)) in
+          Text_table.add_row t [ k; cell "last"; cell "min"; cell "max" ])
+        occupancy;
+      Buffer.add_string b (Text_table.render t);
+      Buffer.contents b
+    in
+    let rec loop () =
+      let stats = fetch_stats () in
+      if (not once) && Unix.isatty Unix.stdout then print_string "\027[H\027[2J";
+      print_string (render stats);
+      flush stdout;
+      if not once then begin
+        Thread.delay interval;
+        loop ()
+      end
+    in
+    loop ();
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let term = Term.(const run $ socket_arg $ once_arg $ interval_arg) in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live console view of a running serve daemon: per-endpoint latency \
+          quantiles, cache hit ratio, inflight/connection gauges and \
+          shard-occupancy summaries, refreshed over the stats method")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1463,13 +1739,128 @@ let campaign_report_cmd =
           diff two stored runs through the shared gate table")
     term
 
+let campaign_prune_cmd =
+  let keep_days_arg =
+    let doc =
+      "Delete runs whose id stamp is older than $(docv) days (runs with an \
+       unparseable stamp are never aged out)."
+    in
+    Arg.(value & opt (some float) None & info [ "keep-days" ] ~docv:"DAYS" ~doc)
+  in
+  let keep_last_arg =
+    let doc = "Keep the newest $(docv) runs regardless of their age." in
+    Arg.(value & opt (some int) None & info [ "keep-last" ] ~docv:"N" ~doc)
+  in
+  let dry_run_arg =
+    let doc = "Print what would be deleted without deleting anything." in
+    Arg.(value & flag & info [ "dry-run" ] ~doc)
+  in
+  (* A run survives when EITHER retention rule protects it: young enough
+     for --keep-days, or within the newest --keep-last. Deleting is the
+     conjunction of failing every given rule — the conservative reading
+     when both flags are present. *)
+  let run store keep_days keep_last dry_run =
+    let usage_fail fmt =
+      Printf.ksprintf
+        (fun msg ->
+          Printf.eprintf "socyield campaign prune: %s\n" msg;
+          exit 2)
+        fmt
+    in
+    (match (keep_days, keep_last) with
+    | None, None ->
+        usage_fail "at least one of --keep-days or --keep-last is required"
+    | _ -> ());
+    (match keep_days with
+    | Some d when (not (Float.is_finite d)) || d < 0.0 ->
+        usage_fail "--keep-days must be a non-negative number (got %g)" d
+    | _ -> ());
+    (match keep_last with
+    | Some k when k < 0 -> usage_fail "--keep-last must be non-negative (got %d)" k
+    | _ -> ());
+    let runs = Cstore.list_runs ~root:store in
+    let total = List.length runs in
+    let now = Unix.gettimeofday () in
+    let victims =
+      List.filteri
+        (fun i (e : Cstore.entry) ->
+          let by_last =
+            match keep_last with None -> false | Some k -> i >= total - k
+          in
+          let by_age =
+            match keep_days with
+            | None -> false
+            | Some days -> (
+                match Cstore.run_timestamp e.Cstore.id with
+                | None -> true
+                | Some ts -> now -. ts <= days *. 86400.0)
+          in
+          not (by_last || by_age))
+        runs
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun (e : Cstore.entry) ->
+        let age_fields =
+          match Cstore.run_timestamp e.Cstore.id with
+          | Some ts -> [ ("age_days", Json.Float ((now -. ts) /. 86400.0)) ]
+          | None -> []
+        in
+        if dry_run then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  ([
+                     ("event", Json.String "campaign.prune.would_delete");
+                     ("run", Json.String e.Cstore.id);
+                   ]
+                  @ age_fields)))
+        else
+          match Cstore.delete_run e with
+          | Ok () ->
+              (* One structured line per deletion, both on stdout (the
+                 operator's record) and through the Log sink when one is
+                 configured. *)
+              Log.info "campaign.prune"
+                ~fields:(("run", Json.String e.Cstore.id) :: age_fields)
+                (Printf.sprintf "deleted run %s" e.Cstore.id);
+              print_endline
+                (Json.to_string
+                   (Json.Obj
+                      ([
+                         ("event", Json.String "campaign.prune.deleted");
+                         ("run", Json.String e.Cstore.id);
+                       ]
+                      @ age_fields)))
+          | Error msg ->
+              incr failures;
+              Printf.eprintf "socyield campaign prune: cannot delete %s: %s\n"
+                e.Cstore.id msg)
+      victims;
+    Printf.printf "%s %d of %d run(s)%s\n"
+      (if dry_run then "would delete" else "deleted")
+      (List.length victims - !failures)
+      total
+      (if !failures > 0 then Printf.sprintf ", %d failure(s)" !failures else "");
+    if !failures > 0 then exit 1
+  in
+  let term =
+    Term.(const run $ store_arg $ keep_days_arg $ keep_last_arg $ dry_run_arg)
+  in
+  Cmd.v
+    (Cmd.info "prune"
+       ~doc:
+         "Delete old campaign runs from the store by age and/or count, with a \
+          structured log line per deletion; --dry-run previews")
+    term
+
 let campaign_cmd =
   Cmd.group
     (Cmd.info "campaign"
        ~doc:
          "Named evaluation grids with a timestamped artifact store and trend \
           reports")
-    [ campaign_run_cmd; campaign_report_cmd ]
+    [ campaign_run_cmd; campaign_report_cmd; campaign_prune_cmd ]
 
 let () =
   let info =
@@ -1483,5 +1874,6 @@ let () =
        (Cmd.group info
           [
             eval_cmd; sweep_cmd; campaign_cmd; tune_cmd; serve_cmd; query_cmd;
-            report_cmd; mc_cmd; orders_cmd; list_cmd; dot_cmd; cutsets_cmd;
+            top_cmd; report_cmd; mc_cmd; orders_cmd; list_cmd; dot_cmd;
+            cutsets_cmd;
           ]))

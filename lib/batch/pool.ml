@@ -1,6 +1,7 @@
 module Obs = Socy_obs.Obs
 module Trace = Socy_obs.Trace
 module Json = Socy_obs.Json
+module Ctx = Socy_obs.Ctx
 
 type 'a outcome = Done of 'a | Failed of exn | Cancelled
 
@@ -126,12 +127,16 @@ module Executor = struct
   let run t f =
     (* Each submission carries its own result cell; the worker fills it
        and signals, the caller sleeps on it. Exceptions travel in the
-       cell, so a raising thunk surfaces in its caller, not the worker. *)
+       cell, so a raising thunk surfaces in its caller, not the worker.
+       The submitter's ambient request context is captured here and
+       re-installed around the body, so spans and log records emitted on
+       the worker domain stay attributed to the submitting request. *)
+    let ctx = Ctx.get () in
     let cell_mutex = Mutex.create () in
     let cell_done = Condition.create () in
     let result = ref None in
     let task () =
-      let r = (try Ok (f ()) with e -> Error e) in
+      let r = (try Ok (Ctx.with_restored ctx f) with e -> Error e) in
       Mutex.lock t.mutex;
       t.live <- t.live - 1;
       Mutex.unlock t.mutex;
@@ -161,6 +166,7 @@ module Executor = struct
     | None -> assert false
 
   let run_detached t f =
+    let ctx = Ctx.get () in
     Mutex.lock t.mutex;
     if t.closed then begin
       Mutex.unlock t.mutex;
@@ -171,7 +177,7 @@ module Executor = struct
        to surface; swallow it rather than kill the worker domain. *)
     Queue.push
       (fun () ->
-        (try f () with _ -> ());
+        (try Ctx.with_restored ctx f with _ -> ());
         Mutex.lock t.mutex;
         t.live <- t.live - 1;
         Mutex.unlock t.mutex)
@@ -194,7 +200,12 @@ module Executor = struct
       let cell_done = Condition.create () in
       let completed = ref 0 in
       let failure = ref None in
+      (* Helper drainers run on worker domains; re-install the caller's
+         request context around the whole drain so intra-problem spans
+         (parallel APPLY, layer conversion) carry the request id. *)
+      let ctx = Ctx.get () in
       let drain () =
+        Ctx.with_restored ctx @@ fun () ->
         let did = ref 0 in
         let continue = ref true in
         while !continue do

@@ -14,6 +14,7 @@
    of stacking a second set of domains on the machine. *)
 
 module Obs = Socy_obs.Obs
+module Ctx = Socy_obs.Ctx
 
 type runner = (unit -> unit) array -> unit
 
@@ -115,8 +116,20 @@ let domains = function Own o -> o.n | Runner { rn; _ } -> rn
 let run t tasks =
   if Array.length tasks > 0 then
     match t with
-    | Runner { call; _ } -> call tasks
+    | Runner { call; _ } ->
+        (* The external runner (the serve executor) captures the ambient
+           context itself at this call. *)
+        call tasks
     | Own o ->
+        (* Team domains have no context of their own: wrap each task so
+           spans emitted by stolen work carry the caller's request id.
+           Requestless runs (the CLI) skip the wrap entirely. *)
+        let tasks =
+          match Ctx.get () with
+          | None -> tasks
+          | Some rid ->
+              Array.map (fun f () -> Ctx.with_request rid f) tasks
+        in
         let j =
           { tasks; next = Atomic.make 0; completed = 0; failure = None }
         in

@@ -3,6 +3,7 @@ module Obs = Socy_obs.Obs
 
 let store_writes = Obs.counter "campaign.store.writes"
 let store_runs_listed = Obs.counter "campaign.store.runs_listed"
+let store_deletes = Obs.counter "campaign.store.deletes"
 
 type entry = { id : string; dir : string }
 
@@ -76,6 +77,74 @@ let list_runs ~root =
 let find_run ~root ~id =
   let e = entry ~root ~id in
   if Sys.file_exists (campaign_file e) then Some e else None
+
+(* Civil-date arithmetic (Howard Hinnant's days_from_civil), so the id's
+   UTC stamp round-trips to an epoch without touching the local timezone
+   (Unix.mktime interprets broken-down time as local). *)
+let days_from_civil y m d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let run_timestamp id =
+  (* Strip a same-second collision suffix (".2", ".3", …) first. *)
+  let id =
+    match String.rindex_opt id '.' with
+    | Some i
+      when i < String.length id - 1
+           && String.for_all
+                (fun c -> c >= '0' && c <= '9')
+                (String.sub id (i + 1) (String.length id - i - 1)) ->
+        String.sub id 0 i
+    | _ -> id
+  in
+  let stamp_len = String.length "-00000000T000000Z" in
+  if String.length id <= stamp_len then None
+  else
+    let stamp = String.sub id (String.length id - stamp_len) stamp_len in
+    match
+      Scanf.sscanf stamp "-%4d%2d%2dT%2d%2d%2dZ%!" (fun y mo d h mi s ->
+          (y, mo, d, h, mi, s))
+    with
+    | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
+    | y, mo, d, h, mi, s ->
+        if mo < 1 || mo > 12 || d < 1 || d > 31 || h > 23 || mi > 59 || s > 60
+        then None
+        else
+          Some
+            (float_of_int
+               ((days_from_civil y mo d * 86400) + (h * 3600) + (mi * 60) + s))
+
+(* Run directories are flat (campaign.json + optional siblings), so
+   deletion is unlink-every-regular-file + rmdir — never recursive, so a
+   mis-pointed store cannot cascade. *)
+let delete_run e =
+  match Sys.readdir e.dir with
+  | exception Sys_error msg -> Error msg
+  | names -> (
+      let first_err = ref None in
+      Array.iter
+        (fun n ->
+          let p = Filename.concat e.dir n in
+          if not (Sys.is_directory p) then
+            try Sys.remove p
+            with Sys_error msg ->
+              if !first_err = None then first_err := Some msg)
+        names;
+      match !first_err with
+      | Some msg -> Error msg
+      | None -> (
+          match Unix.rmdir e.dir with
+          | () ->
+              Obs.incr store_deletes;
+              Ok ()
+          | exception Unix.Unix_error (err, _, _) ->
+              Error
+                (Printf.sprintf "%s: %s" e.dir (Unix.error_message err))))
 
 let load_json e =
   let path = campaign_file e in

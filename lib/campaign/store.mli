@@ -9,7 +9,8 @@
     are ignored.
 
     Probes: [campaign.store.writes] counts files written,
-    [campaign.store.runs_listed] counts runs returned by listings. *)
+    [campaign.store.runs_listed] counts runs returned by listings,
+    [campaign.store.deletes] counts runs removed by {!delete_run}. *)
 
 type entry = { id : string; dir : string }
 
@@ -37,6 +38,14 @@ val list_runs : root:string -> entry list
     is an empty store, not an error. *)
 
 val find_run : root:string -> id:string -> entry option
+
+val run_timestamp : string -> float option
+(** The Unix time encoded in a run id's UTC stamp (collision suffixes
+    stripped); [None] when the id does not end in a well-formed stamp. *)
+
+val delete_run : entry -> (unit, string) result
+(** Remove the run's directory: every regular file inside, then the
+    directory itself. Never recursive — a run directory is flat. *)
 
 val load_json : entry -> (Socy_obs.Json.t, string) result
 (** Read and parse the run's [campaign.json]. *)

@@ -11,6 +11,8 @@ module Model = Socy_defects.Model
 module Distribution = Socy_defects.Distribution
 module Obs = Socy_obs.Obs
 module Trace = Socy_obs.Trace
+module Log = Socy_obs.Log
+module Json = Socy_obs.Json
 module Memory = Socy_obs.Memory
 
 type config = {
@@ -191,8 +193,13 @@ module Artifacts = struct
     let r = Trace.with_span name f in
     let d = Memory.delta_since s0 in
     Memory.publish ~stage:name d;
-    stages := (name, Obs.now () -. t0) :: !stages;
+    let dt = Obs.now () -. t0 in
+    stages := (name, dt) :: !stages;
     gcs := (name, d) :: !gcs;
+    if Log.enabled_for Log.Debug then
+      Log.debug "pipeline.stage"
+        ~fields:[ ("stage", Json.String name); ("seconds", Json.Float dt) ]
+        (Printf.sprintf "stage %s done in %.6f s" name dt);
     r
 
   let build ?(config = default_config) fault_tree lethal =
@@ -219,6 +226,10 @@ module Artifacts = struct
        store does not support — reorder wins and the build stays
        sequential (the CLI warns when both are requested). *)
     let use_par = config.par_domains > 1 && not config.reorder in
+    if config.par_domains > 1 && config.reorder then
+      Log.info "pipeline.par_fallback"
+        ~fields:[ ("par_domains", Json.Int config.par_domains) ]
+        "reorder wins over par-domains: building with the sequential engine";
     let team =
       if not use_par then None
       else
@@ -291,16 +302,28 @@ module Artifacts = struct
                   else (root, st))
         with
         | exception B.Node_limit_exceeded ->
-            Error
-              (Node_budget
-                 {
-                   stage = "coded-robdd";
-                   peak = (if !par_peak > 0 then !par_peak else B.peak_alive bdd);
-                 })
+            let peak = if !par_peak > 0 then !par_peak else B.peak_alive bdd in
+            Log.warn "pipeline.budget"
+              ~fields:
+                [
+                  ("kind", Json.String "node");
+                  ("stage", Json.String "coded-robdd");
+                  ("peak", Json.Int peak);
+                  ("node_limit", Json.Int config.node_limit);
+                ]
+              (Printf.sprintf "node budget exhausted at %d nodes" peak);
+            Error (Node_budget { stage = "coded-robdd"; peak })
         | exception B.Cpu_limit_exceeded ->
-            Error
-              (Cpu_budget
-                 { stage = "coded-robdd"; elapsed = Sys.time () -. cpu0 })
+            let elapsed = Sys.time () -. cpu0 in
+            Log.warn "pipeline.budget"
+              ~fields:
+                [
+                  ("kind", Json.String "cpu");
+                  ("stage", Json.String "coded-robdd");
+                  ("elapsed_s", Json.Float elapsed);
+                ]
+              (Printf.sprintf "cpu budget exhausted after %.1f s" elapsed);
+            Error (Cpu_budget { stage = "coded-robdd"; elapsed })
         | bdd_root, bdd_stats ->
             let mdd = Mdd.create (mdd_specs problem scheme) in
             let mdd_root =

@@ -1,0 +1,34 @@
+(* Ambient request context. The binding is per *thread*, not per domain:
+   the serve daemon handles each connection on a sys-thread, and all
+   connection threads share domain 0 — a Domain.DLS cell would let one
+   request's id bleed into another's events whenever the runtime switches
+   threads at an allocation point. A thread-id-keyed persistent map inside
+   an [Atomic] gives a lock-free read path (one atomic load plus an
+   O(log threads) lookup, threads being a few dozen at most) and race-free
+   installs via compare-and-set. *)
+
+module Imap = Map.Make (Int)
+
+let cells : int Imap.t Atomic.t = Atomic.make Imap.empty
+
+let rec update f =
+  let old = Atomic.get cells in
+  if not (Atomic.compare_and_set cells old (f old)) then update f
+
+let self_id () = Thread.id (Thread.self ())
+
+let get () = Imap.find_opt (self_id ()) (Atomic.get cells)
+
+let set = function
+  | None -> update (Imap.remove (self_id ()))
+  | Some rid -> update (Imap.add (self_id ()) rid)
+
+let with_request rid f =
+  let saved = get () in
+  set (Some rid);
+  Fun.protect ~finally:(fun () -> set saved) f
+
+let with_restored ctx f =
+  let saved = get () in
+  set ctx;
+  Fun.protect ~finally:(fun () -> set saved) f

@@ -1,0 +1,138 @@
+(* Prometheus text exposition (format version 0.0.4) of an Obs snapshot.
+   Probe names are dot-namespaced ("serve.latency.eval"); Prometheus metric
+   names admit [a-zA-Z_:][a-zA-Z0-9_:]*, so names are sanitized and given a
+   "socy_" prefix. Two sanitized names can collide ("a.b" and "a_b"); the
+   renderer suffixes later collisions so the exposition stays parseable. *)
+
+let buf_add_sanitized b name =
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char b c
+      | '0' .. '9' ->
+          if i = 0 then Buffer.add_char b '_';
+          Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name
+
+let metric_name ?(suffix = "") name =
+  let b = Buffer.create (String.length name + 16) in
+  Buffer.add_string b "socy_";
+  buf_add_sanitized b name;
+  Buffer.add_string b suffix;
+  Buffer.contents b
+
+(* Label values escape backslash, double-quote and newline. *)
+let escape_label v =
+  let b = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+(* Prometheus floats: plain decimal or scientific, with the special tokens
+   NaN / +Inf / -Inf. %.17g round-trips every double. *)
+let float_str f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else
+    let s = Printf.sprintf "%.17g" f in
+    let shorter = Printf.sprintf "%g" f in
+    if float_of_string shorter = f then shorter else s
+
+(* One family: HELP/TYPE header then sample lines. *)
+let family b ~name ~typ ~help lines =
+  Printf.bprintf b "# HELP %s %s\n" name (escape_label help);
+  Printf.bprintf b "# TYPE %s %s\n" name typ;
+  List.iter
+    (fun (labels, value) ->
+      match labels with
+      | [] -> Printf.bprintf b "%s %s\n" name value
+      | l ->
+          let pairs =
+            List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) l
+          in
+          Printf.bprintf b "%s{%s} %s\n" name (String.concat "," pairs) value)
+    lines
+
+(* Collision-proofing: the first probe to claim a sanitized base name keeps
+   it, later claimants get _2, _3, ... *)
+let claim seen base =
+  match Hashtbl.find_opt seen base with
+  | None ->
+      Hashtbl.add seen base 1;
+      base
+  | Some n ->
+      Hashtbl.replace seen base (n + 1);
+      Printf.sprintf "%s_%d" base (n + 1)
+
+let render (snap : Obs.snapshot) =
+  let b = Buffer.create 4096 in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (k, v) ->
+      let name = claim seen (metric_name ~suffix:"_total" k) in
+      family b ~name ~typ:"counter" ~help:(Printf.sprintf "Counter %s." k)
+        [ ([], string_of_int v) ])
+    snap.Obs.counters;
+  List.iter
+    (fun (k, (g : Obs.gauge_stat)) ->
+      let name = claim seen (metric_name k) in
+      family b ~name ~typ:"gauge" ~help:(Printf.sprintf "Gauge %s (last sample)." k)
+        [ ([], float_str g.Obs.g_last) ];
+      if g.Obs.g_samples > 0 then begin
+        family b ~name:(name ^ "_min") ~typ:"gauge"
+          ~help:(Printf.sprintf "Gauge %s (minimum sample)." k)
+          [ ([], float_str g.Obs.g_min) ];
+        family b ~name:(name ^ "_max") ~typ:"gauge"
+          ~help:(Printf.sprintf "Gauge %s (maximum sample)." k)
+          [ ([], float_str g.Obs.g_max) ]
+      end)
+    snap.Obs.gauges;
+  List.iter
+    (fun (k, (h : Obs.histogram_stat)) ->
+      let name = claim seen (metric_name k) in
+      Printf.bprintf b "# HELP %s %s\n" name
+        (escape_label (Printf.sprintf "Histogram %s." k));
+      Printf.bprintf b "# TYPE %s histogram\n" name;
+      List.iter
+        (fun (bound, c) ->
+          Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" name (float_str bound) c)
+        h.Obs.h_buckets;
+      Printf.bprintf b "%s_sum %s\n" name (float_str h.Obs.h_sum);
+      Printf.bprintf b "%s_count %d\n" name h.Obs.h_count;
+      if h.Obs.h_count > 0 then
+        List.iter
+          (fun (suffix, q) ->
+            family b ~name:(name ^ suffix) ~typ:"gauge"
+              ~help:(Printf.sprintf "Histogram %s quantile estimate." k)
+              [ ([], float_str q) ])
+          [ ("_p50", h.Obs.h_p50); ("_p90", h.Obs.h_p90); ("_p99", h.Obs.h_p99) ])
+    snap.Obs.histograms;
+  List.iter
+    (fun (k, (s : Obs.span_stat)) ->
+      let name = claim seen (metric_name k) in
+      family b ~name:(name ^ "_seconds_total") ~typ:"counter"
+        ~help:(Printf.sprintf "Span %s: summed seconds." k)
+        [ ([], float_str s.Obs.s_total) ];
+      family b ~name:(name ^ "_count") ~typ:"counter"
+        ~help:(Printf.sprintf "Span %s: executions." k)
+        [ ([], string_of_int s.Obs.s_count) ])
+    snap.Obs.spans;
+  Buffer.contents b
+
+let render_now () = render (Obs.snapshot ())
+
+let write_file path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render_now ()));
+  Sys.rename tmp path

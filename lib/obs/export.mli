@@ -1,0 +1,47 @@
+(** Prometheus text exposition of the {!Obs} registry.
+
+    {!render} turns a snapshot into the Prometheus text format (version
+    0.0.4): one [# HELP]/[# TYPE]-headed family per instrument, names
+    sanitized (dots and other non-name characters become underscores) and
+    prefixed with [socy_]. The mapping:
+
+    - counter [serve.requests] → [socy_serve_requests_total] (counter)
+    - gauge [serve.inflight] → [socy_serve_inflight] (last sample, gauge),
+      plus [_min]/[_max] gauges once sampled
+    - histogram [serve.latency.eval] → [socy_serve_latency_eval] with
+      cumulative [_bucket{le="..."}] lines ending in [le="+Inf"], [_sum],
+      [_count], and [_p50]/[_p90]/[_p99] quantile-estimate gauges once
+      non-empty
+    - span path [pipeline/robdd-build] → [socy_pipeline_robdd_build] as
+      [_seconds_total] + [_count] counters
+
+    Non-finite values use the Prometheus tokens [NaN], [+Inf], [-Inf];
+    label values escape backslash, double-quote and newline. Sanitized
+    names that collide are suffixed [_2], [_3], … so the exposition always
+    parses. The exposition is served as the [metrics] protocol method and
+    scraped with [socyield query --method metrics]. *)
+
+(** [metric_name ?suffix name] is the sanitized, [socy_]-prefixed metric
+    name, e.g. [metric_name ~suffix:"_total" "serve.cache.hits"] =
+    ["socy_serve_cache_hits_total"]. A leading digit gets an underscore
+    prepended so the name stays in the exposition alphabet. *)
+val metric_name : ?suffix:string -> string -> string
+
+(** [escape_label v] escapes backslash, double-quote and newline for use
+    inside a [label="..."] value. *)
+val escape_label : string -> string
+
+(** [float_str f] is the exposition rendering of [f]: shortest decimal
+    that round-trips, or the tokens [NaN] / [+Inf] / [-Inf]. *)
+val float_str : float -> string
+
+(** [render snap] is the exposition document for [snap]. *)
+val render : Obs.snapshot -> string
+
+(** [render_now ()] is [render (Obs.snapshot ())]. *)
+val render_now : unit -> string
+
+(** [write_file path] atomically replaces [path] with the current
+    exposition (written to [path.tmp], then renamed) — the file-based
+    scrape target behind [socyield serve --metrics-interval]. *)
+val write_file : string -> unit

@@ -1,0 +1,200 @@
+(* Leveled structured logging. A record is a timestamped JSON object; the
+   emit path is gated on an atomic level threshold (off by default), so a
+   disabled logger costs one load and one branch per call site. Enabled
+   records go to a bounded in-memory ring (always) and, when opened, an
+   append-to-file NDJSON sink with size-based rotation. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_name = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type record = {
+  ts : float;
+  level : level;
+  event : string;
+  msg : string;
+  rid : int option;
+  fields : (string * Json.t) list;
+}
+
+(* --- threshold ----------------------------------------------------------- *)
+
+(* 4 = above Error = everything filtered = logging off. *)
+let off_rank = 4
+let threshold = Atomic.make off_rank
+
+let set_level = function
+  | None -> Atomic.set threshold off_rank
+  | Some l -> Atomic.set threshold (level_rank l)
+
+let current_level () =
+  match Atomic.get threshold with
+  | 0 -> Some Debug
+  | 1 -> Some Info
+  | 2 -> Some Warn
+  | 3 -> Some Error
+  | _ -> None
+
+let enabled_for l = level_rank l >= Atomic.get threshold
+
+(* --- JSON codec ---------------------------------------------------------- *)
+
+let to_json r =
+  Json.Obj
+    ([
+       ("ts", Json.Float r.ts);
+       ("level", Json.String (level_name r.level));
+       ("event", Json.String r.event);
+       ("msg", Json.String r.msg);
+     ]
+    @ (match r.rid with Some rid -> [ ("rid", Json.Int rid) ] | None -> [])
+    @ match r.fields with [] -> [] | l -> [ ("fields", Json.Obj l) ])
+
+let of_json j =
+  let str name =
+    match Json.member name j with Some (Json.String s) -> Some s | _ -> None
+  in
+  match (Json.member "ts" j, str "level", str "event", str "msg") with
+  | Some ts_j, Some level_s, Some event, Some msg -> (
+      match (Json.to_float ts_j, level_of_name level_s) with
+      | Some ts, Some level ->
+          let rid =
+            match Json.member "rid" j with Some (Json.Int r) -> Some r | _ -> None
+          in
+          let fields =
+            match Json.member "fields" j with Some (Json.Obj l) -> l | _ -> []
+          in
+          Some { ts; level; event; msg; rid; fields }
+      | _ -> None)
+  | _ -> None
+
+(* --- ring ---------------------------------------------------------------- *)
+
+let ring_capacity = 4096
+
+type ring = {
+  r_lock : Mutex.t;
+  slots : record option array;
+  mutable next : int; (* total records ever written *)
+}
+
+let ring =
+  { r_lock = Mutex.create (); slots = Array.make ring_capacity None; next = 0 }
+
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let ring_push r =
+  with_lock ring.r_lock (fun () ->
+      ring.slots.(ring.next mod ring_capacity) <- Some r;
+      ring.next <- ring.next + 1)
+
+let recent ?(n = ring_capacity) () =
+  with_lock ring.r_lock (fun () ->
+      let stored = min ring.next ring_capacity in
+      let take = min n stored in
+      List.init take (fun i ->
+          (* oldest of the last [take], in order *)
+          let idx = (ring.next - take + i) mod ring_capacity in
+          Option.get ring.slots.(idx)))
+
+let emitted_count () = with_lock ring.r_lock (fun () -> ring.next)
+
+(* --- file sink ----------------------------------------------------------- *)
+
+type file_sink = {
+  f_lock : Mutex.t;
+  path : string;
+  max_bytes : int;
+  keep : int;
+  mutable oc : out_channel;
+  mutable bytes : int;
+}
+
+let sink : file_sink option Atomic.t = Atomic.make None
+
+let rotated_name path i = Printf.sprintf "%s.%d" path i
+
+(* path.keep-1 .. path.1 shift up one slot, the live file becomes path.1.
+   keep = 0 has no history to shift: the live file is truncated in place. *)
+let rotate s =
+  close_out_noerr s.oc;
+  if s.keep = 0 then
+    s.oc <- open_out_gen [ Open_trunc; Open_creat; Open_wronly ] 0o644 s.path
+  else begin
+    (try Sys.remove (rotated_name s.path s.keep) with Sys_error _ -> ());
+    for i = s.keep - 1 downto 1 do
+      let from = rotated_name s.path i in
+      if Sys.file_exists from then
+        try Sys.rename from (rotated_name s.path (i + 1)) with Sys_error _ -> ()
+    done;
+    (try Sys.rename s.path (rotated_name s.path 1) with Sys_error _ -> ());
+    s.oc <- open_out_gen [ Open_append; Open_creat ] 0o644 s.path
+  end;
+  s.bytes <- 0
+
+let sink_write s line =
+  with_lock s.f_lock (fun () ->
+      let len = String.length line + 1 in
+      if s.bytes > 0 && s.bytes + len > s.max_bytes then rotate s;
+      output_string s.oc line;
+      output_char s.oc '\n';
+      flush s.oc;
+      s.bytes <- s.bytes + len)
+
+let open_file ?(max_bytes = 8 * 1024 * 1024) ?(keep = 3) path =
+  if max_bytes <= 0 then invalid_arg "Log.open_file: max_bytes must be positive";
+  if keep < 0 then invalid_arg "Log.open_file: keep must be non-negative";
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  let bytes = out_channel_length oc in
+  let s = { f_lock = Mutex.create (); path; max_bytes; keep; oc; bytes } in
+  (match Atomic.exchange sink (Some s) with
+  | Some old -> with_lock old.f_lock (fun () -> close_out_noerr old.oc)
+  | None -> ())
+
+let close_file () =
+  match Atomic.exchange sink None with
+  | Some s -> with_lock s.f_lock (fun () -> flush s.oc; close_out_noerr s.oc)
+  | None -> ()
+
+(* --- emission ------------------------------------------------------------ *)
+
+let dropped = Atomic.make 0
+let dropped_count () = Atomic.get dropped
+
+let emit ?rid ?(fields = []) level event msg =
+  if enabled_for level then begin
+    let rid = match rid with Some _ as r -> r | None -> Ctx.get () in
+    let r = { ts = Unix.gettimeofday (); level; event; msg; rid; fields } in
+    ring_push r;
+    match Atomic.get sink with
+    | None -> ()
+    | Some s -> (
+        try sink_write s (Json.to_string (to_json r))
+        with Sys_error _ -> ignore (Atomic.fetch_and_add dropped 1))
+  end
+
+let debug ?rid ?fields event msg = emit ?rid ?fields Debug event msg
+let info ?rid ?fields event msg = emit ?rid ?fields Info event msg
+let warn ?rid ?fields event msg = emit ?rid ?fields Warn event msg
+let error ?rid ?fields event msg = emit ?rid ?fields Error event msg
+
+let reset () =
+  with_lock ring.r_lock (fun () ->
+      Array.fill ring.slots 0 ring_capacity None;
+      ring.next <- 0);
+  Atomic.set dropped 0

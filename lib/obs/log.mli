@@ -1,0 +1,108 @@
+(** Leveled structured logging with request correlation.
+
+    A log record is a small JSON object — timestamp, level, a short
+    machine-readable [event] key (["serve.accept"], ["pipeline.stage"]),
+    a human message, the ambient {!Ctx} request id when one is installed,
+    and arbitrary structured [fields]. Records flow to a bounded in-memory
+    ring (always, for `stats`-style introspection and tests) and, when
+    opened, to an append-only NDJSON file with size-based rotation.
+
+    {2 Cost model}
+
+    Logging is {e off by default} ({!set_level} [None]): every call site is
+    then one atomic load and one branch — the same discipline as
+    {!Obs.enabled}, so the serve daemon's hot path pays nothing until an
+    operator turns the level up. *)
+
+type level = Debug | Info | Warn | Error
+
+(** [level_name l] is ["debug"] / ["info"] / ["warn"] / ["error"]. *)
+val level_name : level -> string
+
+(** [level_of_name s] inverts {!level_name}; [None] on anything else. *)
+val level_of_name : string -> level option
+
+type record = {
+  ts : float;  (** wall clock, seconds *)
+  level : level;
+  event : string;  (** machine key, dot-namespaced like probe names *)
+  msg : string;
+  rid : int option;  (** ambient request id, when one was installed *)
+  fields : (string * Json.t) list;
+}
+
+(** {1 Threshold} *)
+
+(** [set_level (Some l)] emits records at [l] and above; [set_level None]
+    turns logging off entirely (the default). *)
+val set_level : level option -> unit
+
+(** [current_level ()] is the active threshold ([None] = off). *)
+val current_level : unit -> level option
+
+(** [enabled_for l] is whether a record at level [l] would be emitted —
+    for guarding expensive field construction at a call site. *)
+val enabled_for : level -> bool
+
+(** {1 Emission} *)
+
+(** [emit ?rid ?fields level event msg] appends one record (no-op below
+    the threshold). [rid] defaults to the ambient {!Ctx.get}. *)
+val emit :
+  ?rid:int -> ?fields:(string * Json.t) list -> level -> string -> string -> unit
+
+val debug : ?rid:int -> ?fields:(string * Json.t) list -> string -> string -> unit
+val info : ?rid:int -> ?fields:(string * Json.t) list -> string -> string -> unit
+val warn : ?rid:int -> ?fields:(string * Json.t) list -> string -> string -> unit
+val error : ?rid:int -> ?fields:(string * Json.t) list -> string -> string -> unit
+
+(** {1 The ring} *)
+
+(** Capacity of the in-memory ring (newest records win). *)
+val ring_capacity : int
+
+(** [recent ?n ()] is the last [n] (default: everything retained) emitted
+    records, oldest first. *)
+val recent : ?n:int -> unit -> record list
+
+(** [emitted_count ()] is the total number of records emitted since start
+    (or {!reset}), including ones the ring has since overwritten. *)
+val emitted_count : unit -> int
+
+(** [dropped_count ()] counts records the file sink failed to write
+    (disk full, closed fd); the ring copy is kept regardless. *)
+val dropped_count : unit -> int
+
+(** {1 File sink}
+
+    One NDJSON line per record. When appending a record would push the
+    live file past [max_bytes], the files rotate first: [path] becomes
+    [path.1], [path.1] becomes [path.2], …, and anything beyond [keep]
+    rotated generations is deleted. [keep = 0] truncates instead of
+    keeping history. *)
+
+(** [open_file ?max_bytes ?keep path] opens (appending) the file sink,
+    replacing any previous one. Defaults: [max_bytes = 8 MiB],
+    [keep = 3]. Raises [Invalid_argument] on non-positive [max_bytes] or
+    negative [keep]; [Sys_error] if the path cannot be opened. *)
+val open_file : ?max_bytes:int -> ?keep:int -> string -> unit
+
+(** [close_file ()] flushes and closes the file sink, if open. *)
+val close_file : unit -> unit
+
+(** {1 Codec} *)
+
+(** [to_json r] is the canonical wire form: [ts], [level], [event], [msg],
+    optional [rid], and a [fields] object when non-empty. *)
+val to_json : record -> Json.t
+
+(** [of_json j] inverts {!to_json}; [None] when required members are
+    missing or ill-typed. *)
+val of_json : Json.t -> record option
+
+(** {1 Reset} *)
+
+(** [reset ()] empties the ring and zeroes {!emitted_count} /
+    {!dropped_count} — between tests. The threshold and file sink are
+    left as configured. *)
+val reset : unit -> unit

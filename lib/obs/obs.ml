@@ -96,6 +96,9 @@ type histogram_stat = {
   h_min : float;
   h_max : float;
   h_buckets : (float * int) list;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
 }
 
 let default_buckets = [| 1.0; 10.0; 100.0; 1e3; 1e4; 1e5; 1e6 |]
@@ -146,21 +149,64 @@ let observe_many h v n =
         if v < h.min_o then h.min_o <- v;
         if v > h.max_o then h.max_o <- v)
 
+(* Quantile estimate from cumulative buckets: find the bucket holding the
+   q-th observation and interpolate linearly inside it, using the observed
+   min/max to tighten the open-ended first and overflow buckets. Exact when
+   a bucket holds one distinct value; otherwise within the bucket width. *)
+let bucket_quantile ~count ~min_o ~max_o ~bounds ~cum q =
+  if count = 0 then Float.nan
+  else begin
+    let target = q *. float_of_int count in
+    let nb = Array.length bounds in
+    let i = ref 0 in
+    while float_of_int cum.(!i) < target && !i < Array.length cum - 1 do
+      Stdlib.incr i
+    done;
+    let i = !i in
+    let lower = if i = 0 then min_o else Float.max bounds.(i - 1) min_o in
+    let upper = if i < nb then Float.min bounds.(i) max_o else max_o in
+    let prev = if i = 0 then 0 else cum.(i - 1) in
+    let in_bucket = cum.(i) - prev in
+    if in_bucket <= 0 || upper <= lower then Float.min upper max_o
+    else
+      let frac = (target -. float_of_int prev) /. float_of_int in_bucket in
+      let v = lower +. (frac *. (upper -. lower)) in
+      Float.min (Float.max v min_o) max_o
+  end
+
 let histogram_stat h =
   with_lock h.h_lock (fun () ->
       (* cumulative counts, Prometheus-style *)
+      let cum = Array.make (Array.length h.counts) 0 in
       let acc = ref 0 in
+      Array.iteri
+        (fun i c ->
+          acc := !acc + c;
+          cum.(i) <- !acc)
+        h.counts;
       let buckets =
         List.init
           (Array.length h.counts)
           (fun i ->
-            acc := !acc + h.counts.(i);
             let bound =
               if i < Array.length h.bounds then h.bounds.(i) else infinity
             in
-            (bound, !acc))
+            (bound, cum.(i)))
       in
-      { h_count = h.count; h_sum = h.sum; h_min = h.min_o; h_max = h.max_o; h_buckets = buckets })
+      let quantile =
+        bucket_quantile ~count:h.count ~min_o:h.min_o ~max_o:h.max_o
+          ~bounds:h.bounds ~cum
+      in
+      {
+        h_count = h.count;
+        h_sum = h.sum;
+        h_min = h.min_o;
+        h_max = h.max_o;
+        h_buckets = buckets;
+        h_p50 = quantile 0.5;
+        h_p90 = quantile 0.9;
+        h_p99 = quantile 0.99;
+      })
 
 (* --- spans -------------------------------------------------------------- *)
 

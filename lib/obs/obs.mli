@@ -113,6 +113,16 @@ type histogram_stat = {
   h_buckets : (float * int) list;
       (** (upper bound, observations ≤ bound) — cumulative, ending with the
           [infinity] bucket. *)
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
+      (** Quantile estimates, interpolated linearly inside the bucket that
+          holds the target observation (the open-ended first and overflow
+          buckets are tightened with the observed min/max, so a
+          single-valued histogram reports exact quantiles). [nan] while
+          empty. Precomputed here once so [socyield top], the pretty sink
+          and the Prometheus exposition agree without each re-deriving
+          them. *)
 }
 
 (** {1 Spans}

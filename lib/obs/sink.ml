@@ -38,9 +38,11 @@ let pretty oc =
            else
              Some
                ( k,
-                 Printf.sprintf "count %d  sum %g  min %g  max %g  mean %g"
+                 Printf.sprintf
+                   "count %d  sum %g  min %g  max %g  mean %g  p50 %g  p90 %g  p99 %g"
                    h.Obs.h_count h.Obs.h_sum h.Obs.h_min h.Obs.h_max
-                   (h.Obs.h_sum /. float_of_int h.Obs.h_count) ))
+                   (h.Obs.h_sum /. float_of_int h.Obs.h_count)
+                   h.Obs.h_p50 h.Obs.h_p90 h.Obs.h_p99 ))
          snap.Obs.histograms);
     section "spans"
       (List.filter_map
@@ -93,6 +95,9 @@ let snapshot_to_json (snap : Obs.snapshot) =
                      ("sum", Json.Float h.Obs.h_sum);
                      ("min", Json.Float (finite h.Obs.h_min));
                      ("max", Json.Float (finite h.Obs.h_max));
+                     ("p50", Json.Float (finite h.Obs.h_p50));
+                     ("p90", Json.Float (finite h.Obs.h_p90));
+                     ("p99", Json.Float (finite h.Obs.h_p99));
                      ( "buckets",
                        Json.List
                          (List.map

@@ -48,7 +48,21 @@ let buf_key : buf Domain.DLS.key =
       with_lock (fun () -> buffers := b :: !buffers);
       b)
 
+(* Every begin/instant/counter event is stamped with the ambient request id
+   (Ctx) so one capture of a busy server can be sliced per request. End
+   events skip the stamp: Perfetto matches B/E pairs positionally, and the
+   pair's args live on the B event. Explicit "rid" args win over ambience. *)
+let stamp ph args =
+  if ph = 'E' then args
+  else
+    match Ctx.get () with
+    | None -> args
+    | Some rid ->
+        if List.mem_assoc "rid" args then args
+        else ("rid", Json.Int rid) :: args
+
 let push ph name args =
+  let args = stamp ph args in
   let b = Domain.DLS.get buf_key in
   if b.b_len >= capacity then b.b_dropped <- b.b_dropped + 1
   else begin

@@ -1,4 +1,6 @@
 module Obs = Socy_obs.Obs
+module Log = Socy_obs.Log
+module Json = Socy_obs.Json
 
 (* Observability probes are per instance: [create ~probes:"serve.cache"]
    registers [<probes>.hits/.misses/.evictions] counters and an
@@ -7,6 +9,7 @@ module Obs = Socy_obs.Obs
    [?probes] (tests, scratch caches) touch no Obs state at all; their
    per-instance plain-integer stats below still count. *)
 type probes = {
+  p_name : string;
   p_hits : Obs.counter;
   p_misses : Obs.counter;
   p_evictions : Obs.counter;
@@ -40,6 +43,7 @@ let create ?probes ~capacity () =
     Option.map
       (fun name ->
         {
+          p_name = name;
           p_hits = Obs.counter (name ^ ".hits");
           p_misses = Obs.counter (name ^ ".misses");
           p_evictions = Obs.counter (name ^ ".evictions");
@@ -107,7 +111,17 @@ let add t key value =
             unlink t victim;
             Hashtbl.remove t.table victim.key;
             t.evictions <- t.evictions + 1;
-            probe t (fun p -> Obs.incr p.p_evictions)
+            probe t (fun p ->
+                Obs.incr p.p_evictions;
+                if Log.enabled_for Log.Debug then
+                  Log.debug "serve.cache.evict"
+                    ~fields:
+                      [
+                        ("cache", Json.String p.p_name);
+                        ("key", Json.String victim.key);
+                        ("size", Json.Int (Hashtbl.length t.table));
+                      ]
+                    "evicted least-recently-used entry")
         | None -> assert false
       end;
       probe t (fun p ->

@@ -29,7 +29,14 @@ type query = {
   par_domains : int option;
 }
 
-type meth = Eval | Conditional_yields | Importance | Stats | Health | Shutdown
+type meth =
+  | Eval
+  | Conditional_yields
+  | Importance
+  | Stats
+  | Metrics
+  | Health
+  | Shutdown
 
 type request = { id : Json.t; meth : meth; query : query option }
 
@@ -38,6 +45,7 @@ let meth_name = function
   | Conditional_yields -> "conditional-yields"
   | Importance -> "importance"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Health -> "health"
   | Shutdown -> "shutdown"
 
@@ -46,13 +54,14 @@ let meth_of_name = function
   | "conditional-yields" -> Some Conditional_yields
   | "importance" -> Some Importance
   | "stats" -> Some Stats
+  | "metrics" -> Some Metrics
   | "health" -> Some Health
   | "shutdown" -> Some Shutdown
   | _ -> None
 
 let is_evaluation = function
   | Eval | Conditional_yields | Importance -> true
-  | Stats | Health | Shutdown -> false
+  | Stats | Metrics | Health | Shutdown -> false
 
 type error_code =
   | Parse_error

@@ -56,13 +56,16 @@ type query = {
 }
 
 (** The protocol methods. [Eval], [Conditional_yields] and [Importance]
-    carry a {!query} and run the pipeline; [Stats], [Health] and
-    [Shutdown] are control methods answered by the server itself. *)
+    carry a {!query} and run the pipeline; [Stats], [Metrics], [Health]
+    and [Shutdown] are control methods answered by the server itself
+    ([Metrics] returns the Prometheus text exposition of the whole
+    instrument registry — see {!Socy_obs.Export}). *)
 type meth =
   | Eval
   | Conditional_yields
   | Importance
   | Stats
+  | Metrics
   | Health
   | Shutdown
 

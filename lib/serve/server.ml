@@ -2,6 +2,9 @@ module Obs = Socy_obs.Obs
 module Trace = Socy_obs.Trace
 module Sink = Socy_obs.Sink
 module Json = Socy_obs.Json
+module Ctx = Socy_obs.Ctx
+module Log = Socy_obs.Log
+module Export = Socy_obs.Export
 module Pool = Socy_batch.Pool
 module P = Socy_core.Pipeline
 module Model = Socy_defects.Model
@@ -23,12 +26,16 @@ type config = {
   default_par_domains : int;
   backlog : int;
   unlink_existing : bool;
+  slow_ms : float option;
+  metrics_file : string option;
+  metrics_interval : float;
 }
 
 let config ?domains ?(cache_capacity = 128) ?max_inflight
     ?(default_node_limit = 40_000_000) ?max_node_limit ?default_cpu_limit
     ?max_cpu_limit ?(default_par_domains = 1) ?(backlog = 64)
-    ?(unlink_existing = false) ~socket_path () =
+    ?(unlink_existing = false) ?slow_ms ?metrics_file
+    ?(metrics_interval = 10.0) ~socket_path () =
   let domains =
     match domains with
     | Some d when d >= 1 -> d
@@ -37,6 +44,12 @@ let config ?domains ?(cache_capacity = 128) ?max_inflight
   in
   if default_par_domains < 1 then
     invalid_arg "Server.config: default_par_domains < 1";
+  (match slow_ms with
+  | Some s when not (Float.is_finite s) || s < 0.0 ->
+      invalid_arg "Server.config: slow_ms must be a non-negative number"
+  | _ -> ());
+  if not (Float.is_finite metrics_interval) || metrics_interval <= 0.0 then
+    invalid_arg "Server.config: metrics_interval must be positive";
   let max_inflight =
     match max_inflight with Some m -> max 1 m | None -> 4 * domains
   in
@@ -67,6 +80,9 @@ let config ?domains ?(cache_capacity = 128) ?max_inflight
     default_par_domains;
     backlog;
     unlink_existing;
+    slow_ms;
+    metrics_file;
+    metrics_interval;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -79,6 +95,7 @@ let all_meths =
     Proto.Conditional_yields;
     Proto.Importance;
     Proto.Stats;
+    Proto.Metrics;
     Proto.Health;
     Proto.Shutdown;
   ]
@@ -126,6 +143,8 @@ type t = {
   counts : (Proto.meth * int ref) list;  (* per-method, for the stats endpoint *)
   mutable error_count : int;
   started_at : float;
+  rids : int Atomic.t;  (* monotonic request-id mint *)
+  mutable metrics_thread : Thread.t option;
 }
 
 let create cfg =
@@ -158,6 +177,8 @@ let create cfg =
     counts = List.map (fun m -> (m, ref 0)) all_meths;
     error_count = 0;
     started_at = Obs.now ();
+    rids = Atomic.make 0;
+    metrics_thread = None;
   }
 
 let stop t =
@@ -217,6 +238,25 @@ let stats_json t =
       ("open_connections", Json.Int open_conns);
       ("requests", Json.Obj (counts @ [ ("errors", Json.Int errors) ]));
       ("cache", cache_stats_json t);
+      (* Timeline truncation is an operational signal: a non-zero dropped
+         count means the Perfetto export is missing the oldest events. *)
+      ( "trace",
+        Json.Obj
+          [
+            ("buffered", Json.Int (Trace.event_count ()));
+            ("dropped", Json.Int (Trace.dropped_count ()));
+          ] );
+      ( "log",
+        Json.Obj
+          [
+            ( "level",
+              Json.String
+                (match Log.current_level () with
+                | None -> "off"
+                | Some l -> Log.level_name l) );
+            ("emitted", Json.Int (Log.emitted_count ()));
+            ("dropped", Json.Int (Log.dropped_count ()));
+          ] );
       ("metrics", Sink.snapshot_to_json (Obs.snapshot ()));
     ]
 
@@ -232,6 +272,13 @@ let health_json t =
 (* Evaluation                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-stage wall times as a JSON object, for the slow-query log. *)
+let stage_times_field times =
+  ( "stage_ms",
+    Json.Obj (List.map (fun (k, s) -> (k, Json.Float (s *. 1000.0))) times) )
+
+(* Returns the cacheable outcome plus non-cached metadata (stage times,
+   peak node counts) that only the slow-query log consumes. *)
 let compute meth (resolved : Proto.resolved) (q : Proto.query) ~node_limit
     ~cpu_limit ~par_domains ~par_runner =
   let pconfig =
@@ -242,53 +289,60 @@ let compute meth (resolved : Proto.resolved) (q : Proto.query) ~node_limit
   match meth with
   | Proto.Eval -> (
       match P.run ~config:pconfig resolved.Proto.circuit resolved.Proto.model with
-      | Ok r -> Payload (Json.Obj [ ("report", Json.Obj (Proto.report_fields r)) ])
-      | Error f -> Failed f)
+      | Ok r ->
+          ( Payload (Json.Obj [ ("report", Json.Obj (Proto.report_fields r)) ]),
+            [
+              stage_times_field r.P.stage_times;
+              ("robdd_peak", Json.Int r.P.robdd_peak);
+            ] )
+      | Error f -> (Failed f, []))
   | Proto.Conditional_yields -> (
       let lethal = Model.to_lethal resolved.Proto.model in
       match P.Artifacts.build ~config:pconfig resolved.Proto.circuit lethal with
-      | Error f -> Failed f
+      | Error f -> (Failed f, [])
       | Ok a ->
           let ys = P.Artifacts.conditional_yields a in
-          Payload
-            (Json.Obj
-               [
-                 ("m", Json.Int a.P.Artifacts.m);
-                 ("p_lethal", Json.Float lethal.Model.p_lethal);
-                 ( "conditional_yields",
-                   Json.List (Array.to_list (Array.map (fun y -> Json.Float y) ys))
-                 );
-               ]))
+          ( Payload
+              (Json.Obj
+                 [
+                   ("m", Json.Int a.P.Artifacts.m);
+                   ("p_lethal", Json.Float lethal.Model.p_lethal);
+                   ( "conditional_yields",
+                     Json.List
+                       (Array.to_list (Array.map (fun y -> Json.Float y) ys)) );
+                 ]),
+            [ stage_times_field a.P.Artifacts.stage_seconds ] ))
   | Proto.Importance -> (
       (* The base run first, so a budget blow-up is reported typed instead
          of as Importance's Invalid_argument. *)
       match P.run ~config:pconfig resolved.Proto.circuit resolved.Proto.model with
-      | Error f -> Failed f
-      | Ok _ ->
+      | Error f -> (Failed f, [])
+      | Ok r ->
           let entries =
             Socy_core.Importance.yield_gain ~config:pconfig
               ~names:resolved.Proto.names resolved.Proto.circuit
               resolved.Proto.model
           in
-          Payload
-            (Json.Obj
-               [
-                 ( "components",
-                   Json.List
-                     (List.map
-                        (fun (e : Socy_core.Importance.entry) ->
-                          Json.Obj
-                            [
-                              ("component", Json.Int e.Socy_core.Importance.component);
-                              ("name", Json.String e.Socy_core.Importance.name);
-                              ("base_yield", Json.Float e.Socy_core.Importance.base_yield);
-                              ( "hardened_yield",
-                                Json.Float e.Socy_core.Importance.hardened_yield );
-                              ("gain", Json.Float e.Socy_core.Importance.gain);
-                            ])
-                        entries) );
-               ]))
-  | Proto.Stats | Proto.Health | Proto.Shutdown -> assert false
+          ( Payload
+              (Json.Obj
+                 [
+                   ( "components",
+                     Json.List
+                       (List.map
+                          (fun (e : Socy_core.Importance.entry) ->
+                            Json.Obj
+                              [
+                                ("component", Json.Int e.Socy_core.Importance.component);
+                                ("name", Json.String e.Socy_core.Importance.name);
+                                ("base_yield", Json.Float e.Socy_core.Importance.base_yield);
+                                ( "hardened_yield",
+                                  Json.Float e.Socy_core.Importance.hardened_yield );
+                                ("gain", Json.Float e.Socy_core.Importance.gain);
+                              ])
+                          entries) );
+                 ]),
+            [ stage_times_field r.P.stage_times ] ))
+  | Proto.Stats | Proto.Metrics | Proto.Health | Proto.Shutdown -> assert false
 
 let reply_of_outcome ~cache ~elapsed_ms id = function
   | Payload result -> Proto.ok_response ~id ~cache ~elapsed_ms result
@@ -296,10 +350,17 @@ let reply_of_outcome ~cache ~elapsed_ms id = function
       let code, msg, details = Proto.failure_error f in
       Proto.error_response ~id ~cache ~details code msg
 
+let log_reject code msg details =
+  Log.warn "serve.reject"
+    ~fields:(("code", Json.String (Proto.error_code_name code)) :: details)
+    msg
+
 let eval_reply t (req : Proto.request) ~t0 =
   let q = Option.get req.Proto.query in
   match Proto.resolve q with
-  | Error msg -> Proto.error_response ~id:req.Proto.id Proto.Invalid_request msg
+  | Error msg ->
+      log_reject Proto.Invalid_request msg [];
+      Proto.error_response ~id:req.Proto.id Proto.Invalid_request msg
   | Ok resolved -> (
       let node_limit =
         Option.value q.Proto.node_limit ~default:t.cfg.default_node_limit
@@ -314,28 +375,38 @@ let eval_reply t (req : Proto.request) ~t0 =
         | Some c, Some cap -> c > cap
         | _ -> false
       in
-      if node_limit > t.cfg.max_node_limit then
-        Proto.error_response ~id:req.Proto.id
-          ~details:
-            [
-              ("requested_node_limit", Json.Int node_limit);
-              ("cap", Json.Int t.cfg.max_node_limit);
-            ]
-          Proto.Admission_rejected
-          (Printf.sprintf "node_limit %d exceeds the server cap %d" node_limit
-             t.cfg.max_node_limit)
-      else if over_cpu_cap then
-        Proto.error_response ~id:req.Proto.id
-          ~details:
-            [
-              ( "requested_cpu_limit",
-                Json.Float (Option.value cpu_limit ~default:0.0) );
-              ("cap", Json.Float (Option.value t.cfg.max_cpu_limit ~default:0.0));
-            ]
-          Proto.Admission_rejected
-          (Printf.sprintf "cpu_limit %g exceeds the server cap %g"
-             (Option.value cpu_limit ~default:0.0)
-             (Option.value t.cfg.max_cpu_limit ~default:0.0))
+      if node_limit > t.cfg.max_node_limit then begin
+        let msg =
+          Printf.sprintf "node_limit %d exceeds the server cap %d" node_limit
+            t.cfg.max_node_limit
+        in
+        let details =
+          [
+            ("requested_node_limit", Json.Int node_limit);
+            ("cap", Json.Int t.cfg.max_node_limit);
+          ]
+        in
+        log_reject Proto.Admission_rejected msg details;
+        Proto.error_response ~id:req.Proto.id ~details Proto.Admission_rejected
+          msg
+      end
+      else if over_cpu_cap then begin
+        let msg =
+          Printf.sprintf "cpu_limit %g exceeds the server cap %g"
+            (Option.value cpu_limit ~default:0.0)
+            (Option.value t.cfg.max_cpu_limit ~default:0.0)
+        in
+        let details =
+          [
+            ( "requested_cpu_limit",
+              Json.Float (Option.value cpu_limit ~default:0.0) );
+            ("cap", Json.Float (Option.value t.cfg.max_cpu_limit ~default:0.0));
+          ]
+        in
+        log_reject Proto.Admission_rejected msg details;
+        Proto.error_response ~id:req.Proto.id ~details Proto.Admission_rejected
+          msg
+      end
       else
         (* Effective team size: request override, else the server default;
            reorder wins over parallelism (the sequential engine is the
@@ -351,7 +422,7 @@ let eval_reply t (req : Proto.request) ~t0 =
           Proto.cache_key ~meth:req.Proto.meth ~resolved ~node_limit ~cpu_limit
             ~par_domains q
         in
-        let finish ~cache outcome =
+        let finish ~cache ?(meta = []) outcome =
           let elapsed_ms = (Obs.now () -. t0) *. 1000.0 in
           Trace.instant "serve.request"
             ~args:
@@ -360,19 +431,57 @@ let eval_reply t (req : Proto.request) ~t0 =
                 ("cache", Json.String cache);
                 ("ms", Json.Float elapsed_ms);
               ];
+          if Log.enabled_for Log.Info then
+            Log.info "serve.request"
+              ~fields:
+                [
+                  ("method", Json.String (Proto.meth_name req.Proto.meth));
+                  ("cache", Json.String cache);
+                  ("ms", Json.Float elapsed_ms);
+                ]
+              (Printf.sprintf "%s (%s) in %.1f ms"
+                 (Proto.meth_name req.Proto.meth)
+                 cache elapsed_ms);
+          (* The slow-query log: everything an operator needs to explain
+             the latency without re-running — the cache-key digest (joins
+             repeat offenders), per-stage wall times, peak node counts and
+             the effective engine settings. *)
+          (match t.cfg.slow_ms with
+          | Some thresh when elapsed_ms >= thresh ->
+              Log.warn "serve.slow"
+                ~fields:
+                  ([
+                     ("method", Json.String (Proto.meth_name req.Proto.meth));
+                     ("cache", Json.String cache);
+                     ("ms", Json.Float elapsed_ms);
+                     ("threshold_ms", Json.Float thresh);
+                     ("key", Json.String key);
+                     ("node_limit", Json.Int node_limit);
+                     ("reorder", Json.Bool q.Proto.reorder);
+                     ("par_domains", Json.Int par_domains);
+                   ]
+                  @ meta)
+                (Printf.sprintf "slow request: %s took %.1f ms (threshold %g)"
+                   (Proto.meth_name req.Proto.meth)
+                   elapsed_ms thresh)
+          | _ -> ());
           reply_of_outcome ~cache ~elapsed_ms req.Proto.id outcome
         in
         match Cache.find t.cache key with
         | Some outcome -> finish ~cache:"hit" outcome
         | None ->
-            if Pool.Executor.in_flight t.executor >= t.cfg.max_inflight then
-              Proto.error_response ~id:req.Proto.id
-                ~details:[ ("max_inflight", Json.Int t.cfg.max_inflight) ]
-                Proto.Admission_rejected
-                (Printf.sprintf
-                   "server is saturated (%d runs in flight, max %d) — retry later"
-                   (Pool.Executor.in_flight t.executor)
-                   t.cfg.max_inflight)
+            if Pool.Executor.in_flight t.executor >= t.cfg.max_inflight then begin
+              let msg =
+                Printf.sprintf
+                  "server is saturated (%d runs in flight, max %d) — retry later"
+                  (Pool.Executor.in_flight t.executor)
+                  t.cfg.max_inflight
+              in
+              let details = [ ("max_inflight", Json.Int t.cfg.max_inflight) ] in
+              log_reject Proto.Admission_rejected msg details;
+              Proto.error_response ~id:req.Proto.id ~details
+                Proto.Admission_rejected msg
+            end
             else (
               Obs.set inflight_gauge
                 (float_of_int (Pool.Executor.in_flight t.executor + 1));
@@ -390,7 +499,7 @@ let eval_reply t (req : Proto.request) ~t0 =
                     compute req.Proto.meth resolved q ~node_limit ~cpu_limit
                       ~par_domains ~par_runner)
               with
-              | outcome ->
+              | outcome, meta ->
                   Obs.set inflight_gauge
                     (float_of_int (Pool.Executor.in_flight t.executor));
                   (* Deterministic outcomes are cached; CPU-budget failures
@@ -398,7 +507,7 @@ let eval_reply t (req : Proto.request) ~t0 =
                   (match outcome with
                   | Payload _ | Failed (P.Node_budget _) -> Cache.add t.cache key outcome
                   | Failed (P.Cpu_budget _ | P.Batch_cancelled) -> ());
-                  finish ~cache:"miss" outcome
+                  finish ~cache:"miss" ~meta outcome
               | exception e ->
                   Obs.set inflight_gauge
                     (float_of_int (Pool.Executor.in_flight t.executor));
@@ -427,6 +536,19 @@ let handle_line t ~t0 line =
       match req.Proto.meth with
       | Proto.Health -> (Proto.ok_response ~id:req.Proto.id (health_json t), true, false)
       | Proto.Stats -> (Proto.ok_response ~id:req.Proto.id (stats_json t), true, false)
+      | Proto.Metrics ->
+          (* The Prometheus exposition travels as one JSON string member;
+             [socyield query --method metrics] unwraps it back to plain
+             text for scrapers. *)
+          ( Proto.ok_response ~id:req.Proto.id
+              (Json.Obj
+                 [
+                   ( "content_type",
+                     Json.String "text/plain; version=0.0.4" );
+                   ("exposition", Json.String (Export.render_now ()));
+                 ]),
+            true,
+            false )
       | Proto.Shutdown ->
           ( Proto.ok_response ~id:req.Proto.id
               (Json.Obj [ ("draining", Json.Bool true) ]),
@@ -454,14 +576,30 @@ let send oc reply =
   | exception Sys_error _ -> false
   | exception Unix.Unix_error _ -> false
 
-(* One request line: draining check + active accounting around dispatch. *)
+(* The server-assigned request id rides back in the reply envelope so a
+   client can quote it when reading the daemon's logs or trace. It lives
+   outside [result] — cache hits replay payloads bit-identically while
+   every execution keeps its own identity. *)
+let stamp_rid rid reply =
+  match reply with
+  | Json.Obj fields when not (List.mem_assoc "rid" fields) ->
+      Json.Obj (fields @ [ ("rid", Json.Int rid) ])
+  | reply -> reply
+
+(* One request line: rid minting + ambient-context install, draining
+   check, and active accounting around dispatch. Everything the request
+   emits — log records, trace events, executor spans — happens under
+   [Ctx.with_request rid], so it all carries this request's id. *)
 let process t oc line =
   let t0 = Obs.now () in
+  let rid = Atomic.fetch_and_add t.rids 1 + 1 in
+  Ctx.with_request rid @@ fun () ->
   Mutex.lock t.lock;
   let draining = t.state <> Running in
   if not draining then t.active <- t.active + 1;
   Mutex.unlock t.lock;
   if draining then begin
+    log_reject Proto.Shutting_down "server is shutting down" [];
     ignore
       (send oc
          (Proto.error_response ~id:Json.Null Proto.Shutting_down
@@ -477,6 +615,7 @@ let process t oc line =
         Mutex.unlock t.lock)
       (fun () ->
         let reply, keep, shutdown_after = handle_line t ~t0 line in
+        let reply = stamp_rid rid reply in
         if is_error_reply reply then begin
           Mutex.lock t.lock;
           t.error_count <- t.error_count + 1;
@@ -499,7 +638,11 @@ let close_conn t c =
   let remaining = List.length t.conns in
   Mutex.unlock t.lock;
   if do_close then (try Unix.close c.fd with Unix.Unix_error _ -> ());
-  Obs.set connections_gauge (float_of_int remaining)
+  Obs.set connections_gauge (float_of_int remaining);
+  if do_close && Log.enabled_for Log.Debug then
+    Log.debug "serve.close"
+      ~fields:[ ("open", Json.Int remaining) ]
+      "connection closed"
 
 let handle_connection t c =
   let ic = Unix.in_channel_of_descr c.fd in
@@ -519,10 +662,55 @@ let handle_connection t c =
   close_conn t c
 
 (* ------------------------------------------------------------------ *)
+(* Metrics snapshots                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Periodic Prometheus-text snapshots for file-based scrapers (node
+   exporter textfile collector and the like). Sleeps in short steps so a
+   drain never waits a full interval for this thread; one final snapshot
+   on the way out captures the end-of-life state. *)
+let metrics_writer t path =
+  let write () = try Export.write_file path with Sys_error _ -> () in
+  let running () =
+    Mutex.lock t.lock;
+    let r = t.state = Running in
+    Mutex.unlock t.lock;
+    r
+  in
+  let rec wait remaining =
+    if remaining <= 0.0 then true
+    else if not (running ()) then false
+    else begin
+      Thread.delay (Float.min 0.2 remaining);
+      wait (remaining -. 0.2)
+    end
+  in
+  let rec loop () =
+    if wait t.cfg.metrics_interval then begin
+      write ();
+      loop ()
+    end
+  in
+  loop ();
+  write ()
+
+(* ------------------------------------------------------------------ *)
 (* Accept loop and drain                                               *)
 (* ------------------------------------------------------------------ *)
 
 let drain t =
+  Mutex.lock t.lock;
+  let active_at_drain = t.active in
+  let open_at_drain = List.length t.conns in
+  Mutex.unlock t.lock;
+  if Log.enabled_for Log.Info then
+    Log.info "serve.drain"
+      ~fields:
+        [
+          ("active", Json.Int active_at_drain);
+          ("open", Json.Int open_at_drain);
+        ]
+      "draining: listener closed, finishing in-flight requests";
   (* 0. The listener is done accepting. *)
   Mutex.lock t.lock;
   let close_listener = not t.listener_closed in
@@ -550,15 +738,27 @@ let drain t =
   let threads = t.threads in
   Mutex.unlock t.lock;
   List.iter (fun th -> try Thread.join th with _ -> ()) threads;
+  (* 4. The metrics writer notices the state change (≤ 0.2 s), takes its
+     final snapshot and joins. *)
+  (match t.metrics_thread with
+  | Some th ->
+      (try Thread.join th with _ -> ());
+      t.metrics_thread <- None
+  | None -> ());
   Mutex.lock t.lock;
   t.state <- Stopped;
   Mutex.unlock t.lock;
+  if Log.enabled_for Log.Info then Log.info "serve.stopped" "server stopped";
   try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ()
 
 let run t =
   (* A client vanishing mid-reply must surface as EPIPE on the write, not
      kill the daemon. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (match t.cfg.metrics_file with
+  | Some path when t.metrics_thread = None ->
+      t.metrics_thread <- Some (Thread.create (fun () -> metrics_writer t path) ())
+  | _ -> ());
   let rec accept_loop () =
     match Unix.accept t.listen_fd with
     | fd, _ ->
@@ -577,6 +777,10 @@ let run t =
           let n = List.length t.conns in
           Mutex.unlock t.lock;
           Obs.set connections_gauge (float_of_int n);
+          if Log.enabled_for Log.Debug then
+            Log.debug "serve.accept"
+              ~fields:[ ("open", Json.Int n) ]
+              "accepted connection";
           let th = Thread.create (fun () -> handle_connection t c) () in
           Mutex.lock t.lock;
           t.threads <- th :: t.threads;

@@ -49,7 +49,28 @@
     and the cache's [serve.cache.*] instruments; completed requests land
     on the {!Socy_obs.Trace} timeline as [serve.request] instants, with
     the pipeline's own spans on the worker-domain rows. The [stats]
-    endpoint returns all of it as one JSON document. *)
+    endpoint returns all of it as one JSON document, and the [metrics]
+    endpoint renders the same registry as a Prometheus text exposition
+    ({!Socy_obs.Export}); [metrics_file]/[metrics_interval] additionally
+    snapshot that exposition to a file on a timer (atomic
+    write-then-rename, final snapshot at shutdown).
+
+    {2 Request correlation}
+
+    Every request line is assigned a monotonically increasing request id
+    ([rid], starting at 1) and handled under
+    {!Socy_obs.Ctx.with_request}, so every log record, trace event and
+    metric instant it causes — including spans emitted on executor
+    worker domains and parallel-team domains — carries that id. The rid
+    is stamped into the reply envelope (outside [result], so cached
+    payloads replay bit-identically), letting a client join its reply
+    against the daemon's logs and Perfetto timeline. Structured log
+    records ({!Socy_obs.Log}) cover the connection lifecycle
+    (accept/close at debug), admissions and rejections, completed
+    requests (info), and — when [slow_ms] is set — a [serve.slow]
+    warning per over-threshold request carrying the cache-key digest,
+    per-stage wall times, peak node counts and effective engine
+    settings. *)
 
 module Json = Socy_obs.Json
 
@@ -74,6 +95,14 @@ type config = {
   unlink_existing : bool;
       (** remove a pre-existing socket file before binding (the CLI's
           [--force]); otherwise binding over one fails *)
+  slow_ms : float option;
+      (** requests slower than this (wall milliseconds) emit a
+          [serve.slow] structured log record; [None] (default) disables
+          the slow-query log *)
+  metrics_file : string option;
+      (** when set, a dedicated thread snapshots the Prometheus text
+          exposition to this path every [metrics_interval] seconds *)
+  metrics_interval : float;  (** snapshot period, seconds; default 10 *)
 }
 
 (** [config ~socket_path ()] with server-appropriate defaults: executor
@@ -94,6 +123,9 @@ val config :
   ?default_par_domains:int ->
   ?backlog:int ->
   ?unlink_existing:bool ->
+  ?slow_ms:float ->
+  ?metrics_file:string ->
+  ?metrics_interval:float ->
   socket_path:string ->
   unit ->
   config

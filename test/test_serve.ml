@@ -470,6 +470,110 @@ let test_health_and_draining_reject () =
                  equally correct: no new work was accepted. *)
               ()))
 
+(* The metrics method returns a Prometheus exposition; serve's probes are
+   registered at module load, so known families are present regardless of
+   whether Obs is collecting. *)
+let test_metrics_method () =
+  with_server (fun path server ->
+      with_client path (fun c ->
+          let reply = roundtrip c (request Proto.Metrics None) in
+          Alcotest.(check string) "status" "ok" (str_at [ "status" ] reply);
+          Alcotest.(check string) "content type" "text/plain; version=0.0.4"
+            (str_at [ "result"; "content_type" ] reply);
+          let text = str_at [ "result"; "exposition" ] reply in
+          let lines = String.split_on_char '\n' text in
+          let has_sample prefix =
+            List.exists
+              (fun l -> String.length l >= String.length prefix
+                        && String.sub l 0 (String.length prefix) = prefix)
+              lines
+          in
+          List.iter
+            (fun family ->
+              Alcotest.(check bool) ("family " ^ family) true (has_sample family))
+            [
+              "socy_serve_requests_total ";
+              "# TYPE socy_serve_requests_total counter";
+              "socy_serve_latency_eval_bucket{le=\"+Inf\"} ";
+            ];
+          (* The stats document carries the telemetry satellites: trace
+             buffer drops and log emission counts. *)
+          let stats = roundtrip c (request ~id:2 Proto.Stats None) in
+          (match member_exn [ "result"; "trace"; "dropped" ] stats with
+          | Json.Int d -> Alcotest.(check bool) "trace.dropped >= 0" true (d >= 0)
+          | _ -> Alcotest.fail "trace.dropped not an int");
+          match member_exn [ "result"; "log"; "emitted" ] stats with
+          | Json.Int _ -> ignore server
+          | _ -> Alcotest.fail "log.emitted not an int"))
+
+(* The correlation tentpole, end to end over the socket: every trace event
+   stamped with a request id carries THE id the reply envelope reports, and
+   those events span at least two domains (the connection thread's
+   serve.request instant on domain 0, the pipeline spans on the executor
+   workers) — i.e. the ambient context survives the Executor.run hop and
+   the Par team bodies. *)
+let test_request_id_propagation () =
+  Socy_obs.Obs.set_enabled true;
+  Socy_obs.Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Socy_obs.Obs.set_enabled false;
+      Socy_obs.Trace.clear ();
+      Socy_obs.Obs.reset ())
+    (fun () ->
+      with_server
+        ~tweak:(fun cfg ->
+          Server.config ~domains:2 ~default_par_domains:2
+            ~socket_path:cfg.Server.socket_path ())
+        (fun path _server ->
+          with_client path (fun c ->
+              let q = { base_query with Proto.par_domains = Some 2 } in
+              let reply = roundtrip c (request Proto.Eval (Some q)) in
+              Alcotest.(check string) "status" "ok" (str_at [ "status" ] reply);
+              let rid =
+                match member_exn [ "rid" ] reply with
+                | Json.Int r -> r
+                | _ -> Alcotest.fail "reply envelope carries no integer rid"
+              in
+              let events =
+                match Json.member "traceEvents" (Socy_obs.Trace.to_json ()) with
+                | Some (Json.List l) -> l
+                | _ -> Alcotest.fail "trace document has no traceEvents"
+              in
+              let stamped =
+                List.filter_map
+                  (fun ev ->
+                    match Json.member "args" ev with
+                    | Some args -> (
+                        match Json.member "rid" args with
+                        | Some (Json.Int r) -> Some (ev, r)
+                        | _ -> None)
+                    | None -> None)
+                  events
+              in
+              Alcotest.(check bool) "some events are rid-stamped" true
+                (stamped <> []);
+              List.iter
+                (fun (ev, r) ->
+                  if r <> rid then
+                    Alcotest.failf "event %s stamped rid %d, reply says %d"
+                      (Json.to_string ev) r rid)
+                stamped;
+              let tids =
+                List.sort_uniq compare
+                  (List.map
+                     (fun (ev, _) ->
+                       match Json.member "tid" ev with
+                       | Some (Json.Int t) -> t
+                       | _ -> Alcotest.fail "trace event has no tid")
+                     stamped)
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "rid spans >= 2 domains (saw %d)"
+                   (List.length tids))
+                true
+                (List.length tids >= 2))))
+
 (* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
@@ -503,5 +607,8 @@ let () =
           Alcotest.test_case "shutdown method" `Quick test_shutdown_method;
           Alcotest.test_case "health and draining" `Quick
             test_health_and_draining_reject;
+          Alcotest.test_case "metrics method" `Quick test_metrics_method;
+          Alcotest.test_case "request id propagation" `Quick
+            test_request_id_propagation;
         ] );
     ]
